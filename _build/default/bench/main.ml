@@ -1,0 +1,126 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 4) on the simulated substrates, plus Bechamel
+   wall-clock microbenchmarks of the core index operations.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment, quick scale
+     dune exec bench/main.exe -- fig10 fig13  # selected experiments
+     dune exec bench/main.exe -- --full all   # paper-sized trees
+     dune exec bench/main.exe -- --csv out/   # also write each table as CSV
+     dune exec bench/main.exe -- bechamel     # wall-clock microbenches
+
+   Results (paper vs. measured) are catalogued in EXPERIMENTS.md. *)
+
+open Fpb_experiments
+
+let run_bechamel () =
+  (* Wall-clock cost of the real implementations (not simulated time):
+     one Test.make per operation and index over a 100K-key tree. *)
+  let open Bechamel in
+  let make_setup kind =
+    let sys = Setup.make ~page_size:16384 () in
+    let rng = Fpb_workload.Prng.create 99 in
+    let pairs = Fpb_workload.Keygen.bulk_pairs rng 100_000 in
+    let idx = Run.build sys kind pairs ~fill:0.9 in
+    let probes = Fpb_workload.Keygen.probes rng pairs 1 in
+    (idx, probes.(0), rng)
+  in
+  let search_test kind =
+    let idx, probe, _ = make_setup kind in
+    Test.make
+      ~name:(Printf.sprintf "search/%s" (Setup.kind_name kind))
+      (Staged.stage (fun () ->
+           ignore (Fpb_btree_common.Index_sig.search idx probe)))
+  in
+  let insert_test kind =
+    let idx, _, rng = make_setup kind in
+    Test.make
+      ~name:(Printf.sprintf "insert/%s" (Setup.kind_name kind))
+      (Staged.stage (fun () ->
+           let k = Fpb_workload.Prng.int rng 0x3fffffff in
+           ignore (Fpb_btree_common.Index_sig.insert idx k k)))
+  in
+  let scan_test kind =
+    let idx, probe, _ = make_setup kind in
+    Test.make
+      ~name:(Printf.sprintf "scan/%s" (Setup.kind_name kind))
+      (Staged.stage (fun () ->
+           ignore
+             (Fpb_btree_common.Index_sig.range_scan idx ~start_key:probe
+                ~end_key:(probe + 20_000) (fun _ _ -> ()))))
+  in
+  let tests =
+    Test.make_grouped ~name:"fpbtree"
+      [
+        Test.make_grouped ~name:"search" (List.map search_test Setup.all_kinds);
+        Test.make_grouped ~name:"insert" (List.map insert_test Setup.all_kinds);
+        Test.make_grouped ~name:"scan" (List.map scan_test Setup.all_kinds);
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some (est :: _) -> Printf.printf "%-50s %12.1f ns/op\n%!" name est
+      | _ -> Printf.printf "%-50s (no estimate)\n%!" name)
+    (List.sort compare names)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale = if full then Scale.Full else Scale.Quick in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let csv_dir, args =
+    let rec go acc = function
+      | "--csv" :: dir :: rest -> (Some dir, List.rev_append acc rest)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
+  in
+  (match csv_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let wanted = match args with [] | [ "all" ] -> None | l -> Some l in
+  let ppf = Format.std_formatter in
+  Format.printf "fpB+-Tree benchmark harness (%s scale)@."
+    (if full then "full" else "quick");
+  let run_bechamel_wanted =
+    match wanted with None -> true | Some l -> List.mem "bechamel" l
+  in
+  let exp_wanted id =
+    match wanted with None -> true | Some l -> List.mem id l
+  in
+  List.iter
+    (fun e ->
+      if exp_wanted e.Registry.id then begin
+        let tables = Registry.run_and_print ppf scale e in
+        match csv_dir with
+        | Some dir ->
+            List.iter
+              (fun t ->
+                let path = Filename.concat dir (t.Table.id ^ ".csv") in
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc (Table.csv t)))
+              tables
+        | None -> ()
+      end)
+    Registry.all;
+  (match wanted with
+  | Some l ->
+      List.iter
+        (fun id ->
+          if id <> "bechamel" && Registry.find id = None then
+            Format.printf "unknown experiment id: %s@." id)
+        l
+  | None -> ());
+  if run_bechamel_wanted then begin
+    Format.printf
+      "@.== bechamel: wall-clock microbenchmarks (real time, not simulated) ==@.";
+    run_bechamel ()
+  end

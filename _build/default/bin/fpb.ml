@@ -1,0 +1,112 @@
+(* fpb: command-line front end.
+
+   fpb tune [--t1 N] [--tnext N] [--line N] [--page N]  node-size tuner
+   fpb list                                             experiments
+   fpb exp ID [--full]                                  run one experiment
+   fpb check [--keys N] [--page N]                      build + verify all indexes
+   fpb demo                                             quickstart walk-through *)
+
+open Cmdliner
+open Fpb_btree_common
+
+let tune_cmd =
+  let t1 = Arg.(value & opt int 150 & info [ "t1" ] ~doc:"Full miss latency (cycles)") in
+  let tnext = Arg.(value & opt int 10 & info [ "tnext" ] ~doc:"Pipelined miss gap (cycles)") in
+  let line = Arg.(value & opt int 64 & info [ "line" ] ~doc:"Cache line size (bytes)") in
+  let page =
+    Arg.(value & opt (some int) None & info [ "page" ] ~doc:"Page size (bytes); default: 4K..32K sweep")
+  in
+  let run t1 tnext line page =
+    let pages = match page with Some p -> [ p ] | None -> [ 4096; 8192; 16384; 32768 ] in
+    List.iter
+      (fun page_size ->
+        let df = Tuning.disk_first ~t1 ~tnext ~line_size:line ~page_size () in
+        let cf = Tuning.cache_first ~t1 ~tnext ~line_size:line ~page_size () in
+        let mi = Tuning.micro_index ~t1 ~tnext ~line_size:line ~page_size () in
+        Fmt.pr "page %dB:@." page_size;
+        Fmt.pr "  disk-first : nonleaf %dB (%d entries), leaf %dB (%d entries), fan-out %d, cost ratio %.2f@."
+          (df.Tuning.df_w * line) df.df_nonleaf_cap (df.df_x * line) df.df_leaf_cap
+          df.df_fanout df.df_ratio;
+        Fmt.pr "  cache-first: node %dB (leaf %d / nonleaf %d entries), fan-out %d, cost ratio %.2f@."
+          (cf.Tuning.cf_w * line) cf.cf_leaf_cap cf.cf_nonleaf_cap cf.cf_fanout
+          cf.cf_ratio;
+        Fmt.pr "  micro-index: sub-array %dB, fan-out %d, cost ratio %.2f@."
+          (mi.Tuning.mi_sub_lines * line) mi.mi_fanout mi.mi_ratio)
+      pages
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Optimal node-size selection (paper Table 2)")
+    Term.(const run $ t1 $ tnext $ line $ page)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Fmt.pr "%-10s %s@." e.Fpb_experiments.Registry.id e.describes)
+      Fpb_experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List reproducible tables/figures") Term.(const run $ const ())
+
+let exp_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-sized trees") in
+  let run id full =
+    let scale = if full then Fpb_experiments.Scale.Full else Quick in
+    match Fpb_experiments.Registry.find id with
+    | Some e ->
+        ignore (Fpb_experiments.Registry.run_and_print Format.std_formatter scale e);
+        `Ok ()
+    | None -> `Error (false, "unknown experiment id: " ^ id)
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment") Term.(ret (const run $ id $ full))
+
+let check_cmd =
+  let keys = Arg.(value & opt int 200_000 & info [ "keys" ] ~doc:"Number of keys") in
+  let page = Arg.(value & opt int 16384 & info [ "page" ] ~doc:"Page size (bytes)") in
+  let run keys page =
+    let rng = Fpb_workload.Prng.create 7 in
+    let pairs = Fpb_workload.Keygen.bulk_pairs rng keys in
+    List.iter
+      (fun kind ->
+        let open Fpb_experiments in
+        let _sys, idx = Run.fresh ~page_size:page kind pairs ~fill:0.8 in
+        let extra = Fpb_workload.Keygen.random_keys rng (keys / 10) in
+        Array.iter (fun k -> ignore (Index_sig.insert idx k k)) extra;
+        Index_sig.check idx;
+        Fmt.pr "%-24s OK: height=%d pages=%d@." (Setup.kind_name kind)
+          (Index_sig.height idx) (Index_sig.page_count idx))
+      Fpb_experiments.Setup.all_kinds
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Build every index variant and verify structural invariants")
+    Term.(const run $ keys $ page)
+
+let demo_cmd =
+  let run () =
+    let open Fpb_simmem in
+    let sim = Sim.create () in
+    let pool = Fpb_core.Fpb.make_pool ~page_size:16384 ~n_disks:4 ~capacity:10_000 sim in
+    let t = Fpb_core.Fpb.Disk_first.create pool in
+    let pairs = Array.init 100_000 (fun i -> (2 * i, i)) in
+    Fpb_core.Fpb.Disk_first.bulkload t pairs ~fill:0.8;
+    Fmt.pr "bulkloaded 100000 keys: height=%d pages=%d@."
+      (Fpb_core.Fpb.Disk_first.height t)
+      (Fpb_core.Fpb.Disk_first.page_count t);
+    Fmt.pr "search 123456 -> %a@." Fmt.(option ~none:(any "not found") int)
+      (Fpb_core.Fpb.Disk_first.search t 123456);
+    ignore (Fpb_core.Fpb.Disk_first.insert t 123457 42);
+    Fmt.pr "inserted 123457; search -> %a@."
+      Fmt.(option ~none:(any "not found") int)
+      (Fpb_core.Fpb.Disk_first.search t 123457);
+    let n =
+      Fpb_core.Fpb.Disk_first.range_scan t ~start_key:1000 ~end_key:2000
+        (fun _ _ -> ())
+    in
+    Fmt.pr "range scan [1000, 2000] -> %d entries@." n;
+    Fmt.pr "simulated cycles so far: %d@." (Sim.now sim)
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Two-minute tour") Term.(const run $ const ())
+
+let () =
+  let doc = "Fractal Prefetching B+-Trees (SIGMOD 2002) reproduction" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "fpb" ~doc) [ tune_cmd; list_cmd; exp_cmd; check_cmd; demo_cmd ]))

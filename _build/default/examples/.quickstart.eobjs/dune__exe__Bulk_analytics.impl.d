@@ -1,0 +1,1 @@
+examples/bulk_analytics.ml: Array Buffer_pool Clock Fmt Fpb Fpb_core Fpb_simmem Fpb_storage Fpb_workload List Seq Sim

@@ -1,0 +1,1 @@
+examples/nested_loop_join.mli:

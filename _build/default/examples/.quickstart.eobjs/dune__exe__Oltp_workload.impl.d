@@ -1,0 +1,1 @@
+examples/oltp_workload.ml: Array Fmt Fpb_btree_common Fpb_experiments Fpb_simmem Fpb_workload Index_sig Key List Run Setup Sim Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Fpb Fpb_core Fpb_simmem Fpb_workload Sim Stats

@@ -1,0 +1,1 @@
+examples/tuning_explorer.ml: Fmt Fpb_btree_common List Tuning

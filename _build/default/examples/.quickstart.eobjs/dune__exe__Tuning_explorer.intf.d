@@ -1,0 +1,1 @@
+examples/tuning_explorer.mli:

@@ -1,0 +1,54 @@
+(* Index nested-loop join (the paper's Section 2.1 motivation): joining an
+   outer relation against an indexed inner relation probes the index once
+   per outer row.  Optimizers often sort the outer on the join key first,
+   which turns the probe stream into an in-order traversal of the inner
+   index's leaves — friendly to the buffer pool and to prefetching.  This
+   example measures both probe orders against a disk-first fpB+-Tree with
+   a buffer pool much smaller than the index.
+
+   Run with: dune exec examples/nested_loop_join.exe *)
+
+open Fpb_simmem
+open Fpb_storage
+open Fpb_core
+
+let () =
+  let inner_n = 1_000_000 in
+  let outer_n = 50_000 in
+  let sim = Sim.create () in
+  (* pool holds ~15% of the inner index *)
+  let pool = Fpb.make_pool ~page_size:16384 ~n_disks:4 ~capacity:120 sim in
+  let index = Fpb.Disk_first.create pool in
+  let rng = Fpb_workload.Prng.create 31 in
+  let inner = Fpb_workload.Keygen.bulk_pairs rng inner_n in
+  Fpb.Disk_first.bulkload index inner ~fill:1.0;
+  Fmt.pr "inner: %d rows indexed on %d pages; pool: 120 pages@." inner_n
+    (Fpb.Disk_first.page_count index);
+
+  (* outer join keys: a random sample of inner keys *)
+  let outer = Fpb_workload.Keygen.probes rng inner outer_n in
+  let join probe_keys =
+    Buffer_pool.clear pool;
+    Buffer_pool.reset_stats pool;
+    let t0 = Clock.now sim.Sim.clock in
+    let matches = ref 0 in
+    Array.iter
+      (fun k -> if Fpb.Disk_first.search index k <> None then incr matches)
+      probe_keys;
+    let elapsed = Clock.now sim.Sim.clock - t0 in
+    let s = Buffer_pool.stats pool in
+    (!matches, elapsed, s.Buffer_pool.misses)
+  in
+  let m1, t1, io1 = join outer in
+  let sorted = Array.copy outer in
+  Array.sort compare sorted;
+  let m2, t2, io2 = join sorted in
+  Fmt.pr "@.%-22s %12s %14s@." "probe order" "page reads" "sim time (ms)";
+  Fmt.pr "%-22s %12d %14.1f@." "random (as arrived)" io1
+    (float_of_int t1 /. 1e6);
+  Fmt.pr "%-22s %12d %14.1f@." "sorted on join key" io2
+    (float_of_int t2 /. 1e6);
+  Fmt.pr "@.sorting the outer cut page reads by %.1fx and time by %.1fx@."
+    (float_of_int io1 /. float_of_int (max 1 io2))
+    (float_of_int t1 /. float_of_int (max 1 t2));
+  assert (m1 = m2 && m1 = outer_n)

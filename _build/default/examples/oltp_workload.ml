@@ -1,0 +1,41 @@
+(* OLTP-style example: a mixed workload (60% searches / 30% inserts /
+   10% deletes) over memory-resident trees, comparing the CPU-cache cost
+   of a disk-optimized B+-Tree against both fpB+-Tree variants — the
+   paper's headline claim that fpB+-Trees win on updates without losing
+   on searches.
+
+   Run with: dune exec examples/oltp_workload.exe *)
+
+open Fpb_simmem
+open Fpb_btree_common
+open Fpb_experiments
+
+let () =
+  let n = 500_000 in
+  let ops = 10_000 in
+  let rng = Fpb_workload.Prng.create 77 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  Fmt.pr "Mixed OLTP workload: %d ops (60%% search / 30%% insert / 10%% delete), %d keys@."
+    ops n;
+  Fmt.pr "%-26s %12s %12s %12s@." "index" "busy (Mc)" "stalls (Mc)" "total (Mc)";
+  List.iter
+    (fun kind ->
+      let sys, idx = Run.fresh ~page_size:16384 kind pairs ~fill:0.8 in
+      let wl_rng = Fpb_workload.Prng.create 78 in
+      Sim.flush_cache sys.Setup.sim;
+      Sim.reset_stats sys.Setup.sim;
+      for _ = 1 to ops do
+        let dice = Fpb_workload.Prng.int wl_rng 10 in
+        let k = fst pairs.(Fpb_workload.Prng.int wl_rng n) in
+        if dice < 6 then ignore (Index_sig.search idx k)
+        else if dice < 9 then
+          ignore (Index_sig.insert idx (Fpb_workload.Prng.int wl_rng Key.max_key) 1)
+        else ignore (Index_sig.delete idx k)
+      done;
+      let s = sys.Setup.sim.Sim.stats in
+      Fmt.pr "%-26s %12.3f %12.3f %12.3f@." (Setup.kind_name kind)
+        (float_of_int s.Stats.busy /. 1e6)
+        (float_of_int s.Stats.stall /. 1e6)
+        (float_of_int (Stats.total s) /. 1e6);
+      Index_sig.check idx)
+    Setup.all_kinds

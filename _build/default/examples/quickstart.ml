@@ -1,0 +1,53 @@
+(* Quickstart: build a disk-first fpB+-Tree on the simulated machine,
+   exercise every basic operation, and look at the cache/I-O statistics.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Fpb_simmem
+open Fpb_core
+
+let () =
+  (* A simulated machine: CPU + cache model, 4 disks, a 10,000-page buffer
+     pool of 16KB pages. *)
+  let sim = Sim.create () in
+  let pool = Fpb.make_pool ~page_size:16384 ~n_disks:4 ~capacity:10_000 sim in
+
+  (* The index tunes its in-page node sizes for the page size (Table 2). *)
+  let index = Fpb.Disk_first.create pool in
+
+  (* Bulk-build from sorted (key, tuple id) pairs at 80% occupancy. *)
+  let pairs = Array.init 500_000 (fun i -> (2 * i, i)) in
+  Fpb.Disk_first.bulkload index pairs ~fill:0.8;
+  Fmt.pr "bulkloaded %d entries: %d page levels, %d pages@."
+    (Array.length pairs)
+    (Fpb.Disk_first.height index)
+    (Fpb.Disk_first.page_count index);
+
+  (* Point queries. *)
+  assert (Fpb.Disk_first.search index 123_456 = Some 61_728);
+  assert (Fpb.Disk_first.search index 123_457 = None);
+
+  (* Updates. *)
+  assert (Fpb.Disk_first.insert index 123_457 999 = `Inserted);
+  assert (Fpb.Disk_first.insert index 123_457 1000 = `Updated);
+  assert (Fpb.Disk_first.delete index 123_457);
+  assert (not (Fpb.Disk_first.delete index 123_457));
+
+  (* Range scan with jump-pointer-array prefetching (default on). *)
+  let hits = ref 0 in
+  let n =
+    Fpb.Disk_first.range_scan index ~start_key:10_000 ~end_key:30_000
+      (fun _k _v -> incr hits)
+  in
+  Fmt.pr "range scan [10000, 30000]: %d entries@." n;
+  assert (n = !hits && n = 10_001);
+
+  (* Measure: 1000 random searches with a cold CPU cache. *)
+  Sim.flush_cache sim;
+  Sim.reset_stats sim;
+  let rng = Fpb_workload.Prng.create 1 in
+  for _ = 1 to 1000 do
+    ignore (Fpb.Disk_first.search index (2 * Fpb_workload.Prng.int rng 500_000))
+  done;
+  Fmt.pr "1000 searches: %a@." Stats.pp sim.Sim.stats;
+  Fmt.pr "quickstart OK@."

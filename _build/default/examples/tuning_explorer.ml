@@ -1,0 +1,28 @@
+(* Tuning explorer: how the optimal fpB+-Tree node sizes (paper
+   Section 3.1.1 / Table 2) shift with the memory system.  Sweeps cache
+   line size and memory latency, printing the tuner's selections — useful
+   when porting the index to different hardware.
+
+   Run with: dune exec examples/tuning_explorer.exe *)
+
+open Fpb_btree_common
+
+let show ~t1 ~tnext ~line_size ~page_size =
+  let df = Tuning.disk_first ~t1 ~tnext ~line_size ~page_size () in
+  let cf = Tuning.cache_first ~t1 ~tnext ~line_size ~page_size () in
+  Fmt.pr
+    "  T1=%-4d Tnext=%-3d line=%-4d | disk-first: nonleaf %4dB leaf %4dB fanout %5d | cache-first: node %4dB fanout %5d@."
+    t1 tnext line_size (df.Tuning.df_w * line_size) (df.df_x * line_size)
+    df.df_fanout (cf.Tuning.cf_w * line_size) cf.cf_fanout
+
+let () =
+  let page_size = 16384 in
+  Fmt.pr "Tuned node sizes for %dKB pages@." (page_size / 1024);
+  Fmt.pr "@.Varying the cache line size (T1=150, Tnext=10):@.";
+  List.iter (fun line_size -> show ~t1:150 ~tnext:10 ~line_size ~page_size) [ 32; 64; 128 ];
+  Fmt.pr "@.Varying memory latency (64B lines):@.";
+  List.iter (fun t1 -> show ~t1 ~tnext:10 ~line_size:64 ~page_size) [ 80; 150; 300; 600 ];
+  Fmt.pr "@.Varying the pipelined-miss gap (T1=150):@.";
+  List.iter (fun tnext -> show ~t1:150 ~tnext ~line_size:64 ~page_size) [ 2; 10; 30; 75 ];
+  Fmt.pr
+    "@.Reading: slower memory relative to Tnext favours wider nodes (more@.lines per prefetch group); wider lines reduce the win of multi-line nodes.@."

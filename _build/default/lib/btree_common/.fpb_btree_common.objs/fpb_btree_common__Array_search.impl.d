@@ -1,0 +1,1 @@
+lib/btree_common/array_search.ml: Fpb_simmem Key Mem Sim

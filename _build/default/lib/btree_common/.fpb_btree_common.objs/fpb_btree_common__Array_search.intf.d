@@ -1,0 +1,1 @@
+lib/btree_common/array_search.mli: Fpb_simmem Mem Sim

@@ -1,0 +1,1 @@
+lib/btree_common/index_sig.ml: Fpb_storage

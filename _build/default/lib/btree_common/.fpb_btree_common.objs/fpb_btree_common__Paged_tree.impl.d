@@ -1,0 +1,1 @@
+lib/btree_common/paged_tree.ml: Array Buffer_pool Fmt Fpb_simmem Fpb_storage Key Layout List Mem Page_store Sim

@@ -1,0 +1,1 @@
+lib/btree_common/tuning.ml: Fmt Layout List Printf

@@ -1,0 +1,1 @@
+lib/btree_common/tuning.mli: Format

@@ -1,0 +1,60 @@
+(* The common interface implemented by every disk-resident index structure
+   in this repository.  Keys are unique integers (see [Key]); values are
+   tuple IDs.  [bulkload] expects strictly increasing keys.  All charged
+   operations run on the simulated machine; [check] and [iter] are
+   uncharged and exist for tests. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  (* An empty index backed by the given buffer pool, tuned for its page
+     size. *)
+  val create : Fpb_storage.Buffer_pool.t -> t
+
+  (* Bulk-build from strictly-increasing (key, tuple id) pairs, filling
+     nodes to [fill] (0 < fill <= 1). *)
+  val bulkload : t -> (int * int) array -> fill:float -> unit
+
+  val search : t -> int -> int option
+  val insert : t -> int -> int -> [ `Inserted | `Updated ]
+
+  (* Lazy deletion: removes the entry if present, never merges nodes. *)
+  val delete : t -> int -> bool
+
+  (* In-order scan of keys in [start_key, end_key]; returns the number of
+     entries visited.  [prefetch] enables jump-pointer-array prefetching
+     where the structure supports it (default true). *)
+  val range_scan :
+    t -> ?prefetch:bool -> start_key:int -> end_key:int -> (int -> int -> unit) -> int
+
+  (* Page levels in the tree (1 = root is a leaf page). *)
+  val height : t -> int
+
+  (* Pages owned by the index, including any auxiliary structures. *)
+  val page_count : t -> int
+
+  (* Validate structural invariants; raises [Failure] with a description on
+     violation.  Uncharged. *)
+  val check : t -> unit
+
+  (* In-order uncharged iteration over all entries (test oracle). *)
+  val iter : t -> (int -> int -> unit) -> unit
+end
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let search (Instance ((module M), t)) k = M.search t k
+let insert (Instance ((module M), t)) k v = M.insert t k v
+let delete (Instance ((module M), t)) k = M.delete t k
+let bulkload (Instance ((module M), t)) pairs ~fill = M.bulkload t pairs ~fill
+
+let range_scan (Instance ((module M), t)) ?prefetch ~start_key ~end_key f =
+  M.range_scan t ?prefetch ~start_key ~end_key f
+
+let height (Instance ((module M), t)) = M.height t
+let page_count (Instance ((module M), t)) = M.page_count t
+let check (Instance ((module M), t)) = M.check t
+let iter (Instance ((module M), t)) f = M.iter t f
+let name (Instance ((module M), _)) = M.name

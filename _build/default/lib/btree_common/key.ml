@@ -1,0 +1,8 @@
+(* Keys are 4-byte signed integers stored little-endian.  The largest int32
+   value is reserved as a sentinel (used for "plus infinity" separators). *)
+
+let size = 4
+let sentinel = 0x7fffffff
+let max_key = sentinel - 1
+let min_key = -0x80000000
+let valid k = k >= min_key && k <= max_key

@@ -1,0 +1,10 @@
+(** Keys are 4-byte signed integers stored little-endian. *)
+
+val size : int
+
+(** The largest int32 value, reserved for "plus infinity" separators. *)
+val sentinel : int
+
+val max_key : int
+val min_key : int
+val valid : int -> bool

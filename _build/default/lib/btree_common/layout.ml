@@ -1,0 +1,77 @@
+(* Binary layout constants shared by all index structures.
+
+   All indexes use 4-byte keys, 4-byte page IDs, 4-byte tuple IDs and 2-byte
+   in-page offsets (a node's starting cache line number within its page).
+   Keys and pointers are partitioned into separate arrays inside every node.
+   The header sizes below were chosen so that the node-size tuner reproduces
+   the paper's Table 2 fan-outs exactly; see DESIGN.md section 3.3. *)
+
+let key_size = 4
+let pid_size = 4
+let tid_size = 4
+let off_size = 2
+
+(* --- Disk-optimized B+-Tree (baseline) ---------------------------------- *)
+
+(* Page header: type, entry count, level, two sibling page IDs, parent. *)
+let disk_page_header = 32
+
+let disk_fanout ~page_size = (page_size - disk_page_header) / (key_size + pid_size)
+
+(* --- Disk-first fpB+-Tree ------------------------------------------------ *)
+
+(* One full line for the page header (control info, in-page allocation
+   bitmap, root offset, sibling page IDs, jump-pointer links). *)
+let df_page_header_lines = 1
+let df_nonleaf_header = 4  (* entry count + flags *)
+let df_leaf_header = 8  (* entry count + flags + next-sibling offset + pad *)
+
+(* Entries in a w-line in-page nonleaf node: 4B key + 2B child offset. *)
+let df_nonleaf_capacity ~line_size w =
+  ((line_size * w) - df_nonleaf_header) / (key_size + off_size)
+
+(* Entries in an x-line in-page leaf node: 4B key + 4B page/tuple ID. *)
+let df_leaf_capacity ~line_size x =
+  ((line_size * x) - df_leaf_header) / (key_size + pid_size)
+
+(* --- Cache-first fpB+-Tree ----------------------------------------------- *)
+
+let cf_page_header_lines = 1
+let cf_node_header = 8
+
+(* Leaf node entries: 4B key + 4B tuple ID. *)
+let cf_leaf_capacity ~line_size w =
+  ((line_size * w) - cf_node_header) / (key_size + tid_size)
+
+(* Nonleaf node entries: 4B key + (4B page ID + 2B offset) pointer. *)
+let cf_nonleaf_capacity ~line_size w =
+  ((line_size * w) - cf_node_header) / (key_size + pid_size + off_size)
+
+(* --- Micro-indexing ------------------------------------------------------ *)
+
+let mi_page_header = 24
+
+let align_up n alignment = (n + alignment - 1) / alignment * alignment
+
+(* Page layout: [header | micro-index keys | pad | key array | pad | pointer
+   array].  Key and pointer arrays start on line boundaries and are divided
+   into sub-arrays of [sub_lines] lines each; the micro-index holds the
+   first key of each sub-array.  Returns the maximum fan-out for a page, or
+   0 if none fits. *)
+let mi_max_fanout ~page_size ~line_size ~sub_lines =
+  let keys_per_sub = line_size * sub_lines / key_size in
+  let fits f =
+    let n_sub = (f + keys_per_sub - 1) / keys_per_sub in
+    let key_off = align_up (mi_page_header + (n_sub * key_size)) line_size in
+    let ptr_off = key_off + align_up (f * key_size) line_size in
+    ptr_off + (f * tid_size) <= page_size
+  in
+  let rec grow f = if fits (f + 1) then grow (f + 1) else f in
+  grow 0
+
+(* Cache lines occupied by the micro-index (starts right after the page
+   header, which is not line-aligned). *)
+let mi_micro_lines ~line_size ~n_sub =
+  let first = mi_page_header / line_size in
+  let last = (mi_page_header + (n_sub * key_size) - 1) / line_size in
+  last - first + 1

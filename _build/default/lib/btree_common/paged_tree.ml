@@ -1,0 +1,585 @@
+(* Generic B+-Tree over "array pages": pages holding a sorted key array and
+   a parallel pointer array at format-chosen offsets.  The format decides
+   how a page is searched (plain binary search for the disk-optimized
+   baseline; micro-index + sub-array search for micro-indexing) and what
+   bookkeeping follows an update (e.g. refreshing the micro-index).  The
+   tree-level logic — descent, splits, parent maintenance, bulkload, range
+   scans with jump-pointer prefetching, invariants — is shared.
+
+   Nonleaf routing convention: a nonleaf with n entries has keys k_0..k_n-1
+   and children c_0..c_n-1, where child c_i holds keys in [k_i, k_i+1) for
+   i >= 1 and c_0 holds everything below k_1 (k_0 is not trusted as a lower
+   bound, so ever-smaller inserts need no separator maintenance).
+
+   Sibling links are kept at every level (as the paper's DB2 implementation
+   does); the leaf-parent level doubles as the internal jump-pointer array
+   for range-scan I/O prefetching (Section 2.2), including the
+   "don't overshoot the end key" fix. *)
+
+open Fpb_simmem
+open Fpb_storage
+
+module type PAGE_FORMAT = sig
+  val name : string
+
+  type cfg
+
+  val cfg_of_page_size : int -> cfg
+  val fanout : cfg -> int
+
+  (* Byte offset of key slot 0 / pointer slot 0.  Slot i lives 4i bytes
+     further. *)
+  val key_base : cfg -> int
+  val ptr_base : cfg -> int
+
+  (* Position of [key] in the page's sorted key array using the format's
+     search strategy (including any prefetching): [`Lower] = first slot with
+     a key >= [key]; [`Upper] = first slot with a key > [key]. *)
+  val find_slot :
+    Sim.t -> cfg -> Mem.region -> n:int -> key:int -> [ `Lower | `Upper ] -> int
+
+  (* Entries [from, n) just changed (shift, split, bulk fill); update any
+     derived in-page structures. *)
+  val entries_updated : Sim.t -> cfg -> Mem.region -> n:int -> from:int -> unit
+end
+
+module Make (F : PAGE_FORMAT) = struct
+  type t = {
+    pool : Buffer_pool.t;
+    sim : Sim.t;
+    cfg : F.cfg;
+    fanout : int;
+    mutable root : int;
+    mutable levels : int;  (* 1 = root is a leaf *)
+    mutable n_pages : int;
+    mutable io_prefetch_distance : int;
+  }
+
+  let name = F.name
+
+  (* Common page header fields (within the format's reserved header area). *)
+  let off_is_leaf = 0
+  let off_n = 2
+  let off_prev = 4
+  let off_next = 8
+  let key_off t i = F.key_base t.cfg + (Key.size * i)
+  let ptr_off t i = F.ptr_base t.cfg + (Layout.pid_size * i)
+  let nil = Page_store.nil
+
+  let new_page t ~leaf =
+    let page, r = Buffer_pool.create_page t.pool in
+    t.n_pages <- t.n_pages + 1;
+    Mem.write_u8 t.sim r off_is_leaf (if leaf then 1 else 0);
+    Mem.write_u16 t.sim r off_n 0;
+    Mem.write_i32 t.sim r off_prev nil;
+    Mem.write_i32 t.sim r off_next nil;
+    (page, r)
+
+  let create pool =
+    let sim = Buffer_pool.sim pool in
+    let page_size = Page_store.page_size (Buffer_pool.store pool) in
+    let cfg = F.cfg_of_page_size page_size in
+    let t =
+      {
+        pool;
+        sim;
+        cfg;
+        fanout = F.fanout cfg;
+        root = nil;
+        levels = 1;
+        n_pages = 0;
+        io_prefetch_distance = 16;
+      }
+    in
+    let root, _r = new_page t ~leaf:true in
+    Buffer_pool.unpin pool root;
+    t.root <- root;
+    t
+
+  let set_io_prefetch_distance t d = t.io_prefetch_distance <- max 1 d
+
+  (* --- Search ------------------------------------------------------------ *)
+
+  let route t r ~n key =
+    let i = F.find_slot t.sim t.cfg r ~n ~key `Upper in
+    max 0 (i - 1)
+
+  let descend t key ~visit =
+    let rec go page =
+      let r = Buffer_pool.get t.pool page in
+      Sim.busy_node t.sim;
+      if Mem.read_u8 t.sim r off_is_leaf = 1 then (page, r)
+      else begin
+        let n = Mem.read_u16 t.sim r off_n in
+        let i = route t r ~n key in
+        let child = Mem.read_i32 t.sim r (ptr_off t i) in
+        visit page r n i;
+        Buffer_pool.unpin t.pool page;
+        go child
+      end
+    in
+    go t.root
+
+  let search t key =
+    Sim.busy_op t.sim;
+    let page, r = descend t key ~visit:(fun _ _ _ _ -> ()) in
+    let n = Mem.read_u16 t.sim r off_n in
+    let i = F.find_slot t.sim t.cfg r ~n ~key `Lower in
+    let result =
+      if i < n && Mem.read_i32 t.sim r (key_off t i) = key then
+        Some (Mem.read_i32 t.sim r (ptr_off t i))
+      else None
+    in
+    Buffer_pool.unpin t.pool page;
+    result
+
+  (* --- Insertion ---------------------------------------------------------- *)
+
+  let insert_at t r ~n ~i key ptr =
+    let len = (n - i) * 4 in
+    Mem.blit t.sim r (key_off t i) r (key_off t (i + 1)) len;
+    Mem.blit t.sim r (ptr_off t i) r (ptr_off t (i + 1)) len;
+    Mem.write_i32 t.sim r (key_off t i) key;
+    Mem.write_i32 t.sim r (ptr_off t i) ptr;
+    Mem.write_u16 t.sim r off_n (n + 1);
+    F.entries_updated t.sim t.cfg r ~n:(n + 1) ~from:i
+
+  let split_page t page r ~leaf =
+    let n = t.fanout in
+    let mid = n / 2 in
+    let moved = n - mid in
+    let right, rr = new_page t ~leaf in
+    Mem.blit t.sim r (key_off t mid) rr (key_off t 0) (moved * 4);
+    Mem.blit t.sim r (ptr_off t mid) rr (ptr_off t 0) (moved * 4);
+    Mem.write_u16 t.sim rr off_n moved;
+    Mem.write_u16 t.sim r off_n mid;
+    F.entries_updated t.sim t.cfg rr ~n:moved ~from:0;
+    F.entries_updated t.sim t.cfg r ~n:mid ~from:mid;
+    let old_next = Mem.read_i32 t.sim r off_next in
+    Mem.write_i32 t.sim rr off_next old_next;
+    Mem.write_i32 t.sim rr off_prev page;
+    Mem.write_i32 t.sim r off_next right;
+    if old_next <> nil then
+      Buffer_pool.with_page t.pool old_next (fun onr ->
+          Mem.write_i32 t.sim onr off_prev right;
+          Buffer_pool.mark_dirty t.pool old_next);
+    let sep = Mem.read_i32 t.sim rr (key_off t 0) in
+    Buffer_pool.mark_dirty t.pool page;
+    Buffer_pool.mark_dirty t.pool right;
+    (right, rr, sep)
+
+  let rec insert_into_parent t path sep child =
+    match path with
+    | [] ->
+        let old_root = t.root in
+        let new_root, r = new_page t ~leaf:false in
+        let old_min =
+          Buffer_pool.with_page t.pool old_root (fun orr ->
+              Mem.read_i32 t.sim orr (key_off t 0))
+        in
+        Mem.write_i32 t.sim r (key_off t 0) old_min;
+        Mem.write_i32 t.sim r (ptr_off t 0) old_root;
+        Mem.write_i32 t.sim r (key_off t 1) sep;
+        Mem.write_i32 t.sim r (ptr_off t 1) child;
+        Mem.write_u16 t.sim r off_n 2;
+        F.entries_updated t.sim t.cfg r ~n:2 ~from:0;
+        Buffer_pool.unpin t.pool new_root;
+        t.root <- new_root;
+        t.levels <- t.levels + 1
+    | parent :: rest ->
+        let r = Buffer_pool.get t.pool parent in
+        let n = Mem.read_u16 t.sim r off_n in
+        let i = F.find_slot t.sim t.cfg r ~n ~key:sep `Upper in
+        (* If child 0's subtree split at or below its recorded key 0 (which
+           is not a trusted bound), lower key 0 so the array stays sorted
+           and strictly distinct, and insert the new separator at slot 1;
+           child 0 keeps covering everything below [sep]. *)
+        let i =
+          if i = 0 || (i = 1 && Mem.read_i32 t.sim r (key_off t 0) = sep)
+          then begin
+            Mem.write_i32 t.sim r (key_off t 0) (sep - 1);
+            F.entries_updated t.sim t.cfg r ~n ~from:0;
+            1
+          end
+          else i
+        in
+        if n < t.fanout then begin
+          insert_at t r ~n ~i sep child;
+          Buffer_pool.mark_dirty t.pool parent;
+          Buffer_pool.unpin t.pool parent
+        end
+        else begin
+          let right, rr, parent_sep = split_page t parent r ~leaf:false in
+          let mid = t.fanout / 2 in
+          (if i <= mid then insert_at t r ~n:mid ~i sep child
+           else insert_at t rr ~n:(t.fanout - mid) ~i:(i - mid) sep child);
+          Buffer_pool.unpin t.pool parent;
+          Buffer_pool.unpin t.pool right;
+          insert_into_parent t rest parent_sep right
+        end
+
+  let insert t key tid =
+    if not (Key.valid key) then invalid_arg (F.name ^ ".insert: key out of range");
+    Sim.busy_op t.sim;
+    let path = ref [] in
+    let page, r = descend t key ~visit:(fun p _ _ _ -> path := p :: !path) in
+    let n = Mem.read_u16 t.sim r off_n in
+    let i = F.find_slot t.sim t.cfg r ~n ~key `Lower in
+    if i < n && Mem.read_i32 t.sim r (key_off t i) = key then begin
+      Mem.write_i32 t.sim r (ptr_off t i) tid;
+      Buffer_pool.mark_dirty t.pool page;
+      Buffer_pool.unpin t.pool page;
+      `Updated
+    end
+    else if n < t.fanout then begin
+      insert_at t r ~n ~i key tid;
+      Buffer_pool.mark_dirty t.pool page;
+      Buffer_pool.unpin t.pool page;
+      `Inserted
+    end
+    else begin
+      let right, rr, sep = split_page t page r ~leaf:true in
+      let mid = t.fanout / 2 in
+      (if i <= mid then insert_at t r ~n:mid ~i key tid
+       else insert_at t rr ~n:(t.fanout - mid) ~i:(i - mid) key tid);
+      Buffer_pool.unpin t.pool page;
+      Buffer_pool.unpin t.pool right;
+      insert_into_parent t !path sep right;
+      `Inserted
+    end
+
+  (* --- Deletion ----------------------------------------------------------- *)
+
+  let delete t key =
+    Sim.busy_op t.sim;
+    let page, r = descend t key ~visit:(fun _ _ _ _ -> ()) in
+    let n = Mem.read_u16 t.sim r off_n in
+    let i = F.find_slot t.sim t.cfg r ~n ~key `Lower in
+    let found = i < n && Mem.read_i32 t.sim r (key_off t i) = key in
+    if found then begin
+      let len = (n - i - 1) * 4 in
+      Mem.blit t.sim r (key_off t (i + 1)) r (key_off t i) len;
+      Mem.blit t.sim r (ptr_off t (i + 1)) r (ptr_off t i) len;
+      Mem.write_u16 t.sim r off_n (n - 1);
+      F.entries_updated t.sim t.cfg r ~n:(n - 1) ~from:i;
+      Buffer_pool.mark_dirty t.pool page
+    end;
+    Buffer_pool.unpin t.pool page;
+    found
+
+  (* --- Bulkload ----------------------------------------------------------- *)
+
+  let bulkload t pairs ~fill =
+    if fill <= 0. || fill > 1. then invalid_arg (F.name ^ ".bulkload: fill");
+    if t.n_pages > 1 then invalid_arg (F.name ^ ".bulkload: tree not empty");
+    let total = Array.length pairs in
+    if total = 0 then ()
+    else begin
+      Buffer_pool.free_page t.pool t.root;
+      t.n_pages <- t.n_pages - 1;
+      let per_page = max 1 (int_of_float (float_of_int t.fanout *. fill)) in
+      let build_level ~leaf entries =
+        let n = Array.length entries in
+        let n_pages = (n + per_page - 1) / per_page in
+        let ups = Array.make n_pages (0, 0) in
+        let prev = ref nil in
+        for p = 0 to n_pages - 1 do
+          let lo = p * per_page in
+          let cnt = min per_page (n - lo) in
+          let page, r = new_page t ~leaf in
+          for j = 0 to cnt - 1 do
+            let k, ptr = entries.(lo + j) in
+            Mem.write_i32 t.sim r (key_off t j) k;
+            Mem.write_i32 t.sim r (ptr_off t j) ptr
+          done;
+          Mem.write_u16 t.sim r off_n cnt;
+          F.entries_updated t.sim t.cfg r ~n:cnt ~from:0;
+          Mem.write_i32 t.sim r off_prev !prev;
+          if !prev <> nil then
+            Buffer_pool.with_page t.pool !prev (fun pr ->
+                Mem.write_i32 t.sim pr off_next page);
+          Buffer_pool.unpin t.pool page;
+          prev := page;
+          ups.(p) <- (fst entries.(lo), page)
+        done;
+        ups
+      in
+      let level = ref (build_level ~leaf:true pairs) in
+      let levels = ref 1 in
+      while Array.length !level > 1 do
+        level := build_level ~leaf:false !level;
+        incr levels
+      done;
+      match !level with
+      | [| (_, root) |] ->
+          t.root <- root;
+          t.levels <- !levels
+      | _ -> assert false
+    end
+
+  (* --- Range scan ---------------------------------------------------------- *)
+
+  type jp_cursor = { mutable jp_page : int; mutable jp_idx : int }
+
+  let rec jp_next t cur =
+    if cur.jp_page = nil then None
+    else begin
+      let r = Buffer_pool.get t.pool cur.jp_page in
+      let n = Mem.read_u16 t.sim r off_n in
+      if cur.jp_idx < n then begin
+        let pid = Mem.read_i32 t.sim r (ptr_off t cur.jp_idx) in
+        cur.jp_idx <- cur.jp_idx + 1;
+        Buffer_pool.unpin t.pool cur.jp_page;
+        Some pid
+      end
+      else begin
+        let next = Mem.read_i32 t.sim r off_next in
+        Buffer_pool.unpin t.pool cur.jp_page;
+        cur.jp_page <- next;
+        cur.jp_idx <- 0;
+        if next = nil then None else jp_next t cur
+      end
+    end
+
+  let descend_with_parent t key =
+    let parent = ref nil and parent_idx = ref 0 in
+    let page, r =
+      descend t key ~visit:(fun p _ n i ->
+          ignore n;
+          parent := p;
+          parent_idx := i)
+    in
+    (page, r, !parent, !parent_idx)
+
+  let range_scan t ?(prefetch = false) ~start_key ~end_key f =
+    Sim.busy_op t.sim;
+    if end_key < start_key then 0
+    else begin
+      (* Locate the end leaf first so prefetching never overshoots. *)
+      let end_leaf =
+        if prefetch then begin
+          let page, _r = descend t end_key ~visit:(fun _ _ _ _ -> ()) in
+          Buffer_pool.unpin t.pool page;
+          page
+        end
+        else nil
+      in
+      let page, r, parent, parent_idx = descend_with_parent t start_key in
+      let cur = { jp_page = parent; jp_idx = parent_idx + 1 } in
+      let outstanding = ref 0 in
+      (* nothing to prefetch when the scan starts on the end page *)
+      let done_prefetching = ref (parent = nil || end_leaf = page) in
+      let pump () =
+        if prefetch then
+          while (not !done_prefetching) && !outstanding < t.io_prefetch_distance
+          do
+            match jp_next t cur with
+            | None -> done_prefetching := true
+            | Some pid ->
+                Buffer_pool.prefetch t.pool pid;
+                incr outstanding;
+                if pid = end_leaf then done_prefetching := true
+          done
+      in
+      pump ();
+      let count = ref 0 in
+      let rec scan_page page r =
+        let n = Mem.read_u16 t.sim r off_n in
+        let i0 =
+          if !count = 0 then
+            F.find_slot t.sim t.cfg r ~n ~key:start_key `Lower
+          else 0
+        in
+        let stop = ref false in
+        let i = ref i0 in
+        while (not !stop) && !i < n do
+          let k = Mem.read_i32 t.sim r (key_off t !i) in
+          if k > end_key then stop := true
+          else begin
+            f k (Mem.read_i32 t.sim r (ptr_off t !i));
+            incr count;
+            incr i
+          end
+        done;
+        let next = if !stop then nil else Mem.read_i32 t.sim r off_next in
+        Buffer_pool.unpin t.pool page;
+        if next <> nil then begin
+          if !outstanding > 0 then decr outstanding;
+          pump ();
+          let nr = Buffer_pool.get t.pool next in
+          scan_page next nr
+        end
+      in
+      scan_page page r;
+      !count
+    end
+
+  (* Reverse (descending) range scan: visits keys in [start_key, end_key]
+     from high to low, walking the prev sibling links the paper's DB2
+     implementation added for reverse scans.  Backward I/O prefetching
+     walks the leaf-parent level in reverse. *)
+  let range_scan_rev t ?(prefetch = false) ~start_key ~end_key f =
+    Sim.busy_op t.sim;
+    if end_key < start_key then 0
+    else begin
+      let start_leaf =
+        if prefetch then begin
+          let page, _r = descend t start_key ~visit:(fun _ _ _ _ -> ()) in
+          Buffer_pool.unpin t.pool page;
+          page
+        end
+        else nil
+      in
+      let page, r, parent, parent_idx = descend_with_parent t end_key in
+      (* backward cursor over the leaf-parent level *)
+      let cur = { jp_page = parent; jp_idx = parent_idx - 1 } in
+      let rec jp_prev () =
+        if cur.jp_page = nil then None
+        else if cur.jp_idx >= 0 then begin
+          let pr = Buffer_pool.get t.pool cur.jp_page in
+          let pid = Mem.read_i32 t.sim pr (ptr_off t cur.jp_idx) in
+          cur.jp_idx <- cur.jp_idx - 1;
+          Buffer_pool.unpin t.pool cur.jp_page;
+          Some pid
+        end
+        else begin
+          let pr = Buffer_pool.get t.pool cur.jp_page in
+          let prev = Mem.read_i32 t.sim pr off_prev in
+          Buffer_pool.unpin t.pool cur.jp_page;
+          cur.jp_page <- prev;
+          if prev = nil then None
+          else begin
+            let pr2 = Buffer_pool.get t.pool prev in
+            cur.jp_idx <- Mem.read_u16 t.sim pr2 off_n - 1;
+            Buffer_pool.unpin t.pool prev;
+            jp_prev ()
+          end
+        end
+      in
+      let outstanding = ref 0 in
+      let done_prefetching = ref (parent = nil || start_leaf = page) in
+      let pump () =
+        if prefetch then
+          while (not !done_prefetching) && !outstanding < t.io_prefetch_distance
+          do
+            match jp_prev () with
+            | None -> done_prefetching := true
+            | Some pid ->
+                Buffer_pool.prefetch t.pool pid;
+                incr outstanding;
+                if pid = start_leaf then done_prefetching := true
+          done
+      in
+      pump ();
+      let count = ref 0 in
+      let first_page = ref true in
+      let rec scan_page page r =
+        let n = Mem.read_u16 t.sim r off_n in
+        let i0 =
+          if !first_page then begin
+            first_page := false;
+            F.find_slot t.sim t.cfg r ~n ~key:end_key `Upper - 1
+          end
+          else n - 1
+        in
+        let stop = ref false in
+        let i = ref i0 in
+        while (not !stop) && !i >= 0 do
+          let k = Mem.read_i32 t.sim r (key_off t !i) in
+          if k < start_key then stop := true
+          else begin
+            if k <= end_key then begin
+              f k (Mem.read_i32 t.sim r (ptr_off t !i));
+              incr count
+            end;
+            decr i
+          end
+        done;
+        let prev = if !stop then nil else Mem.read_i32 t.sim r off_prev in
+        Buffer_pool.unpin t.pool page;
+        if prev <> nil then begin
+          if !outstanding > 0 then decr outstanding;
+          pump ();
+          let pr = Buffer_pool.get t.pool prev in
+          scan_page prev pr
+        end
+      in
+      scan_page page r;
+      !count
+    end
+
+  (* --- Introspection (uncharged; tests only) ------------------------------- *)
+
+  let height t = t.levels
+  let page_count t = t.n_pages
+
+  let peek_region t page =
+    let r = Buffer_pool.get t.pool page in
+    Buffer_pool.unpin t.pool page;
+    r
+
+  let iter t f =
+    let rec leftmost page =
+      let r = peek_region t page in
+      if Mem.peek_u8 r off_is_leaf = 1 then page
+      else leftmost (Mem.peek_i32 r (ptr_off t 0))
+    in
+    let rec walk page =
+      if page <> nil then begin
+        let r = peek_region t page in
+        let n = Mem.peek_u16 r off_n in
+        for i = 0 to n - 1 do
+          f (Mem.peek_i32 r (key_off t i)) (Mem.peek_i32 r (ptr_off t i))
+        done;
+        walk (Mem.peek_i32 r off_next)
+      end
+    in
+    walk (leftmost t.root)
+
+  let fail fmt = Fmt.kstr failwith fmt
+
+  let check t =
+    let leaves_seen = ref [] in
+    let rec check_page page ~lo ~hi ~depth =
+      let r = peek_region t page in
+      let leaf = Mem.peek_u8 r off_is_leaf = 1 in
+      let n = Mem.peek_u16 r off_n in
+      if leaf <> (depth = t.levels) then fail "page %d: leaf at wrong depth" page;
+      if n > t.fanout then fail "page %d: overfull (%d > %d)" page n t.fanout;
+      if n = 0 && page <> t.root then fail "page %d: empty non-root" page;
+      for i = 0 to n - 1 do
+        let k = Mem.peek_i32 r (key_off t i) in
+        if i > 0 && Mem.peek_i32 r (key_off t (i - 1)) >= k then
+          fail "page %d: keys not strictly increasing at %d" page i;
+        (match lo with
+        | Some b when k < b -> fail "page %d: key %d below bound %d" page k b
+        | _ -> ());
+        match hi with
+        | Some b when k >= b -> fail "page %d: key %d above bound %d" page k b
+        | _ -> ()
+      done;
+      if leaf then leaves_seen := page :: !leaves_seen
+      else
+        for i = 0 to n - 1 do
+          let child = Mem.peek_i32 r (ptr_off t i) in
+          let clo = if i = 0 then lo else Some (Mem.peek_i32 r (key_off t i)) in
+          let chi =
+            if i = n - 1 then hi else Some (Mem.peek_i32 r (key_off t (i + 1)))
+          in
+          check_page child ~lo:clo ~hi:chi ~depth:(depth + 1)
+        done
+    in
+    check_page t.root ~lo:None ~hi:None ~depth:1;
+    let expected = List.rev !leaves_seen in
+    let rec chain page acc =
+      if page = nil then List.rev acc
+      else
+        let r = peek_region t page in
+        chain (Mem.peek_i32 r off_next) (page :: acc)
+    in
+    match expected with
+    | [] -> ()
+    | first :: _ ->
+        let chained = chain first [] in
+        if chained <> expected then fail "leaf chain disagrees with tree order"
+end

@@ -1,0 +1,1 @@
+lib/core/cache_first.ml: Array Array_search Buffer_pool Fmt Fpb_btree_common Fpb_simmem Fpb_storage Hashtbl Jump_array Key Layout List Mem Option Page_store Sim Tuning

@@ -1,0 +1,1 @@
+lib/core/cache_first.mli: Fpb_storage

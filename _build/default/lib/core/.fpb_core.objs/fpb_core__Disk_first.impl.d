@@ -1,0 +1,1 @@
+lib/core/disk_first.ml: Array Array_search Buffer_pool Fmt Fpb_btree_common Fpb_simmem Fpb_storage Key Layout List Mem Page_store Sim Tuning

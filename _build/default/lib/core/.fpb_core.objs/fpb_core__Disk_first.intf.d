@@ -1,0 +1,1 @@
+lib/core/disk_first.mli: Fpb_storage

@@ -1,0 +1,1 @@
+lib/core/fpb.ml: Buffer_pool Cache_first Disk_first Disk_model Fpb_simmem Fpb_storage Jump_array Page_store Sim

@@ -1,0 +1,1 @@
+lib/core/jump_array.ml: Array Buffer_pool Fmt Fpb_simmem Fpb_storage List Mem Page_store Sim

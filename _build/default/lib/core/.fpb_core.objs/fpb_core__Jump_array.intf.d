@@ -1,0 +1,1 @@
+lib/core/jump_array.mli: Fpb_storage

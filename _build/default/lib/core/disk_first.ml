@@ -1,0 +1,1106 @@
+(* Disk-first fpB+-Tree (paper, Section 3.1): a disk-optimized B+-Tree whose
+   page contents are organised as a small cache-optimized tree (an "in-page
+   tree") instead of one large sorted array.
+
+   - In-page nonleaf nodes are [w] cache lines and store 2-byte in-page
+     offsets (a child node's starting line number) instead of full pointers.
+   - In-page leaf nodes are [x] cache lines and store 4-byte pointers: child
+     page IDs in nonleaf pages, tuple IDs in leaf pages.
+   - (w, x) come from the tuner (Section 3.1.1 / Table 2).
+   - Every node access prefetches the whole node first (pB+-Tree style).
+
+   In-page space management: nodes are carved line-granular from the page
+   with a bump watermark; in-page reorganisations and page splits rebuild
+   pages compactly, which is when space is reclaimed.  Insertion follows
+   Section 3.1.2: split the in-page leaf node if lines are free; otherwise
+   reorganise the in-page tree if the page still has at least one empty
+   slot per in-page leaf node; otherwise split the page.
+
+   Page layout:
+     line 0 (64B header):
+       0  u8  kind (0 = leaf page, 1 = nonleaf page)
+       1  u8  in-page levels
+       2  u16 root node line
+       4  i32 prev page     8 i32 next page   (sibling links, every level)
+       12 u16 total entries in page
+       14 u16 next free line (bump watermark)
+       16 u16 first in-page leaf node line
+       18 u16 number of in-page leaf nodes
+     lines 1..: in-page nodes.
+
+   In-page nonleaf node (w lines): 0 u16 n; 2 u16 flags(1);
+     4.. keys (4B x fn); then child line numbers (2B x fn).
+   In-page leaf node (x lines): 0 u16 n; 2 u16 flags(0);
+     4 u16 next leaf line; 6 u16 prev leaf line;
+     8.. keys (4B x fl); then pointers (4B x fl). *)
+
+open Fpb_simmem
+open Fpb_storage
+open Fpb_btree_common
+
+type cfg = {
+  page_size : int;
+  page_lines : int;
+  w : int;  (* nonleaf node lines *)
+  x : int;  (* leaf node lines *)
+  fn : int;  (* nonleaf node capacity *)
+  fl : int;  (* leaf node capacity *)
+  max_fanout : int;  (* tuned page fan-out (max entries per page) *)
+  max_leaves : int;  (* most in-page leaf nodes a page can hold structurally *)
+}
+
+type t = {
+  pool : Buffer_pool.t;
+  sim : Sim.t;
+  cfg : cfg;
+  mutable root : int;
+  mutable levels : int;  (* page levels; 1 = root is a leaf page *)
+  mutable n_pages : int;
+  mutable io_prefetch_distance : int;
+  mutable cache_prefetch_leaves : bool;  (* prefetch leaf nodes per page in scans *)
+  mutable bound_scan_end : bool;  (* stop I/O prefetch at the end page *)
+}
+
+let name = "disk-first fpB+tree"
+let nil = Page_store.nil
+let line_bytes = 64
+
+(* Header field offsets. *)
+let h_kind = 0
+let h_ip_levels = 1
+let h_root = 2
+let h_prev = 4
+let h_next = 8
+let h_total = 12
+let h_free = 14
+let h_first_leaf = 16
+let h_n_leaves = 18
+let h_last_leaf = 20
+
+(* In-page node field offsets (from the node's first byte). *)
+let n_count = 0
+let n_next = 4  (* leaf nodes only *)
+let n_prev = 6
+let nonleaf_keys = 4
+let leaf_keys = 8
+
+(* Number of in-page nonleaf nodes needed above [m] leaf nodes. *)
+let nonleaves_above ~fn m =
+  let rec go cnt acc =
+    if cnt <= 1 then acc
+    else
+      let parents = (cnt + fn - 1) / fn in
+      go parents (acc + parents)
+  in
+  go m 0
+
+let cfg_of_widths ~page_size ~w ~x ~max_fanout =
+  let line_size = line_bytes in
+  let fn = Layout.df_nonleaf_capacity ~line_size w in
+  let fl = Layout.df_leaf_capacity ~line_size x in
+  let page_lines = page_size / line_bytes in
+  let fits m = (m * x) + (nonleaves_above ~fn m * w) + 1 <= page_lines in
+  let rec grow m = if fits (m + 1) then grow (m + 1) else m in
+  let max_leaves = grow 1 in
+  let max_fanout =
+    match max_fanout with Some f -> f | None -> max_leaves * fl
+  in
+  { page_size; page_lines; w; x; fn; fl; max_fanout; max_leaves }
+
+let make_cfg page_size =
+  let sel = Tuning.disk_first ~page_size () in
+  cfg_of_widths ~page_size ~w:sel.Tuning.df_w ~x:sel.df_x
+    ~max_fanout:(Some sel.df_fanout)
+
+(* --- Node accessors ------------------------------------------------------- *)
+
+let node_off line = line * line_bytes
+
+let nonleaf_key_off _c line i = node_off line + nonleaf_keys + (Key.size * i)
+let nonleaf_child_off c line i =
+  node_off line + nonleaf_keys + (Key.size * c.fn) + (2 * i)
+
+let leaf_key_off _c line i = node_off line + leaf_keys + (Key.size * i)
+let leaf_ptr_off c line i =
+  node_off line + leaf_keys + (Key.size * c.fl) + (4 * i)
+
+let prefetch_node t r line ~lines =
+  Mem.prefetch t.sim r ~off:(node_off line) ~len:(lines * line_bytes)
+
+let read_n t r line = Mem.read_u16 t.sim r (node_off line + n_count)
+let write_n t r line v = Mem.write_u16 t.sim r (node_off line + n_count) v
+
+(* --- In-page tree construction ------------------------------------------- *)
+
+(* Allocate [lines] lines from the page watermark; returns the line number
+   or raises [Exit] if the page is out of lines (callers check first). *)
+let alloc_lines t r lines =
+  let free = Mem.read_u16 t.sim r h_free in
+  if free + lines > t.cfg.page_lines then raise Exit;
+  Mem.write_u16 t.sim r h_free (free + lines);
+  free
+
+(* Rebuild the in-page tree of [r] from scratch with [entries], spreading
+   them over [n_leaves] in-page leaf nodes.  Resets the watermark. *)
+let build_in_page t r entries ~n_leaves =
+  let c = t.cfg in
+  let n = Array.length entries in
+  let n_leaves = max 1 (min n_leaves c.max_leaves) in
+  (* never spread over more leaves than entries: empty leaves would need
+     sentinel separators, which collide in their in-page parent *)
+  let n_leaves = if n > 0 then min n_leaves n else 1 in
+  let n_leaves = max n_leaves ((n + c.fl - 1) / c.fl) in
+  assert (n_leaves <= c.max_leaves);
+  Mem.write_u16 t.sim r h_free 1;
+  (* leaves, evenly filled, chained *)
+  let base = n / n_leaves and extra = n mod n_leaves in
+  let leaves = Array.make n_leaves (0, 0) in
+  let pos = ref 0 in
+  let prev = ref 0 in
+  for li = 0 to n_leaves - 1 do
+    let cnt = base + (if li < extra then 1 else 0) in
+    let line = alloc_lines t r c.x in
+    Mem.write_u16 t.sim r (node_off line + n_count) cnt;
+    Mem.write_u16 t.sim r (node_off line + 2) 0;
+    Mem.write_u16 t.sim r (node_off line + n_next) 0;
+    Mem.write_u16 t.sim r (node_off line + n_prev) !prev;
+    if !prev <> 0 then Mem.write_u16 t.sim r (node_off !prev + n_next) line;
+    for j = 0 to cnt - 1 do
+      let k, p = entries.(!pos + j) in
+      Mem.write_i32 t.sim r (leaf_key_off c line j) k;
+      Mem.write_i32 t.sim r (leaf_ptr_off c line j) p
+    done;
+    let min_key = if cnt > 0 then fst entries.(!pos) else Key.sentinel in
+    leaves.(li) <- (min_key, line);
+    pos := !pos + cnt;
+    prev := line
+  done;
+  Mem.write_u16 t.sim r h_first_leaf (snd leaves.(0));
+  Mem.write_u16 t.sim r h_last_leaf (snd leaves.(n_leaves - 1));
+  Mem.write_u16 t.sim r h_n_leaves n_leaves;
+  Mem.write_u16 t.sim r h_total n;
+  (* nonleaf levels, packed *)
+  let level = ref leaves in
+  let ip_levels = ref 1 in
+  while Array.length !level > 1 do
+    let cnt = Array.length !level in
+    let parents = (cnt + c.fn - 1) / c.fn in
+    let up = Array.make parents (0, 0) in
+    for p = 0 to parents - 1 do
+      let lo = p * c.fn in
+      let k = min c.fn (cnt - lo) in
+      let line = alloc_lines t r c.w in
+      Mem.write_u16 t.sim r (node_off line + n_count) k;
+      Mem.write_u16 t.sim r (node_off line + 2) 1;
+      for j = 0 to k - 1 do
+        let mk, child = !level.(lo + j) in
+        Mem.write_i32 t.sim r (nonleaf_key_off c line j) mk;
+        Mem.write_u16 t.sim r (nonleaf_child_off c line j) child
+      done;
+      up.(p) <- (fst !level.(lo), line)
+    done;
+    level := up;
+    incr ip_levels
+  done;
+  Mem.write_u16 t.sim r h_root (snd !level.(0));
+  Mem.write_u8 t.sim r h_ip_levels !ip_levels
+
+let new_page t ~kind =
+  let page, r = Buffer_pool.create_page t.pool in
+  t.n_pages <- t.n_pages + 1;
+  Mem.write_u8 t.sim r h_kind kind;
+  Mem.write_i32 t.sim r h_prev nil;
+  Mem.write_i32 t.sim r h_next nil;
+  Mem.write_u16 t.sim r h_free 1;
+  (page, r)
+
+(* Fresh empty page: a single empty in-page leaf node as root. *)
+let init_empty t r = build_in_page t r [||] ~n_leaves:1
+
+let create_with_cfg pool cfg =
+  let sim = Buffer_pool.sim pool in
+  let t =
+    {
+      pool;
+      sim;
+      cfg;
+      root = nil;
+      levels = 1;
+      n_pages = 0;
+      io_prefetch_distance = 16;
+      cache_prefetch_leaves = true;
+      bound_scan_end = true;
+    }
+  in
+  let root, r = new_page t ~kind:0 in
+  init_empty t r;
+  Buffer_pool.unpin pool root;
+  t.root <- root;
+  t
+
+let create pool =
+  let page_size = Page_store.page_size (Buffer_pool.store pool) in
+  create_with_cfg pool (make_cfg page_size)
+
+(* Non-tuned node widths, for the Figure 11 width sweep. *)
+let create_custom pool ~w ~x =
+  let page_size = Page_store.page_size (Buffer_pool.store pool) in
+  create_with_cfg pool (cfg_of_widths ~page_size ~w ~x ~max_fanout:None)
+
+let set_io_prefetch_distance t d = t.io_prefetch_distance <- max 1 d
+
+(* Ablation knobs (see bench `ablation`): disable the cache-granularity
+   leaf-node prefetch within scanned pages, or the Section 2.2 fix that
+   bounds I/O prefetching at the end page (overshooting). *)
+let set_cache_prefetch_leaves t b = t.cache_prefetch_leaves <- b
+let set_bound_scan_end t b = t.bound_scan_end <- b
+
+(* --- In-page search ------------------------------------------------------- *)
+
+(* Descend the in-page tree to the leaf node for [key].  [visit] sees each
+   nonleaf (line, n, slot taken). *)
+let ip_find_leaf t r key ~visit =
+  let c = t.cfg in
+  let levels = Mem.read_u8 t.sim r h_ip_levels in
+  let line = ref (Mem.read_u16 t.sim r h_root) in
+  for _ = 1 to levels - 1 do
+    prefetch_node t r !line ~lines:c.w;
+    Sim.busy_node t.sim;
+    let n = read_n t r !line in
+    let i =
+      Array_search.upper_bound t.sim r ~off:(nonleaf_key_off c !line 0) ~n ~key
+    in
+    let slot = max 0 (i - 1) in
+    visit !line n slot;
+    line := Mem.read_u16 t.sim r (nonleaf_child_off c !line slot)
+  done;
+  prefetch_node t r !line ~lines:c.x;
+  Sim.busy_node t.sim;
+  !line
+
+(* Position of [key] in the in-page leaf node [line]. *)
+let ip_leaf_slot t r line ~n ~key mode =
+  let c = t.cfg in
+  match mode with
+  | `Lower -> Array_search.lower_bound t.sim r ~off:(leaf_key_off c line 0) ~n ~key
+  | `Upper -> Array_search.upper_bound t.sim r ~off:(leaf_key_off c line 0) ~n ~key
+
+(* Route at page granularity: pointer of the last entry <= [key] (or the
+   first entry if key precedes everything). *)
+let ip_route t r key =
+  let c = t.cfg in
+  let line = ip_find_leaf t r key ~visit:(fun _ _ _ -> ()) in
+  let n = read_n t r line in
+  let i = ip_leaf_slot t r line ~n ~key `Upper in
+  let slot = max 0 (i - 1) in
+  Mem.read_i32 t.sim r (leaf_ptr_off c line slot)
+
+(* --- Search --------------------------------------------------------------- *)
+
+let search t key =
+  Sim.busy_op t.sim;
+  let rec go page depth =
+    let r = Buffer_pool.get t.pool page in
+    if depth = t.levels then begin
+      let line = ip_find_leaf t r key ~visit:(fun _ _ _ -> ()) in
+      let n = read_n t r line in
+      let i = ip_leaf_slot t r line ~n ~key `Lower in
+      let result =
+        if i < n && Mem.read_i32 t.sim r (leaf_key_off t.cfg line i) = key then
+          Some (Mem.read_i32 t.sim r (leaf_ptr_off t.cfg line i))
+        else None
+      in
+      Buffer_pool.unpin t.pool page;
+      result
+    end
+    else begin
+      let child = ip_route t r key in
+      Buffer_pool.unpin t.pool page;
+      go child (depth + 1)
+    end
+  in
+  go t.root 1
+
+(* --- Entry collection (charged; used by reorganise / page split) ---------- *)
+
+let collect_entries t r =
+  let c = t.cfg in
+  let total = Mem.read_u16 t.sim r h_total in
+  let out = Array.make total (0, 0) in
+  let pos = ref 0 in
+  let line = ref (Mem.read_u16 t.sim r h_first_leaf) in
+  while !line <> 0 do
+    prefetch_node t r !line ~lines:c.x;
+    let n = read_n t r !line in
+    for j = 0 to n - 1 do
+      out.(!pos) <-
+        (Mem.read_i32 t.sim r (leaf_key_off c !line j),
+         Mem.read_i32 t.sim r (leaf_ptr_off c !line j));
+      incr pos
+    done;
+    line := Mem.read_u16 t.sim r (node_off !line + n_next)
+  done;
+  assert (!pos = total);
+  out
+
+(* --- In-page insertion ----------------------------------------------------
+   Returns [`Done] (entry absorbed), [`Updated] (duplicate key overwritten)
+   or [`Page_full] (the caller must reorganise or split the page). *)
+
+let ip_insert_into_leaf t r line ~n ~i key ptr =
+  let c = t.cfg in
+  let len = (n - i) * 4 in
+  Mem.blit t.sim r (leaf_key_off c line i) r (leaf_key_off c line (i + 1)) len;
+  Mem.blit t.sim r (leaf_ptr_off c line i) r (leaf_ptr_off c line (i + 1)) len;
+  Mem.write_i32 t.sim r (leaf_key_off c line i) key;
+  Mem.write_i32 t.sim r (leaf_ptr_off c line i) ptr;
+  write_n t r line (n + 1)
+
+let ip_insert_into_nonleaf t r line ~n ~i key child =
+  let c = t.cfg in
+  Mem.blit t.sim r (nonleaf_key_off c line i) r
+    (nonleaf_key_off c line (i + 1))
+    ((n - i) * 4);
+  Mem.blit t.sim r (nonleaf_child_off c line i) r
+    (nonleaf_child_off c line (i + 1))
+    ((n - i) * 2);
+  Mem.write_i32 t.sim r (nonleaf_key_off c line i) key;
+  Mem.write_u16 t.sim r (nonleaf_child_off c line i) child;
+  write_n t r line (n + 1)
+
+(* Insert (sep, new_line) into the chain of in-page nonleaf parents;
+   allocates nodes as needed (raises [Exit] when out of lines — caller
+   rolls back by rebuilding the page anyway). *)
+let rec ip_insert_parent t r path sep new_line =
+  let c = t.cfg in
+  match path with
+  | [] ->
+      (* grow the in-page tree: new root over old root and new_line *)
+      let old_root = Mem.read_u16 t.sim r h_root in
+      let line = alloc_lines t r c.w in
+      let old_min =
+        (* old root's min key: nonleaf key 0 or leaf key 0 *)
+        if Mem.read_u8 t.sim r h_ip_levels >= 2 then
+          Mem.read_i32 t.sim r (nonleaf_key_off c old_root 0)
+        else
+          Mem.read_i32 t.sim r (leaf_key_off c old_root 0)
+      in
+      Mem.write_u16 t.sim r (node_off line + n_count) 2;
+      Mem.write_u16 t.sim r (node_off line + 2) 1;
+      Mem.write_i32 t.sim r (nonleaf_key_off c line 0) old_min;
+      Mem.write_u16 t.sim r (nonleaf_child_off c line 0) old_root;
+      Mem.write_i32 t.sim r (nonleaf_key_off c line 1) sep;
+      Mem.write_u16 t.sim r (nonleaf_child_off c line 1) new_line;
+      Mem.write_u16 t.sim r h_root line;
+      Mem.write_u8 t.sim r h_ip_levels (Mem.read_u8 t.sim r h_ip_levels + 1)
+  | parent :: rest ->
+      let n = read_n t r parent in
+      let i =
+        Array_search.upper_bound t.sim r
+          ~off:(nonleaf_key_off c parent 0)
+          ~n ~key:sep
+      in
+      let i =
+        if
+          i = 0
+          || (i = 1 && Mem.read_i32 t.sim r (nonleaf_key_off c parent 0) = sep)
+        then begin
+          (* child 0 split at or below its untrusted key 0 *)
+          Mem.write_i32 t.sim r (nonleaf_key_off c parent 0) (sep - 1);
+          1
+        end
+        else i
+      in
+      if n < c.fn then ip_insert_into_nonleaf t r parent ~n ~i sep new_line
+      else begin
+        (* split the nonleaf node *)
+        let right = alloc_lines t r c.w in
+        let mid = n / 2 in
+        let moved = n - mid in
+        Mem.write_u16 t.sim r (node_off right + n_count) moved;
+        Mem.write_u16 t.sim r (node_off right + 2) 1;
+        Mem.blit t.sim r (nonleaf_key_off c parent mid) r
+          (nonleaf_key_off c right 0) (moved * 4);
+        Mem.blit t.sim r (nonleaf_child_off c parent mid) r
+          (nonleaf_child_off c right 0) (moved * 2);
+        write_n t r parent mid;
+        let node_sep = Mem.read_i32 t.sim r (nonleaf_key_off c right 0) in
+        (if i <= mid then ip_insert_into_nonleaf t r parent ~n:mid ~i sep new_line
+         else
+           ip_insert_into_nonleaf t r right ~n:moved ~i:(i - mid) sep new_line);
+        ip_insert_parent t r rest node_sep right
+      end
+
+let ip_insert t r key ptr =
+  let c = t.cfg in
+  let path = ref [] in
+  let line = ip_find_leaf t r key ~visit:(fun l _ _ -> path := l :: !path) in
+  let n = read_n t r line in
+  let i = ip_leaf_slot t r line ~n ~key `Lower in
+  if i < n && Mem.read_i32 t.sim r (leaf_key_off c line i) = key then begin
+    Mem.write_i32 t.sim r (leaf_ptr_off c line i) ptr;
+    `Updated
+  end
+  else if n < c.fl then begin
+    ip_insert_into_leaf t r line ~n ~i key ptr;
+    Mem.write_u16 t.sim r h_total (Mem.read_u16 t.sim r h_total + 1);
+    `Done
+  end
+  else begin
+    (* split the in-page leaf node, if lines allow *)
+    let levels = Mem.read_u8 t.sim r h_ip_levels in
+    let worst = c.x + (c.w * levels) in
+    let free = Mem.read_u16 t.sim r h_free in
+    if free + worst > c.page_lines then `Page_full
+    else begin
+      let right = alloc_lines t r c.x in
+      let mid = n / 2 in
+      let moved = n - mid in
+      Mem.write_u16 t.sim r (node_off right + n_count) moved;
+      Mem.write_u16 t.sim r (node_off right + 2) 0;
+      Mem.blit t.sim r (leaf_key_off c line mid) r (leaf_key_off c right 0)
+        (moved * 4);
+      Mem.blit t.sim r (leaf_ptr_off c line mid) r (leaf_ptr_off c right 0)
+        (moved * 4);
+      write_n t r line mid;
+      (* leaf chain *)
+      let old_next = Mem.read_u16 t.sim r (node_off line + n_next) in
+      Mem.write_u16 t.sim r (node_off right + n_next) old_next;
+      Mem.write_u16 t.sim r (node_off right + n_prev) line;
+      Mem.write_u16 t.sim r (node_off line + n_next) right;
+      if old_next <> 0 then
+        Mem.write_u16 t.sim r (node_off old_next + n_prev) right
+      else Mem.write_u16 t.sim r h_last_leaf right;
+      Mem.write_u16 t.sim r h_n_leaves (Mem.read_u16 t.sim r h_n_leaves + 1);
+      let sep = Mem.read_i32 t.sim r (leaf_key_off c right 0) in
+      (if i <= mid then ip_insert_into_leaf t r line ~n:mid ~i key ptr
+       else ip_insert_into_leaf t r right ~n:moved ~i:(i - mid) key ptr);
+      Mem.write_u16 t.sim r h_total (Mem.read_u16 t.sim r h_total + 1);
+      ip_insert_parent t r !path sep right;
+      `Done
+    end
+  end
+
+(* --- Page-level insertion -------------------------------------------------- *)
+
+(* Insert (key, ptr) into page [page], reorganising or splitting it if
+   needed.  Returns [`Done], [`Updated], or [`Split (sep, new_page)]. *)
+let insert_into_page t page key ptr =
+  let c = t.cfg in
+  let r = Buffer_pool.get t.pool page in
+  Buffer_pool.mark_dirty t.pool page;
+  let finish outcome =
+    Buffer_pool.unpin t.pool page;
+    outcome
+  in
+  match ip_insert t r key ptr with
+  | (`Done | `Updated) as o -> finish o
+  | `Page_full ->
+      let total = Mem.read_u16 t.sim r h_total in
+      (* Reorganise only when an even spread over the maximum leaf count
+         leaves at least one free slot per in-page leaf node (the paper's
+         "not close to the maximum fan-out" condition, made exact so the
+         retry below cannot fail). *)
+      if total + c.max_leaves <= c.max_leaves * c.fl then begin
+        (* reorganise: rebuild spread over the maximum leaf count *)
+        let entries = collect_entries t r in
+        build_in_page t r entries ~n_leaves:c.max_leaves;
+        match ip_insert t r key ptr with
+        | (`Done | `Updated) as o -> finish o
+        | `Page_full -> failwith "disk-first: reorganise failed to make room"
+      end
+      else begin
+        (* page split *)
+        let entries = collect_entries t r in
+        let n = Array.length entries in
+        let mid = n / 2 in
+        let left = Array.sub entries 0 mid in
+        let right_entries = Array.sub entries mid (n - mid) in
+        let kind = Mem.read_u8 t.sim r h_kind in
+        let right, rr = new_page t ~kind in
+        build_in_page t r left ~n_leaves:c.max_leaves;
+        build_in_page t rr right_entries ~n_leaves:c.max_leaves;
+        (* page sibling links *)
+        let old_next = Mem.read_i32 t.sim r h_next in
+        Mem.write_i32 t.sim rr h_next old_next;
+        Mem.write_i32 t.sim rr h_prev page;
+        Mem.write_i32 t.sim r h_next right;
+        if old_next <> nil then
+          Buffer_pool.with_page t.pool old_next (fun onr ->
+              Mem.write_i32 t.sim onr h_prev right;
+              Buffer_pool.mark_dirty t.pool old_next);
+        let sep = fst right_entries.(0) in
+        let target_r = if key < sep then r else rr in
+        (match ip_insert t target_r key ptr with
+        | `Done | `Updated -> ()
+        | `Page_full -> failwith "disk-first: split failed to make room");
+        Buffer_pool.unpin t.pool right;
+        finish (`Split (sep, right))
+      end
+
+(* Minimum key stored in a page (charged). *)
+let page_min_key t r =
+  let first = Mem.read_u16 t.sim r h_first_leaf in
+  Mem.read_i32 t.sim r (leaf_key_off t.cfg first 0)
+
+(* Lower a page's first entry key to [k] (for the untrusted-minimum fix at
+   page granularity). *)
+let lower_page_min t r k =
+  let first = Mem.read_u16 t.sim r h_first_leaf in
+  Mem.write_i32 t.sim r (leaf_key_off t.cfg first 0) k
+
+let rec insert_into_parent_pages t path sep child_page =
+  match path with
+  | [] ->
+      let old_root = t.root in
+      let root, r = new_page t ~kind:1 in
+      let old_min =
+        Buffer_pool.with_page t.pool old_root (fun orr -> page_min_key t orr)
+      in
+      build_in_page t r [| (old_min, old_root); (sep, child_page) |] ~n_leaves:1;
+      Buffer_pool.unpin t.pool root;
+      t.root <- root;
+      t.levels <- t.levels + 1
+  | parent :: rest -> (
+      (* untrusted-minimum fix: keep page key arrays sorted when the
+         leftmost subtree splits below the recorded minimum *)
+      let sep =
+        let r = Buffer_pool.get t.pool parent in
+        let m = page_min_key t r in
+        if sep <= m then lower_page_min t r (sep - 1);
+        Buffer_pool.unpin t.pool parent;
+        sep
+      in
+      match insert_into_page t parent sep child_page with
+      | `Done | `Updated -> ()
+      | `Split (psep, pright) -> insert_into_parent_pages t rest psep pright)
+
+let insert t key tid =
+  if not (Key.valid key) then invalid_arg "Disk_first.insert: key out of range";
+  Sim.busy_op t.sim;
+  (* descend to the leaf page, recording the page path *)
+  let rec go page depth path =
+    if depth = t.levels then (page, path)
+    else begin
+      let r = Buffer_pool.get t.pool page in
+      let child = ip_route t r key in
+      Buffer_pool.unpin t.pool page;
+      go child (depth + 1) (page :: path)
+    end
+  in
+  let leaf_page, path = go t.root 1 [] in
+  match insert_into_page t leaf_page key tid with
+  | `Done -> `Inserted
+  | `Updated -> `Updated
+  | `Split (sep, right) ->
+      insert_into_parent_pages t path sep right;
+      `Inserted
+
+(* --- Deletion -------------------------------------------------------------- *)
+
+let delete t key =
+  Sim.busy_op t.sim;
+  let rec go page depth =
+    let r = Buffer_pool.get t.pool page in
+    if depth < t.levels then begin
+      let child = ip_route t r key in
+      Buffer_pool.unpin t.pool page;
+      go child (depth + 1)
+    end
+    else begin
+      let c = t.cfg in
+      let line = ip_find_leaf t r key ~visit:(fun _ _ _ -> ()) in
+      let n = read_n t r line in
+      let i = ip_leaf_slot t r line ~n ~key `Lower in
+      let found = i < n && Mem.read_i32 t.sim r (leaf_key_off c line i) = key in
+      if found then begin
+        let len = (n - i - 1) * 4 in
+        Mem.blit t.sim r (leaf_key_off c line (i + 1)) r (leaf_key_off c line i) len;
+        Mem.blit t.sim r (leaf_ptr_off c line (i + 1)) r (leaf_ptr_off c line i) len;
+        write_n t r line (n - 1);
+        Mem.write_u16 t.sim r h_total (Mem.read_u16 t.sim r h_total - 1);
+        Buffer_pool.mark_dirty t.pool page
+      end;
+      Buffer_pool.unpin t.pool page;
+      found
+    end
+  in
+  go t.root 1
+
+(* --- Bulkload --------------------------------------------------------------- *)
+
+let bulkload t pairs ~fill =
+  if fill <= 0. || fill > 1. then invalid_arg "Disk_first.bulkload: fill";
+  if t.n_pages > 1 then invalid_arg "Disk_first.bulkload: tree not empty";
+  let c = t.cfg in
+  let total = Array.length pairs in
+  if total = 0 then ()
+  else begin
+    Buffer_pool.free_page t.pool t.root;
+    t.n_pages <- t.n_pages - 1;
+    let per_page = max 1 (int_of_float (float_of_int c.max_fanout *. fill)) in
+    (* Leaf pages spread entries over all leaf nodes; nonleaf pages pack. *)
+    let build_level ~kind entries =
+      let n = Array.length entries in
+      let n_pages = (n + per_page - 1) / per_page in
+      let ups = Array.make n_pages (0, 0) in
+      let prev = ref nil in
+      for p = 0 to n_pages - 1 do
+        let lo = p * per_page in
+        let cnt = min per_page (n - lo) in
+        let page, r = new_page t ~kind in
+        let n_leaves =
+          if kind = 0 then c.max_leaves else (cnt + c.fl - 1) / c.fl
+        in
+        build_in_page t r (Array.sub entries lo cnt) ~n_leaves;
+        Mem.write_i32 t.sim r h_prev !prev;
+        if !prev <> nil then
+          Buffer_pool.with_page t.pool !prev (fun pr ->
+              Mem.write_i32 t.sim pr h_next page);
+        Buffer_pool.unpin t.pool page;
+        prev := page;
+        ups.(p) <- (fst entries.(lo), page)
+      done;
+      ups
+    in
+    let level = ref (build_level ~kind:0 pairs) in
+    let levels = ref 1 in
+    while Array.length !level > 1 do
+      level := build_level ~kind:1 !level;
+      incr levels
+    done;
+    match !level with
+    | [| (_, root) |] ->
+        t.root <- root;
+        t.levels <- !levels
+    | _ -> assert false
+  end
+
+(* --- Range scan ------------------------------------------------------------- *)
+
+(* I/O jump-pointer cursor over the in-page leaf nodes of leaf-parent pages:
+   yields successive tree-leaf page IDs. *)
+type jp_cursor = {
+  mutable jp_page : int;
+  mutable jp_line : int;
+  mutable jp_idx : int;
+}
+
+let rec jp_next t cur =
+  if cur.jp_page = nil then None
+  else begin
+    let r = Buffer_pool.get t.pool cur.jp_page in
+    if cur.jp_line = 0 then cur.jp_line <- Mem.read_u16 t.sim r h_first_leaf;
+    let n = read_n t r cur.jp_line in
+    if cur.jp_idx < n then begin
+      let pid = Mem.read_i32 t.sim r (leaf_ptr_off t.cfg cur.jp_line cur.jp_idx) in
+      cur.jp_idx <- cur.jp_idx + 1;
+      Buffer_pool.unpin t.pool cur.jp_page;
+      Some pid
+    end
+    else begin
+      let next_line = Mem.read_u16 t.sim r (node_off cur.jp_line + n_next) in
+      cur.jp_idx <- 0;
+      if next_line <> 0 then begin
+        cur.jp_line <- next_line;
+        Buffer_pool.unpin t.pool cur.jp_page;
+        jp_next t cur
+      end
+      else begin
+        let next_page = Mem.read_i32 t.sim r h_next in
+        Buffer_pool.unpin t.pool cur.jp_page;
+        cur.jp_page <- next_page;
+        cur.jp_line <- 0;
+        if next_page = nil then None else jp_next t cur
+      end
+    end
+  end
+
+(* Cache-granularity prefetch of all in-page leaf nodes of a leaf page
+   (walks the nonleaf structure, whose nodes the search just touched). *)
+let prefetch_page_leaves t r =
+  let c = t.cfg in
+  let rec go line depth levels =
+    if depth = levels then
+      Mem.prefetch t.sim r ~off:(node_off line) ~len:(c.x * line_bytes)
+    else begin
+      let n = read_n t r line in
+      for j = 0 to n - 1 do
+        go (Mem.read_u16 t.sim r (nonleaf_child_off c line j)) (depth + 1) levels
+      done
+    end
+  in
+  let levels = Mem.read_u8 t.sim r h_ip_levels in
+  go (Mem.read_u16 t.sim r h_root) 1 levels
+
+let range_scan t ?(prefetch = true) ~start_key ~end_key f =
+  Sim.busy_op t.sim;
+  if end_key < start_key then 0
+  else begin
+    let c = t.cfg in
+    (* end page, to bound I/O prefetching (avoid overshooting) *)
+    let rec find_page key page depth ~visit =
+      if depth = t.levels then page
+      else begin
+        let r = Buffer_pool.get t.pool page in
+        let child = ip_route t r key in
+        visit page r;
+        Buffer_pool.unpin t.pool page;
+        find_page key child (depth + 1) ~visit
+      end
+    in
+    let end_leaf =
+      if prefetch && t.bound_scan_end then
+        find_page end_key t.root 1 ~visit:(fun _ _ -> ())
+      else nil
+    in
+    let parent = ref nil in
+    let start_leaf =
+      find_page start_key t.root 1 ~visit:(fun p _ -> parent := p)
+    in
+    (* position the jump-pointer cursor on the start leaf's entry *)
+    let cur = { jp_page = !parent; jp_line = 0; jp_idx = 0 } in
+    (if !parent <> nil then begin
+       (* advance the cursor past the start leaf *)
+       let rec skip () =
+         match jp_next t cur with
+         | Some pid when pid <> start_leaf -> skip ()
+         | _ -> ()
+       in
+       skip ()
+     end);
+    let outstanding = ref 0 in
+    (* nothing to prefetch when the scan starts on the end page *)
+    let done_prefetching = ref (!parent = nil || end_leaf = start_leaf) in
+    let pump () =
+      if prefetch then
+        while (not !done_prefetching) && !outstanding < t.io_prefetch_distance do
+          match jp_next t cur with
+          | None -> done_prefetching := true
+          | Some pid ->
+              Buffer_pool.prefetch t.pool pid;
+              incr outstanding;
+              if pid = end_leaf then done_prefetching := true
+        done
+    in
+    pump ();
+    let count = ref 0 in
+    let rec scan_page page =
+      let r = Buffer_pool.get t.pool page in
+      if prefetch && t.cache_prefetch_leaves then prefetch_page_leaves t r;
+      let line = ref (Mem.read_u16 t.sim r h_first_leaf) in
+      let stop = ref false in
+      (* fast-forward within the page on the first page *)
+      (if !count = 0 then line := ip_find_leaf t r start_key ~visit:(fun _ _ _ -> ()));
+      while (not !stop) && !line <> 0 do
+        let n = read_n t r !line in
+        let i0 =
+          if !count = 0 then ip_leaf_slot t r !line ~n ~key:start_key `Lower
+          else 0
+        in
+        let i = ref i0 in
+        while (not !stop) && !i < n do
+          let k = Mem.read_i32 t.sim r (leaf_key_off c !line !i) in
+          if k > end_key then stop := true
+          else begin
+            f k (Mem.read_i32 t.sim r (leaf_ptr_off c !line !i));
+            incr count;
+            incr i
+          end
+        done;
+        if not !stop then line := Mem.read_u16 t.sim r (node_off !line + n_next)
+      done;
+      let next = if !stop then nil else Mem.read_i32 t.sim r h_next in
+      Buffer_pool.unpin t.pool page;
+      if next <> nil then begin
+        if !outstanding > 0 then decr outstanding;
+        pump ();
+        scan_page next
+      end
+    in
+    scan_page start_leaf;
+    !count
+  end
+
+(* Reverse (descending) range scan: walks in-page leaf chains and page
+   sibling links backwards; backward I/O prefetching follows the
+   leaf-parent level in reverse via the prev links and each page's
+   last-leaf-node header field. *)
+let range_scan_rev t ?(prefetch = true) ~start_key ~end_key f =
+  Sim.busy_op t.sim;
+  if end_key < start_key then 0
+  else begin
+    let c = t.cfg in
+    let rec find_page key page depth ~visit =
+      if depth = t.levels then page
+      else begin
+        let r = Buffer_pool.get t.pool page in
+        let child = ip_route t r key in
+        visit page;
+        Buffer_pool.unpin t.pool page;
+        find_page key child (depth + 1) ~visit
+      end
+    in
+    let start_leaf =
+      if prefetch then find_page start_key t.root 1 ~visit:(fun _ -> ())
+      else nil
+    in
+    let parent = ref nil in
+    let end_leaf = find_page end_key t.root 1 ~visit:(fun p -> parent := p) in
+    (* backward jump-pointer cursor over the leaf-parent pages: locate the
+       entry for [end_leaf], then yield preceding leaf page IDs *)
+    let jp_pg = ref !parent and jp_line = ref 0 and jp_idx = ref 0 in
+    (if !parent <> nil then begin
+       let pr = Buffer_pool.get t.pool !parent in
+       let line = ref (Mem.read_u16 t.sim pr h_first_leaf) in
+       (try
+          while !line <> 0 do
+            let n = read_n t pr !line in
+            for j = 0 to n - 1 do
+              if Mem.read_i32 t.sim pr (leaf_ptr_off c !line j) = end_leaf
+              then begin
+                jp_line := !line;
+                jp_idx := j - 1;
+                raise Exit
+              end
+            done;
+            line := Mem.read_u16 t.sim pr (node_off !line + n_next)
+          done;
+          jp_pg := nil (* not found: no prefetch *)
+        with Exit -> ());
+       Buffer_pool.unpin t.pool !parent
+     end);
+    let rec jp_prev () =
+      if !jp_pg = nil then None
+      else begin
+        let pr = Buffer_pool.get t.pool !jp_pg in
+        if !jp_idx >= 0 then begin
+          let pid = Mem.read_i32 t.sim pr (leaf_ptr_off c !jp_line !jp_idx) in
+          jp_idx := !jp_idx - 1;
+          Buffer_pool.unpin t.pool !jp_pg;
+          Some pid
+        end
+        else begin
+          let prev_line = Mem.read_u16 t.sim pr (node_off !jp_line + n_prev) in
+          if prev_line <> 0 then begin
+            jp_line := prev_line;
+            jp_idx := read_n t pr prev_line - 1;
+            Buffer_pool.unpin t.pool !jp_pg;
+            jp_prev ()
+          end
+          else begin
+            let prev_pg = Mem.read_i32 t.sim pr h_prev in
+            Buffer_pool.unpin t.pool !jp_pg;
+            jp_pg := prev_pg;
+            if prev_pg = nil then None
+            else begin
+              let pr2 = Buffer_pool.get t.pool prev_pg in
+              jp_line := Mem.read_u16 t.sim pr2 h_last_leaf;
+              jp_idx := read_n t pr2 !jp_line - 1;
+              Buffer_pool.unpin t.pool prev_pg;
+              jp_prev ()
+            end
+          end
+        end
+      end
+    in
+    let outstanding = ref 0 in
+    let done_prefetching = ref ((not prefetch) || start_leaf = end_leaf) in
+    let pump () =
+      if prefetch then
+        while (not !done_prefetching) && !outstanding < t.io_prefetch_distance do
+          match jp_prev () with
+          | None -> done_prefetching := true
+          | Some pid ->
+              Buffer_pool.prefetch t.pool pid;
+              incr outstanding;
+              if pid = start_leaf then done_prefetching := true
+        done
+    in
+    pump ();
+    let count = ref 0 in
+    let first_page = ref true in
+    let rec scan_page page =
+      let r = Buffer_pool.get t.pool page in
+      if prefetch && t.cache_prefetch_leaves then prefetch_page_leaves t r;
+      let stop = ref false in
+      let line = ref 0 in
+      let i = ref (-1) in
+      (if !first_page then begin
+         first_page := false;
+         line := ip_find_leaf t r end_key ~visit:(fun _ _ _ -> ());
+         let n = read_n t r !line in
+         i := ip_leaf_slot t r !line ~n ~key:end_key `Upper - 1
+       end
+       else begin
+         line := Mem.read_u16 t.sim r h_last_leaf;
+         i := read_n t r !line - 1
+       end);
+      while (not !stop) && !line <> 0 do
+        while (not !stop) && !i >= 0 do
+          let k = Mem.read_i32 t.sim r (leaf_key_off c !line !i) in
+          if k < start_key then stop := true
+          else begin
+            if k <= end_key then begin
+              f k (Mem.read_i32 t.sim r (leaf_ptr_off c !line !i));
+              incr count
+            end;
+            decr i
+          end
+        done;
+        if not !stop then begin
+          line := Mem.read_u16 t.sim r (node_off !line + n_prev);
+          if !line <> 0 then i := read_n t r !line - 1
+        end
+      done;
+      let prev = if !stop then nil else Mem.read_i32 t.sim r h_prev in
+      Buffer_pool.unpin t.pool page;
+      if prev <> nil then begin
+        if !outstanding > 0 then decr outstanding;
+        pump ();
+        scan_page prev
+      end
+    in
+    scan_page end_leaf;
+    !count
+  end
+
+(* --- Introspection (uncharged; tests only) ---------------------------------- *)
+
+let height t = t.levels
+let page_count t = t.n_pages
+let cfg t = t.cfg
+
+let peek_region t page =
+  let r = Buffer_pool.get t.pool page in
+  Buffer_pool.unpin t.pool page;
+  r
+
+let fail fmt = Fmt.kstr failwith fmt
+
+(* Uncharged in-page leaf iteration. *)
+let peek_page_entries t r f =
+  let c = t.cfg in
+  let line = ref (Mem.peek_u16 r h_first_leaf) in
+  while !line <> 0 do
+    let n = Mem.peek_u16 r (node_off !line + n_count) in
+    for j = 0 to n - 1 do
+      f (Mem.peek_i32 r (leaf_key_off c !line j))
+        (Mem.peek_i32 r (leaf_ptr_off c !line j))
+    done;
+    line := Mem.peek_u16 r (node_off !line + n_next)
+  done
+
+let iter t f =
+  let rec leftmost page depth =
+    if depth = t.levels then page
+    else begin
+      let r = peek_region t page in
+      let first = Mem.peek_u16 r h_first_leaf in
+      leftmost (Mem.peek_i32 r (leaf_ptr_off t.cfg first 0)) (depth + 1)
+    end
+  in
+  let rec walk page =
+    if page <> nil then begin
+      let r = peek_region t page in
+      peek_page_entries t r f;
+      walk (Mem.peek_i32 r h_next)
+    end
+  in
+  walk (leftmost t.root 1)
+
+(* Check the in-page tree of one page; returns its entries in order. *)
+let check_in_page t r page =
+  let c = t.cfg in
+  let free = Mem.peek_u16 r h_free in
+  if free > c.page_lines then fail "page %d: watermark beyond page" page;
+  let levels = Mem.peek_u8 r h_ip_levels in
+  let leaf_lines = ref [] in
+  (* structure walk: nodes in bounds, leaves at correct depth *)
+  let rec walk line depth =
+    if line = 0 || line >= free then fail "page %d: bad node line %d" page line;
+    if depth = levels then leaf_lines := line :: !leaf_lines
+    else begin
+      let n = Mem.peek_u16 r (node_off line + n_count) in
+      if n = 0 then fail "page %d: empty nonleaf node" page;
+      if n > c.fn then fail "page %d: overfull nonleaf node" page;
+      for j = 0 to n - 1 do
+        if j > 0 then begin
+          let a = Mem.peek_i32 r (nonleaf_key_off c line (j - 1)) in
+          let b = Mem.peek_i32 r (nonleaf_key_off c line j) in
+          if a >= b then fail "page %d: nonleaf keys out of order" page
+        end;
+        walk (Mem.peek_u16 r (nonleaf_child_off c line j)) (depth + 1)
+      done
+    end
+  in
+  walk (Mem.peek_u16 r h_root) 1;
+  let leaf_lines = List.rev !leaf_lines in
+  (* leaf chain must match tree order *)
+  let rec chain line acc =
+    if line = 0 then List.rev acc
+    else chain (Mem.peek_u16 r (node_off line + n_next)) (line :: acc)
+  in
+  let chained = chain (Mem.peek_u16 r h_first_leaf) [] in
+  if chained <> leaf_lines then fail "page %d: leaf chain disagrees" page;
+  (match List.rev chained with
+  | last :: _ when last <> Mem.peek_u16 r h_last_leaf ->
+      fail "page %d: stale last-leaf header" page
+  | _ -> ());
+  if List.length leaf_lines <> Mem.peek_u16 r h_n_leaves then
+    fail "page %d: wrong leaf count" page;
+  (* entries sorted; total matches *)
+  let entries = ref [] in
+  peek_page_entries t r (fun k v -> entries := (k, v) :: !entries);
+  let entries = List.rev !entries in
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if a >= b then fail "page %d: entries out of order" page;
+        sorted rest
+    | _ -> ()
+  in
+  sorted entries;
+  if List.length entries <> Mem.peek_u16 r h_total then
+    fail "page %d: wrong total" page;
+  entries
+
+let check t =
+  let leaves_seen = ref [] in
+  let rec check_page page ~lo ~hi ~depth =
+    let r = peek_region t page in
+    let kind = Mem.peek_u8 r h_kind in
+    if (kind = 0) <> (depth = t.levels) then
+      fail "page %d: wrong kind at depth %d" page depth;
+    let entries = check_in_page t r page in
+    List.iteri
+      (fun i (k, _) ->
+        (match lo with
+        | Some b when i > 0 && k < b -> fail "page %d: key below bound" page
+        | _ -> ());
+        match hi with
+        | Some b when k >= b -> fail "page %d: key above bound" page
+        | _ -> ())
+      entries;
+    if Mem.peek_u16 r h_total > t.cfg.max_leaves * t.cfg.fl then
+      fail "page %d: exceeds page capacity" page;
+    if kind = 0 then leaves_seen := page :: !leaves_seen
+    else begin
+      let arr = Array.of_list entries in
+      Array.iteri
+        (fun i (k, child) ->
+          let clo = if i = 0 then lo else Some k in
+          let chi = if i = Array.length arr - 1 then hi else Some (fst arr.(i + 1)) in
+          check_page child ~lo:clo ~hi:chi ~depth:(depth + 1))
+        arr
+    end
+  in
+  check_page t.root ~lo:None ~hi:None ~depth:1;
+  let expected = List.rev !leaves_seen in
+  let rec chain page acc =
+    if page = nil then List.rev acc
+    else chain (Mem.peek_i32 (peek_region t page) h_next) (page :: acc)
+  in
+  match expected with
+  | [] -> ()
+  | first :: _ ->
+      if chain first [] <> expected then fail "leaf page chain disagrees"

@@ -1,0 +1,31 @@
+(* Front-end for the fpB+-Tree library.
+
+   Quickstart:
+   {[
+     let sim = Fpb_simmem.Sim.create () in
+     let pool = Fpb.make_pool ~page_size:16384 ~n_disks:10 ~capacity:50_000 sim in
+     let index = Fpb.Disk_first.create pool in
+     Fpb.Disk_first.bulkload index pairs ~fill:0.8;
+     Fpb.Disk_first.search index 42
+   ]}
+
+   [Disk_first] is the recommended variant (minimal I/O impact); use
+   [Cache_first] when the working set is memory-resident (paper,
+   Section 5). *)
+
+open Fpb_simmem
+open Fpb_storage
+module Disk_first = Disk_first
+module Cache_first = Cache_first
+module Jump_array = Jump_array
+
+(* A buffer pool over a fresh page store and disk farm: the usual way to
+   host one index. *)
+let make_pool ?(n_prefetchers = 8) ~page_size ~n_disks ~capacity sim =
+  let store = Page_store.create ~page_size ~n_disks in
+  let disks =
+    Disk_model.create
+      ~transfer_ns:(Disk_model.transfer_ns_of_page_size page_size)
+      ~n_disks sim.Sim.clock
+  in
+  Buffer_pool.create ~n_prefetchers ~capacity sim store disks

@@ -1,0 +1,1 @@
+lib/dbsim/dbsim.mli:

@@ -1,0 +1,145 @@
+(* Queueing model of the paper's DB2 experiment (Section 4.3.3, Figure 19):
+   an index-only SELECT COUNT range scan over all leaf pages, driven by a
+   configurable number of parallel scan processes ("SMP degree") and a
+   shared pool of I/O prefetchers, over a farm of disks.
+
+   Physics of the model:
+   - Leaf pages are striped across the disks; after the inserts that
+     mature the index, leaf order is effectively random with respect to
+     disk position, so a *demand* read pays the full positioning cost
+     (seek + rotation).
+   - The jump-pointer array hands the prefetchers explicit page lists, so
+     they behave like DB2 list prefetch: each prefetcher sorts its batch
+     by physical location and sweeps the disk arm, paying only a short
+     positioning cost per page ([batched_seek_ns]).
+   - A scan process consumes its partition in order; when the prefetch of
+     its next page would complete later than reading the page itself (the
+     prefetchers are behind), the agent reads the page synchronously —
+     DB2 agents do the same — so one prefetcher never makes the scan
+     slower than no prefetch at all.
+
+   The simulation is event-ordered across scan processes (the process with
+   the smallest local clock advances), so prefetcher and disk contention
+   between processes is modeled faithfully. *)
+
+type config = {
+  n_pages : int;  (* leaf pages to scan *)
+  n_disks : int;
+  n_prefetchers : int;  (* 0 = plain (no-prefetch) scan *)
+  smp_degree : int;  (* parallel scan processes *)
+  seek_ns : int;  (* positioning cost of a random demand read *)
+  batched_seek_ns : int;  (* positioning cost within a sorted prefetch sweep *)
+  transfer_ns : int;
+  cpu_per_page_ns : int;  (* per-page processing (count aggregation) *)
+  window : int;  (* prefetch requests outstanding per process *)
+  in_memory : bool;  (* all pages resident: CPU-only bound *)
+}
+
+let default =
+  {
+    n_pages = 100_000;
+    n_disks = 80;
+    n_prefetchers = 8;
+    smp_degree = 9;
+    seek_ns = 8_000_000;
+    batched_seek_ns = 1_500_000;
+    transfer_ns = 16_384 * 25;
+    cpu_per_page_ns = 2_000_000;
+    window = 64;
+    in_memory = false;
+  }
+
+type process = {
+  lo : int;
+  hi : int;  (* partition [lo, hi) *)
+  mutable next_consume : int;
+  mutable next_prefetch : int;
+  mutable clock : int;
+}
+
+(* Simulated elapsed nanoseconds for the whole scan. *)
+let run cfg =
+  if cfg.in_memory then
+    (* CPU-bound floor: the largest partition processed at CPU speed. *)
+    let per = (cfg.n_pages + cfg.smp_degree - 1) / cfg.smp_degree in
+    per * cfg.cpu_per_page_ns
+  else begin
+    let disk_free = Array.make cfg.n_disks 0 in
+    let pf_free = Array.make (max cfg.n_prefetchers 1) 0 in
+    let completion = Hashtbl.create (2 * cfg.n_pages) in
+    let disk_of p = p mod cfg.n_disks in
+    let read_at ~positioning earliest page =
+      let d = disk_of page in
+      let start = max earliest disk_free.(d) in
+      let c = start + positioning + cfg.transfer_ns in
+      disk_free.(d) <- c;
+      c
+    in
+    let per = (cfg.n_pages + cfg.smp_degree - 1) / cfg.smp_degree in
+    let procs =
+      Array.init cfg.smp_degree (fun i ->
+          let lo = i * per in
+          let hi = min cfg.n_pages (lo + per) in
+          { lo; hi; next_consume = lo; next_prefetch = lo; clock = 0 })
+    in
+    let pump p =
+      if cfg.n_prefetchers > 0 then
+        while
+          p.next_prefetch < p.hi
+          && p.next_prefetch - p.next_consume < cfg.window
+        do
+          let page = p.next_prefetch in
+          p.next_prefetch <- p.next_prefetch + 1;
+          (* earliest-free prefetcher picks the request up *)
+          let w = ref 0 in
+          for i = 1 to Array.length pf_free - 1 do
+            if pf_free.(i) < pf_free.(!w) then w := i
+          done;
+          let dispatch = max p.clock pf_free.(!w) in
+          (* back-pressure: if the prefetcher pool is hopelessly behind,
+             leave the page for a demand read rather than duplicating the
+             disk work (DB2 drops prefetch requests it cannot serve in
+             time) *)
+          let horizon =
+            p.clock + (cfg.window * (cfg.batched_seek_ns + cfg.transfer_ns))
+          in
+          if dispatch <= horizon then begin
+            let c = read_at ~positioning:cfg.batched_seek_ns dispatch page in
+            pf_free.(!w) <- c;
+            Hashtbl.replace completion page c
+          end
+        done
+    in
+    let finished = ref 0 in
+    let active p = p.next_consume < p.hi in
+    while !finished < cfg.smp_degree do
+      let best = ref None in
+      Array.iter
+        (fun p ->
+          if active p then
+            match !best with
+            | Some b when b.clock <= p.clock -> ()
+            | _ -> best := Some p)
+        procs;
+      match !best with
+      | None -> finished := cfg.smp_degree
+      | Some p ->
+          pump p;
+          let page = p.next_consume in
+          let arrival =
+            let sync_estimate =
+              max p.clock disk_free.(disk_of page) + cfg.seek_ns + cfg.transfer_ns
+            in
+            match Hashtbl.find_opt completion page with
+            | Some c when c <= sync_estimate -> c
+            | Some _ | None ->
+                (* prefetchers are behind (or off): the agent reads it *)
+                read_at ~positioning:cfg.seek_ns p.clock page
+          in
+          p.clock <- max p.clock arrival + cfg.cpu_per_page_ns;
+          p.next_consume <- page + 1;
+          pump p;
+          if not (active p) then incr finished
+    done;
+    Array.fold_left (fun acc p -> max acc p.clock) 0 procs
+  end

@@ -1,0 +1,26 @@
+(** Queueing model of the paper's DB2 experiment (Section 4.3.3,
+    Figure 19): an index-only SELECT COUNT scan over all leaf pages,
+    driven by parallel scan processes ("SMP degree") and a shared pool of
+    I/O prefetchers over a disk farm.  Prefetchers behave like DB2 list
+    prefetch (sorted batches pay a short positioning cost); a scan agent
+    reads a page itself when the prefetchers are behind. *)
+
+type config = {
+  n_pages : int;  (** leaf pages to scan *)
+  n_disks : int;
+  n_prefetchers : int;  (** 0 = plain (no-prefetch) scan *)
+  smp_degree : int;  (** parallel scan processes *)
+  seek_ns : int;  (** positioning cost of a random demand read *)
+  batched_seek_ns : int;  (** positioning within a sorted prefetch sweep *)
+  transfer_ns : int;
+  cpu_per_page_ns : int;  (** per-page processing (count aggregation) *)
+  window : int;  (** prefetch requests outstanding per process *)
+  in_memory : bool;  (** all pages resident: CPU-only bound *)
+}
+
+(** 100K pages, 80 disks, 8 prefetchers, SMP degree 9 — the paper's
+    machine, scaled. *)
+val default : config
+
+(** Simulated elapsed nanoseconds for the whole scan. *)
+val run : config -> int

@@ -1,0 +1,1 @@
+lib/disk_btree/disk_btree.ml: Array_search Fpb_btree_common Key Layout Paged_tree

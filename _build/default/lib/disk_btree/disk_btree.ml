@@ -1,0 +1,30 @@
+(* Traditional disk-optimized B+-Tree: every node is one page holding a
+   large sorted key array and a parallel pointer array (Figure 3(a)),
+   searched by plain binary search — the cache-hostile baseline the paper
+   starts from.  All tree-level mechanics come from
+   [Fpb_btree_common.Paged_tree]. *)
+
+open Fpb_btree_common
+
+module Format = struct
+  let name = "disk-optimized B+tree"
+
+  type cfg = { page_size : int; fanout : int }
+
+  let cfg_of_page_size page_size =
+    { page_size; fanout = Layout.disk_fanout ~page_size }
+
+  let fanout c = c.fanout
+  let key_base _ = Layout.disk_page_header
+  let ptr_base c = Layout.disk_page_header + (Key.size * c.fanout)
+
+  let find_slot sim c r ~n ~key mode =
+    let off = key_base c in
+    match mode with
+    | `Lower -> Array_search.lower_bound sim r ~off ~n ~key
+    | `Upper -> Array_search.upper_bound sim r ~off ~n ~key
+
+  let entries_updated _sim _c _r ~n:_ ~from:_ = ()
+end
+
+include Paged_tree.Make (Format)

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Buffer_pool Disk_model Fpb_btree_common Fpb_core Fpb_storage Fpb_workload Fun Index_sig List Printf Run Scale Seq Setup Table

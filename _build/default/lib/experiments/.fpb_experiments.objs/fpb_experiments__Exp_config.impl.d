@@ -1,0 +1,1 @@
+lib/experiments/exp_config.ml: Config Fpb_btree_common Fpb_simmem List Printf Scale Table Tuning

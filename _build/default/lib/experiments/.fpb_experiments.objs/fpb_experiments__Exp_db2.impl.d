@@ -1,0 +1,1 @@
+lib/experiments/exp_db2.ml: Fpb_dbsim List Scale Table

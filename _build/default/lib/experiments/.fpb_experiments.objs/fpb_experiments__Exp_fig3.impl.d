@@ -1,0 +1,1 @@
+lib/experiments/exp_fig3.ml: Array Fpb_pbtree Fpb_simmem Fpb_workload Printf Run Scale Setup Sim Stats Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_scan_cache.ml: Array Fpb_btree_common Fpb_workload List Printf Run Scale Setup Table

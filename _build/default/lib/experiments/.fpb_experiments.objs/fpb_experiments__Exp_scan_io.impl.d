@@ -1,0 +1,1 @@
+lib/experiments/exp_scan_io.ml: Array Fpb_btree_common Fpb_storage Fpb_workload Index_sig List Printf Run Scale Setup Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_skew.ml: Fpb_workload List Printf Run Scale Setup Table

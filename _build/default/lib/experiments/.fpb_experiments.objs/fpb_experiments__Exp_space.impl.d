@@ -1,0 +1,1 @@
+lib/experiments/exp_space.ml: Fpb_btree_common Fpb_workload Index_sig List Printf Run Scale Setup Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_update.ml: Fpb_workload List Printf Run Scale Setup Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_varkey.ml: Array Char Fpb_varkey Fpb_workload Hashtbl List Printf Scale Setup String Table

@@ -1,0 +1,1 @@
+lib/experiments/exp_width.ml: Fpb_btree_common Fpb_core Fpb_workload Index_sig Layout List Printf Run Scale Setup Table Tuning

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_config Exp_db2 Exp_fig3 Exp_scan_cache Exp_scan_io Exp_search Exp_search_io Exp_skew Exp_space Exp_update Exp_varkey Exp_width Fmt List Scale Table Unix

@@ -1,0 +1,1 @@
+lib/experiments/run.ml: Array Fpb_btree_common Fpb_workload Fun Index_sig Seq Setup

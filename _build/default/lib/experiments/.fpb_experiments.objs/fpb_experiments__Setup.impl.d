@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Buffer_pool Clock Disk_model Fpb_btree_common Fpb_core Fpb_disk_btree Fpb_micro_index Fpb_simmem Fpb_storage Index_sig Page_store Sim Stats

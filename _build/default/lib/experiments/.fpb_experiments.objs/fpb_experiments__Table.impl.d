@@ -1,0 +1,1 @@
+lib/experiments/table.ml: Buffer Fmt List Printf String

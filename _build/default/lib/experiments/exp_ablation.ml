@@ -1,0 +1,235 @@
+(* Ablation benches for the design choices DESIGN.md calls out:
+
+   A1  jump-pointer-array I/O prefetching on/off for range scans —
+       including on the *standard* B+-Tree (the paper's Section 2.2 point
+       that the technique is not specific to fractal trees);
+   A2  cache-granularity leaf-node prefetching within scanned pages;
+   A3  the I/O prefetch distance;
+   A4  the overshooting fix (bounding prefetch at the end page) on small
+       scans. *)
+
+open Fpb_btree_common
+open Fpb_storage
+module DF = Fpb_core.Disk_first
+
+(* Mature disk-first tree with a concrete handle (for the knobs). *)
+let mature_df scale ~n_disks =
+  let n = Scale.io_entries scale in
+  let rng = Fpb_workload.Prng.create 8008 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let sys = Setup.make ~page_size:16384 ~n_disks () in
+  let t = DF.create sys.Setup.pool in
+  let bulk =
+    Array.of_seq
+      (Seq.filter_map
+         (fun i -> if i mod 10 <> 9 then Some pairs.(i) else None)
+         (Seq.init n Fun.id))
+  in
+  let rest =
+    Array.of_seq
+      (Seq.filter_map
+         (fun i -> if i mod 10 = 9 then Some pairs.(i) else None)
+         (Seq.init n Fun.id))
+  in
+  DF.bulkload t bulk ~fill:1.0;
+  let rng2 = Fpb_workload.Prng.create 81 in
+  Fpb_workload.Prng.shuffle rng2 rest;
+  Array.iter (fun (k, v) -> ignore (DF.insert t k v)) rest;
+  (sys, t, pairs)
+
+let timed_df_scan sys t pairs ~span ~prefetch ~trial =
+  let rng = Fpb_workload.Prng.create (9100 + trial) in
+  let a, b = (Fpb_workload.Keygen.ranges rng pairs 1 ~span).(0) in
+  Buffer_pool.clear sys.Setup.pool;
+  Disk_model.quiesce sys.Setup.disks;
+  ignore (DF.search t a);
+  Setup.measure_sim_time sys (fun () ->
+      ignore (DF.range_scan t ~prefetch ~start_key:a ~end_key:b (fun _ _ -> ())))
+
+(* A1: I/O jump-pointer prefetch on/off, for the fpB+-Tree and for the
+   standard B+-Tree (via the shared instance interface). *)
+let a1 scale =
+  let span = match scale with Scale.Quick -> 300_000 | Full -> 3_000_000 in
+  let n = Scale.io_entries scale in
+  let rng = Fpb_workload.Prng.create 8008 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let timed sys idx ~prefetch =
+    let rng = Fpb_workload.Prng.create 9101 in
+    let a, b = (Fpb_workload.Keygen.ranges rng pairs 1 ~span).(0) in
+    Buffer_pool.clear sys.Setup.pool;
+    Disk_model.quiesce sys.Setup.disks;
+    ignore (Index_sig.search idx a);
+    Setup.measure_sim_time sys (fun () ->
+        ignore
+          (Index_sig.range_scan idx ~prefetch ~start_key:a ~end_key:b (fun _ _ -> ())))
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        let sys, idx =
+          Run.fresh_mature ~page_size:16384 ~n_disks:10 ~seed:81 kind pairs
+            ~bulk_frac:0.9 ~fill:1.0
+        in
+        let t_off = timed sys idx ~prefetch:false in
+        let t_on = timed sys idx ~prefetch:true in
+        [
+          Setup.kind_name kind;
+          Table.cell_ms t_off;
+          Table.cell_ms t_on;
+          Table.cell_f (float_of_int t_off /. float_of_int t_on);
+        ])
+      [ Setup.Disk_opt; Setup.Disk_first ]
+  in
+  Table.make ~id:"ablation-a1"
+    ~title:
+      (Printf.sprintf
+         "A1: jump-pointer I/O prefetch, scan of %d entries, 10 disks (ms)" span)
+    ~header:[ "index"; "prefetch off"; "prefetch on"; "speedup" ]
+    rows
+
+(* A2: cache-granularity leaf prefetch inside scanned pages (memory
+   resident). *)
+let a2 scale =
+  let n = Scale.base_entries scale in
+  let rng = Fpb_workload.Prng.create 5005 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let ranges = Fpb_workload.Keygen.ranges rng pairs 10 ~span:(n / 5) in
+  let run leaf_prefetch =
+    let sys = Setup.make ~page_size:16384 () in
+    let t = DF.create sys.Setup.pool in
+    DF.bulkload t pairs ~fill:1.0;
+    DF.set_cache_prefetch_leaves t leaf_prefetch;
+    let m =
+      Setup.measure_cycles sys (fun () ->
+          Array.iter
+            (fun (a, b) ->
+              ignore (DF.range_scan t ~start_key:a ~end_key:b (fun _ _ -> ())))
+            ranges)
+    in
+    m.Setup.total
+  in
+  let off = run false and on_ = run true in
+  Table.make ~id:"ablation-a2"
+    ~title:"A2: cache-level leaf-node prefetch in scans (disk-first, memory-resident)"
+    ~header:[ "leaf prefetch"; "total Mcycles"; "speedup" ]
+    [
+      [ "off"; Table.cell_mcycles off; "1.00" ];
+      [ "on"; Table.cell_mcycles on_;
+        Table.cell_f (float_of_int off /. float_of_int on_) ];
+    ]
+
+(* A3: I/O prefetch distance. *)
+let a3 scale =
+  let span = match scale with Scale.Quick -> 300_000 | Full -> 3_000_000 in
+  let sys, t, pairs = mature_df scale ~n_disks:10 in
+  let rows =
+    List.map
+      (fun d ->
+        DF.set_io_prefetch_distance t d;
+        let time = timed_df_scan sys t pairs ~span ~prefetch:true ~trial:2 in
+        [ string_of_int d; Table.cell_ms time ])
+      [ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  DF.set_io_prefetch_distance t 16;
+  Table.make ~id:"ablation-a3"
+    ~title:
+      (Printf.sprintf "A3: I/O prefetch distance, scan of %d entries, 10 disks (ms)"
+         span)
+    ~header:[ "distance"; "time (ms)" ]
+    rows
+
+(* A4: the overshooting fix.  Small scans; metric = disk reads per scan
+   (demand + prefetch).  Unbounded prefetching reads pages past the end
+   key that the scan never visits. *)
+let a4 scale =
+  ignore scale;
+  let sys, t, pairs = mature_df Scale.Quick ~n_disks:10 in
+  let run ~bounded =
+    DF.set_bound_scan_end t bounded;
+    Buffer_pool.clear sys.Setup.pool;
+    Buffer_pool.reset_stats sys.Setup.pool;
+    let rng = Fpb_workload.Prng.create 4242 in
+    let scans = 50 in
+    let ranges = Fpb_workload.Keygen.ranges rng pairs scans ~span:200 in
+    Array.iter
+      (fun (a, b) ->
+        ignore (DF.range_scan t ~prefetch:true ~start_key:a ~end_key:b (fun _ _ -> ())))
+      ranges;
+    let s = Buffer_pool.stats sys.Setup.pool in
+    float_of_int (s.Buffer_pool.misses + s.Buffer_pool.prefetch_issued)
+    /. float_of_int scans
+  in
+  let bounded = run ~bounded:true in
+  let unbounded = run ~bounded:false in
+  DF.set_bound_scan_end t true;
+  Table.make ~id:"ablation-a4"
+    ~title:"A4: overshooting fix, 50 scans of ~200 entries (disk reads per scan)"
+    ~header:[ "end-page bound"; "reads/scan" ]
+    [
+      [ "on (paper)"; Table.cell_f bounded ];
+      [ "off (overshoots)"; Table.cell_f unbounded ];
+    ]
+
+(* A5: sequential I/O readahead vs. jump-pointer prefetch.  Section 2.2's
+   argument: sequential prefetching covers clustered (bulkloaded) layouts,
+   but only jump pointers help once updates scatter the leaf order. *)
+let a5 scale =
+  let span = match scale with Scale.Quick -> 300_000 | Full -> 3_000_000 in
+  let n = Scale.io_entries scale in
+  let rng = Fpb_workload.Prng.create 8008 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let build ~mature =
+    let sys = Setup.make ~page_size:16384 ~n_disks:10 () in
+    let t = DF.create sys.Setup.pool in
+    if mature then begin
+      let bulk =
+        Array.of_seq
+          (Seq.filter_map
+             (fun i -> if i mod 10 <> 9 then Some pairs.(i) else None)
+             (Seq.init n Fun.id))
+      in
+      let rest =
+        Array.of_seq
+          (Seq.filter_map
+             (fun i -> if i mod 10 = 9 then Some pairs.(i) else None)
+             (Seq.init n Fun.id))
+      in
+      DF.bulkload t bulk ~fill:1.0;
+      let rng2 = Fpb_workload.Prng.create 83 in
+      Fpb_workload.Prng.shuffle rng2 rest;
+      Array.iter (fun (k, v) -> ignore (DF.insert t k v)) rest
+    end
+    else DF.bulkload t pairs ~fill:1.0;
+    (sys, t)
+  in
+  let time ~mature ~mode =
+    let sys, t = build ~mature in
+    (match mode with
+    | `Plain | `Jump -> ()
+    | `Readahead -> Buffer_pool.set_sequential_readahead sys.Setup.pool 8);
+    let prefetch = mode = `Jump in
+    timed_df_scan sys t pairs ~span ~prefetch ~trial:3
+  in
+  let row name ~mature =
+    let plain = time ~mature ~mode:`Plain in
+    let ra = time ~mature ~mode:`Readahead in
+    let jp = time ~mature ~mode:`Jump in
+    [
+      name;
+      Table.cell_ms plain;
+      Table.cell_ms ra;
+      Table.cell_ms jp;
+      Table.cell_f (float_of_int plain /. float_of_int ra);
+      Table.cell_f (float_of_int plain /. float_of_int jp);
+    ]
+  in
+  Table.make ~id:"ablation-a5"
+    ~title:
+      (Printf.sprintf
+         "A5: sequential readahead vs jump pointers, scan of %d entries, 10 disks (ms)"
+         span)
+    ~header:
+      [ "tree"; "plain"; "seq readahead"; "jump pointers"; "RA speedup"; "JP speedup" ]
+    [ row "bulkloaded (clustered)" ~mature:false; row "mature (scattered)" ~mature:true ]
+
+let run scale = [ a1 scale; a2 scale; a3 scale; a4 scale; a5 scale ]

@@ -1,0 +1,50 @@
+(* Table 1 (simulation parameters) and Table 2 (optimal width selections). *)
+
+open Fpb_simmem
+
+let table1 () =
+  let c = Config.default in
+  Table.make ~id:"table1" ~title:"Simulation parameters"
+    ~header:[ "parameter"; "value" ]
+    [
+      [ "clock rate"; "1 GHz (1 cycle = 1 ns)" ];
+      [ "cache line size"; Printf.sprintf "%d bytes" c.Config.line_size ];
+      [ "L1 data cache"; Printf.sprintf "%d KB, %d-way" (c.l1_size / 1024) c.l1_assoc ];
+      [ "L2 unified cache"; Printf.sprintf "%d MB, direct-mapped" (c.l2_size / 1024 / 1024) ];
+      [ "L1-to-L2 miss latency"; Printf.sprintf "%d cycles" c.l2_latency ];
+      [ "L1-to-memory latency (T1)"; Printf.sprintf "%d cycles" c.mem_latency ];
+      [ "memory access gap (Tnext)"; Printf.sprintf "%d cycles" c.mem_gap ];
+      [ "miss handlers"; string_of_int c.miss_handlers ];
+    ]
+
+let table2 () =
+  let open Fpb_btree_common in
+  let rows =
+    List.map
+      (fun page_size ->
+        let df = Tuning.disk_first ~page_size () in
+        let cf = Tuning.cache_first ~page_size () in
+        let mi = Tuning.micro_index ~page_size () in
+        [
+          Printf.sprintf "%dKB" (page_size / 1024);
+          Printf.sprintf "%dB" (df.Tuning.df_w * 64);
+          Printf.sprintf "%dB" (df.df_x * 64);
+          string_of_int df.df_fanout;
+          Printf.sprintf "%.2f" df.df_ratio;
+          Printf.sprintf "%dB" (cf.Tuning.cf_w * 64);
+          string_of_int cf.cf_fanout;
+          Printf.sprintf "%.2f" cf.cf_ratio;
+          Printf.sprintf "%dB" (mi.Tuning.mi_sub_lines * 64);
+          string_of_int mi.mi_fanout;
+          Printf.sprintf "%.2f" mi.mi_ratio;
+        ])
+      Scale.page_sizes
+  in
+  Table.make ~id:"table2"
+    ~title:"Optimal width selections (4B keys, T1=150, Tnext=10)"
+    ~header:
+      [
+        "page"; "df nonleaf"; "df leaf"; "df fanout"; "df cost";
+        "cf node"; "cf fanout"; "cf cost"; "mi sub"; "mi fanout"; "mi cost";
+      ]
+    rows

@@ -1,0 +1,63 @@
+(* Figure 19: jump-pointer-array prefetching in a DB2-style engine
+   ([Fpb_dbsim]): an index-only SELECT COUNT over every leaf page of a
+   large table's index, on an 80-disk, 8-way SMP machine.
+   (a) varying the number of I/O prefetchers at SMP degree 9;
+   (b) varying the SMP degree with 8 prefetchers.
+   The "no prefetch" and "in memory" curves bound the benefit, as in the
+   paper. *)
+
+let base scale =
+  let n_pages =
+    match scale with Scale.Quick -> 100_000 | Full -> 800_000
+  in
+  { Fpb_dbsim.Dbsim.default with n_pages }
+
+let fig19a scale =
+  let cfg = base scale in
+  let rows =
+    List.map
+      (fun npf ->
+        let with_pf =
+          Fpb_dbsim.Dbsim.run { cfg with n_prefetchers = npf; smp_degree = 9 }
+        in
+        let no_pf = Fpb_dbsim.Dbsim.run { cfg with n_prefetchers = 0; smp_degree = 9 } in
+        let in_mem =
+          Fpb_dbsim.Dbsim.run { cfg with smp_degree = 9; in_memory = true }
+        in
+        [
+          string_of_int npf;
+          Table.cell_s no_pf;
+          Table.cell_s with_pf;
+          Table.cell_s in_mem;
+          Table.cell_f (float_of_int no_pf /. float_of_int with_pf);
+        ])
+      [ 1; 2; 3; 4; 6; 8; 10; 12 ]
+  in
+  Table.make ~id:"fig19a"
+    ~title:"DB2-style scan: time (s) vs. #I/O prefetchers (SMP degree 9)"
+    ~header:[ "prefetchers"; "no prefetch"; "with prefetch"; "in memory"; "speedup" ]
+    rows
+
+let fig19b scale =
+  let cfg = base scale in
+  let rows =
+    List.map
+      (fun smp ->
+        let with_pf =
+          Fpb_dbsim.Dbsim.run { cfg with n_prefetchers = 8; smp_degree = smp }
+        in
+        let no_pf = Fpb_dbsim.Dbsim.run { cfg with n_prefetchers = 0; smp_degree = smp } in
+        let in_mem = Fpb_dbsim.Dbsim.run { cfg with smp_degree = smp; in_memory = true } in
+        [
+          string_of_int smp;
+          Table.cell_s no_pf;
+          Table.cell_s with_pf;
+          Table.cell_s in_mem;
+          Table.cell_f (float_of_int no_pf /. float_of_int with_pf);
+        ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  Table.make ~id:"fig19b"
+    ~title:"DB2-style scan: time (s) vs. SMP degree (8 prefetchers)"
+    ~header:[ "SMP degree"; "no prefetch"; "with prefetch"; "in memory"; "speedup" ]
+    rows

@@ -1,0 +1,36 @@
+(* Figure 15: range-scan cache performance.  Trees bulkloaded 100% full
+   with [Scale.base_entries] keys (16KB pages); random range scans each
+   spanning 1/3 of the key count (paper: 1M of 3M), memory-resident. *)
+
+let fig15 scale =
+  let n = Scale.base_entries scale in
+  let span = n / 3 in
+  let n_scans = match scale with Scale.Quick -> 20 | Full -> 100 in
+  let rng = Fpb_workload.Prng.create 5005 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let ranges = Fpb_workload.Keygen.ranges rng pairs n_scans ~span in
+  let kinds = [ Setup.Disk_opt; Setup.Disk_first; Setup.Cache_first ] in
+  let rows =
+    List.map
+      (fun kind ->
+        let sys, idx = Run.fresh ~page_size:16384 kind pairs ~fill:1.0 in
+        let m =
+          Setup.measure_cycles sys (fun () ->
+              Array.iter
+                (fun (a, b) ->
+                  ignore
+                    (Fpb_btree_common.Index_sig.range_scan idx ~start_key:a
+                       ~end_key:b (fun _ _ -> ())))
+                ranges)
+        in
+        [ Setup.kind_name kind; Table.cell_mcycles m.Setup.busy;
+          Table.cell_mcycles m.Setup.stall; Table.cell_mcycles m.Setup.total ])
+      kinds
+  in
+  Table.make ~id:"fig15"
+    ~title:
+      (Printf.sprintf
+         "Range scan cache performance: %d scans of ~%d entries, %d keys, 16KB (Mcycles)"
+         n_scans span n)
+    ~header:[ "index"; "busy"; "dcache stalls"; "total" ]
+    rows

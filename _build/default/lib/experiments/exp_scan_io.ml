@@ -1,0 +1,106 @@
+(* Figure 18: range-scan I/O performance on the multi-disk model.  Mature
+   trees (bulkload 90% of the keys, insert the rest, so leaf pages are no
+   longer sequential on disk), 16KB pages.
+
+   (a) execution time vs. range size on 10 disks;
+   (b) execution time vs. number of disks for a large range;
+   (c) the corresponding speed-ups. *)
+
+open Fpb_btree_common
+
+let build scale ~n_disks kind =
+  let n = Scale.io_entries scale in
+  let rng = Fpb_workload.Prng.create 8008 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let sys, idx =
+    Run.fresh_mature ~page_size:16384 ~n_disks ~seed:80 kind pairs
+      ~bulk_frac:0.9 ~fill:1.0
+  in
+  (sys, idx, pairs)
+
+(* One scan of [span] entries from a cold pool; returns simulated ns. *)
+let scan_time sys idx pairs ~span ~prefetch ~trial =
+  let rng = Fpb_workload.Prng.create (9000 + trial) in
+  let a, b =
+    (Fpb_workload.Keygen.ranges rng pairs 1 ~span).(0)
+  in
+  Fpb_storage.Buffer_pool.clear sys.Setup.pool;
+  Fpb_storage.Disk_model.quiesce sys.Setup.disks;
+  (* steady state: nonleaf levels are resident (the paper's observation for
+     small ranges relies on this) *)
+  ignore (Index_sig.search idx a);
+  Setup.measure_sim_time sys (fun () ->
+      ignore (Index_sig.range_scan idx ~prefetch ~start_key:a ~end_key:b (fun _ _ -> ())))
+
+let fig18a scale =
+  let spans =
+    match scale with
+    | Scale.Quick -> [ 100; 1000; 10_000; 100_000; 500_000 ]
+    | Full -> [ 100; 1000; 10_000; 100_000; 1_000_000; 5_000_000 ]
+  in
+  let trials = 3 in
+  let kinds =
+    [ (Setup.Disk_opt, false); (Setup.Disk_first, true); (Setup.Cache_first, true) ]
+  in
+  let built = List.map (fun (k, pf) -> (k, pf, build scale ~n_disks:10 k)) kinds in
+  let rows =
+    List.map
+      (fun span ->
+        string_of_int span
+        :: List.map
+             (fun (_, pf, (sys, idx, pairs)) ->
+               let total = ref 0 in
+               for trial = 1 to trials do
+                 total := !total + scan_time sys idx pairs ~span ~prefetch:pf ~trial
+               done;
+               Table.cell_ms (!total / trials))
+             built)
+      spans
+  in
+  Table.make ~id:"fig18a"
+    ~title:"Range scan I/O: execution time (ms) vs. range size, 10 disks, mature trees"
+    ~header:
+      ("range entries"
+      :: List.map
+           (fun (k, pf, _) ->
+             Setup.kind_name k ^ if pf then " (prefetch)" else "")
+           built)
+    rows
+
+let fig18bc scale =
+  let span =
+    match scale with Scale.Quick -> 500_000 | Full -> 5_000_000
+  in
+  let disks = [ 1; 2; 4; 6; 8; 10 ] in
+  let time kind ~prefetch ~n_disks =
+    let sys, idx, pairs = build scale ~n_disks kind in
+    let trials = 3 in
+    let total = ref 0 in
+    for trial = 1 to trials do
+      total := !total + scan_time sys idx pairs ~span ~prefetch ~trial
+    done;
+    !total / trials
+  in
+  let bplus = List.map (fun d -> time Setup.Disk_opt ~prefetch:false ~n_disks:d) disks in
+  let fpb = List.map (fun d -> time Setup.Disk_first ~prefetch:true ~n_disks:d) disks in
+  let b1 = List.hd bplus and f1 = List.hd fpb in
+  let rows =
+    List.map2
+      (fun d (bt, ft) ->
+        [
+          string_of_int d;
+          Table.cell_s bt;
+          Table.cell_s ft;
+          Table.cell_f (float_of_int b1 /. float_of_int bt);
+          Table.cell_f (float_of_int f1 /. float_of_int ft);
+        ])
+      disks
+      (List.combine bplus fpb)
+  in
+  Table.make ~id:"fig18bc"
+    ~title:
+      (Printf.sprintf
+         "Range scan I/O vs. #disks (scan of %d entries, mature trees): time (s) and speed-up"
+         span)
+    ~header:[ "disks"; "B+tree (s)"; "fpB+tree (s)"; "B+tree speedup"; "fpB+tree speedup" ]
+    rows

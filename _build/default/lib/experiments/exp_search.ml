@@ -1,0 +1,58 @@
+(* Figure 10 (search performance vs. tree size, per page size) and
+   Figure 12 (search performance vs. bulkload factor). *)
+
+let search_cycles scale ~page_size ~fill ~n kind =
+  let rng = Fpb_workload.Prng.create 2002 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let probes = Fpb_workload.Keygen.probes rng pairs (Scale.ops scale) in
+  let sys, idx = Run.fresh ~page_size kind pairs ~fill in
+  (Setup.measure_cycles sys (fun () -> Run.searches idx probes)).Setup.total
+
+(* Figure 10: one table per page size; rows = tree sizes, columns = indexes
+   (execution time in Mcycles for 2000 searches, 100% bulkload). *)
+let fig10 scale =
+  List.map
+    (fun page_size ->
+      let rows =
+        List.map
+          (fun n ->
+            string_of_int n
+            :: List.map
+                 (fun kind ->
+                   Table.cell_mcycles
+                     (search_cycles scale ~page_size ~fill:1.0 ~n kind))
+                 Setup.all_kinds)
+          (Scale.entry_counts scale)
+      in
+      Table.make
+        ~id:(Printf.sprintf "fig10-%dKB" (page_size / 1024))
+        ~title:
+          (Printf.sprintf
+             "Search time (Mcycles, %d searches), page size %dKB, 100%% full"
+             (Scale.ops scale) (page_size / 1024))
+        ~header:("entries" :: List.map Setup.kind_name Setup.all_kinds)
+        rows)
+    Scale.page_sizes
+
+(* Figure 12: 16KB pages, [Scale.base_entries] keys, bulkload factor
+   60..100%. *)
+let fig12 scale =
+  let n = Scale.base_entries scale in
+  let rows =
+    List.map
+      (fun fill ->
+        Printf.sprintf "%.0f%%" (fill *. 100.)
+        :: List.map
+             (fun kind ->
+               Table.cell_mcycles
+                 (search_cycles scale ~page_size:16384 ~fill ~n kind))
+             Setup.all_kinds)
+      [ 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  Table.make ~id:"fig12"
+    ~title:
+      (Printf.sprintf
+         "Search time vs. bulkload factor (Mcycles, %d searches, %d keys, 16KB)"
+         (Scale.ops scale) n)
+    ~header:("bulkload" :: List.map Setup.kind_name Setup.all_kinds)
+    rows

@@ -1,0 +1,43 @@
+(* Figure 17: search I/O — buffer-pool misses for 2000 random searches on
+   cold pools, trees of [Scale.io_entries] keys: (a) after bulkload,
+   (b) mature trees. *)
+
+let fig17 scale =
+  let n = Scale.io_entries scale in
+  let rng = Fpb_workload.Prng.create 7007 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let probes = Fpb_workload.Keygen.probes rng pairs (Scale.ops scale) in
+  let kinds = [ Setup.Disk_opt; Setup.Disk_first; Setup.Cache_first ] in
+  let table ~mature ~id ~title =
+    let rows =
+      List.map
+        (fun page_size ->
+          Printf.sprintf "%dKB" (page_size / 1024)
+          :: List.map
+               (fun kind ->
+                 let sys, idx =
+                   if mature then
+                     Run.fresh_mature ~page_size ~seed:70 kind pairs
+                       ~bulk_frac:0.1 ~fill:1.0
+                   else Run.fresh ~page_size kind pairs ~fill:1.0
+                 in
+                 let misses =
+                   Setup.measure_io_misses sys (fun () -> Run.searches idx probes)
+                 in
+                 Printf.sprintf "%.3f"
+                   (float_of_int misses /. float_of_int (Scale.ops scale)))
+               kinds)
+        Scale.page_sizes
+    in
+    Table.make ~id ~title
+      ~header:("page size" :: List.map Setup.kind_name kinds)
+      rows
+  in
+  [
+    table ~mature:false ~id:"fig17a"
+      ~title:
+        (Printf.sprintf "Search I/O: page reads per search after bulkload (%d keys, cold pool)" n);
+    table ~mature:true ~id:"fig17b"
+      ~title:
+        (Printf.sprintf "Search I/O: page reads per search, mature trees (%d keys, cold pool)" n);
+  ]

@@ -1,0 +1,42 @@
+(* Figure 16: space overhead of the fpB+-Trees relative to a disk-optimized
+   B+-Tree holding the same entries: (a) right after a 100% bulkload,
+   (b) for mature trees (bulkload 10% of the keys, insert the rest). *)
+
+open Fpb_btree_common
+
+let overhead_pct ~fp_pages ~base_pages =
+  100. *. (float_of_int fp_pages /. float_of_int base_pages -. 1.)
+
+let space_row scale ~mature page_size =
+  let n =
+    match scale with Scale.Quick -> 500_000 | Full -> 10_000_000
+  in
+  let rng = Fpb_workload.Prng.create 6006 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let build kind =
+    let _sys, idx =
+      if mature then
+        Run.fresh_mature ~page_size ~seed:60 kind pairs ~bulk_frac:0.1 ~fill:1.0
+      else Run.fresh ~page_size kind pairs ~fill:1.0
+    in
+    Index_sig.page_count idx
+  in
+  let base = build Setup.Disk_opt in
+  let df = build Setup.Disk_first in
+  let cf = build Setup.Cache_first in
+  [
+    Printf.sprintf "%dKB" (page_size / 1024);
+    Table.cell_f (overhead_pct ~fp_pages:df ~base_pages:base);
+    Table.cell_f (overhead_pct ~fp_pages:cf ~base_pages:base);
+  ]
+
+let fig16 scale =
+  let header = [ "page size"; "disk-first overhead %"; "cache-first overhead %" ] in
+  [
+    Table.make ~id:"fig16a" ~title:"Space overhead after 100% bulkload"
+      ~header
+      (List.map (space_row scale ~mature:false) Scale.page_sizes);
+    Table.make ~id:"fig16b" ~title:"Space overhead of mature trees (10% bulk + 90% inserts)"
+      ~header
+      (List.map (space_row scale ~mature:true) Scale.page_sizes);
+  ]

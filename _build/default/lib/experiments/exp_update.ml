@@ -1,0 +1,86 @@
+(* Figure 13 (insertion performance) and Figure 14 (deletion performance):
+   2000 random operations after bulkload. *)
+
+let cycles scale ~page_size ~fill ~n kind ~op =
+  let rng = Fpb_workload.Prng.create 3003 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let sys, idx = Run.fresh ~page_size kind pairs ~fill in
+  let batch =
+    match op with
+    | `Insert -> Fpb_workload.Keygen.random_keys rng (Scale.ops scale)
+    | `Delete -> Fpb_workload.Keygen.probes rng pairs (Scale.ops scale)
+  in
+  let f () =
+    match op with
+    | `Insert -> Run.inserts idx batch
+    | `Delete -> Run.deletes idx batch
+  in
+  (Setup.measure_cycles sys f).Setup.total
+
+let by_fill scale ~op ~id ~title =
+  let n = Scale.base_entries scale in
+  let rows =
+    List.map
+      (fun fill ->
+        Printf.sprintf "%.0f%%" (fill *. 100.)
+        :: List.map
+             (fun kind ->
+               Table.cell_mcycles (cycles scale ~page_size:16384 ~fill ~n kind ~op))
+             Setup.all_kinds)
+      [ 0.6; 0.7; 0.8; 0.9; 1.0 ]
+  in
+  Table.make ~id ~title:(Printf.sprintf "%s (%d keys, 16KB)" title n)
+    ~header:("bulkload" :: List.map Setup.kind_name Setup.all_kinds)
+    rows
+
+let by_entries scale ~op ~id ~title =
+  let rows =
+    List.map
+      (fun n ->
+        string_of_int n
+        :: List.map
+             (fun kind ->
+               Table.cell_mcycles
+                 (cycles scale ~page_size:16384 ~fill:1.0 ~n kind ~op))
+             Setup.all_kinds)
+      (Scale.entry_counts scale)
+  in
+  Table.make ~id ~title:(title ^ " (16KB, 100% full)")
+    ~header:("entries" :: List.map Setup.kind_name Setup.all_kinds)
+    rows
+
+let by_page_size scale ~op ~fill ~id ~title =
+  let n = Scale.base_entries scale in
+  let rows =
+    List.map
+      (fun page_size ->
+        Printf.sprintf "%dKB" (page_size / 1024)
+        :: List.map
+             (fun kind -> Table.cell_mcycles (cycles scale ~page_size ~fill ~n kind ~op))
+             Setup.all_kinds)
+      Scale.page_sizes
+  in
+  Table.make ~id
+    ~title:(Printf.sprintf "%s (%d keys, %.0f%% full)" title n (fill *. 100.))
+    ~header:("page size" :: List.map Setup.kind_name Setup.all_kinds)
+    rows
+
+let fig13 scale =
+  [
+    by_fill scale ~op:`Insert ~id:"fig13a"
+      ~title:"Insertion time vs. bulkload factor (Mcycles, 2000 inserts)";
+    by_entries scale ~op:`Insert ~id:"fig13b"
+      ~title:"Insertion time vs. tree size (Mcycles, 2000 inserts)";
+    by_page_size scale ~op:`Insert ~fill:1.0 ~id:"fig13c"
+      ~title:"Insertion time vs. page size (Mcycles, 2000 inserts)";
+    by_page_size scale ~op:`Insert ~fill:0.7 ~id:"fig13d"
+      ~title:"Insertion time vs. page size (Mcycles, 2000 inserts)";
+  ]
+
+let fig14 scale =
+  [
+    by_fill scale ~op:`Delete ~id:"fig14a"
+      ~title:"Deletion time vs. bulkload factor (Mcycles, 2000 deletes)";
+    by_page_size scale ~op:`Delete ~fill:1.0 ~id:"fig14b"
+      ~title:"Deletion time vs. page size (Mcycles, 2000 deletes)";
+  ]

@@ -1,0 +1,90 @@
+(* Figure 11: search performance across node-width choices (16KB pages),
+   validating the tuner's selections.  For disk-first trees the nonleaf
+   width w varies and the leaf width x is chosen to maximise page fan-out
+   given w; for cache-first trees the uniform node width varies. *)
+
+open Fpb_btree_common
+
+(* Leaf width maximising page fan-out for a given nonleaf width (a
+   two-level in-page tree with restricted root, as the tuner builds). *)
+let df_best_leaf_for ~page_size w =
+  let line_size = 64 in
+  let usable = (page_size / line_size) - 1 in
+  let fn = Layout.df_nonleaf_capacity ~line_size w in
+  let best_x = ref 1 and best_fanout = ref 0 in
+  for x = 1 to min 32 usable do
+    let fl = Layout.df_leaf_capacity ~line_size x in
+    let r = min fn ((usable - w) / x) in
+    let fanout = r * fl in
+    if fanout > !best_fanout then begin
+      best_fanout := fanout;
+      best_x := x
+    end
+  done;
+  !best_x
+
+let search_cycles_custom ~make_tree ~n ~ops =
+  let rng = Fpb_workload.Prng.create 4004 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
+  let probes = Fpb_workload.Keygen.probes rng pairs ops in
+  let sys = Setup.make ~page_size:16384 () in
+  let idx = make_tree sys in
+  Index_sig.bulkload idx pairs ~fill:1.0;
+  (Setup.measure_cycles sys (fun () -> Run.searches idx probes)).Setup.total
+
+let fig11 scale =
+  let ops = Scale.ops scale in
+  let sizes = Scale.entry_counts scale in
+  let df_selected = Tuning.disk_first ~page_size:16384 () in
+  let df_rows =
+    List.map
+      (fun w ->
+        let x =
+          if w = df_selected.Tuning.df_w then df_selected.df_x
+          else df_best_leaf_for ~page_size:16384 w
+        in
+        let label =
+          Printf.sprintf "nonleaf=%dB leaf=%dB%s" (w * 64) (x * 64)
+            (if w = df_selected.Tuning.df_w then " (selected)" else "")
+        in
+        label
+        :: List.map
+             (fun n ->
+               let make_tree sys =
+                 Index_sig.Instance
+                   ( (module Fpb_core.Disk_first),
+                     Fpb_core.Disk_first.create_custom sys.Setup.pool ~w ~x )
+               in
+               Table.cell_mcycles (search_cycles_custom ~make_tree ~n ~ops))
+             sizes)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let cf_selected = Tuning.cache_first ~page_size:16384 () in
+  let cf_rows =
+    List.map
+      (fun w ->
+        let label =
+          Printf.sprintf "node=%dB%s" (w * 64)
+            (if w = cf_selected.Tuning.cf_w then " (selected)" else "")
+        in
+        label
+        :: List.map
+             (fun n ->
+               let make_tree sys =
+                 Index_sig.Instance
+                   ( (module Fpb_core.Cache_first),
+                     Fpb_core.Cache_first.create_custom sys.Setup.pool ~w )
+               in
+               Table.cell_mcycles (search_cycles_custom ~make_tree ~n ~ops))
+             sizes)
+      [ 2; 4; 8; 9; 11; 16 ]
+  in
+  let header = "widths" :: List.map string_of_int sizes in
+  [
+    Table.make ~id:"fig11a"
+      ~title:"Disk-first fpB+tree search time by nonleaf width (Mcycles, 16KB)"
+      ~header df_rows;
+    Table.make ~id:"fig11b"
+      ~title:"Cache-first fpB+tree search time by node width (Mcycles, 16KB)"
+      ~header cf_rows;
+  ]

@@ -1,0 +1,51 @@
+(* All experiments by id.  Each entry regenerates one table or figure of
+   the paper; see DESIGN.md for the per-experiment index. *)
+
+type entry = { id : string; describes : string; run : Scale.t -> Table.t list }
+
+let all : entry list =
+  [
+    { id = "table1"; describes = "Table 1: simulation parameters";
+      run = (fun _ -> [ Exp_config.table1 () ]) };
+    { id = "table2"; describes = "Table 2: optimal width selections";
+      run = (fun _ -> [ Exp_config.table2 () ]) };
+    { id = "fig3b"; describes = "Figure 3(b): search breakdown, disk-optimized vs pB+tree";
+      run = (fun s -> [ Exp_fig3.run s ]) };
+    { id = "fig10"; describes = "Figure 10: search time vs tree size, per page size";
+      run = Exp_search.fig10 };
+    { id = "fig11"; describes = "Figure 11: node width sweep (16KB)";
+      run = Exp_width.fig11 };
+    { id = "fig12"; describes = "Figure 12: search time vs bulkload factor";
+      run = (fun s -> [ Exp_search.fig12 s ]) };
+    { id = "fig13"; describes = "Figure 13: insertion performance";
+      run = Exp_update.fig13 };
+    { id = "fig14"; describes = "Figure 14: deletion performance";
+      run = Exp_update.fig14 };
+    { id = "fig15"; describes = "Figure 15: range scan cache performance";
+      run = (fun s -> [ Exp_scan_cache.fig15 s ]) };
+    { id = "fig16"; describes = "Figure 16: space overhead";
+      run = Exp_space.fig16 };
+    { id = "fig17"; describes = "Figure 17: search I/O (buffer misses)";
+      run = Exp_search_io.fig17 };
+    { id = "fig18a"; describes = "Figure 18(a): scan I/O time vs range size";
+      run = (fun s -> [ Exp_scan_io.fig18a s ]) };
+    { id = "fig18bc"; describes = "Figure 18(b,c): scan I/O vs #disks + speedups";
+      run = (fun s -> [ Exp_scan_io.fig18bc s ]) };
+    { id = "fig19"; describes = "Figure 19: DB2-style jump-pointer prefetching";
+      run = (fun s -> [ Exp_db2.fig19a s; Exp_db2.fig19b s ]) };
+    { id = "ablation"; describes = "Ablations: jump pointers, leaf prefetch, distance, overshoot";
+      run = Exp_ablation.run };
+    { id = "ext-varkey"; describes = "Extension: variable-length keys (slotted nodes)";
+      run = (fun s -> [ Exp_varkey.run s ]) };
+    { id = "ext-skew"; describes = "Extension: Zipf-skewed search workloads";
+      run = (fun s -> [ Exp_skew.run s ]) };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_and_print ppf scale e =
+  let t0 = Unix.gettimeofday () in
+  let tables = e.run scale in
+  List.iter (Table.print ppf) tables;
+  Fmt.pf ppf "(%s finished in %.1fs wall clock)@." e.id (Unix.gettimeofday () -. t0);
+  tables

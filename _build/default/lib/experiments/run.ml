@@ -1,0 +1,59 @@
+(* Shared experiment plumbing. *)
+
+open Fpb_btree_common
+
+let build sys kind pairs ~fill =
+  let idx = Setup.make_index kind sys.Setup.pool in
+  Index_sig.bulkload idx pairs ~fill;
+  idx
+
+(* A fresh system + bulkloaded index of [kind]. *)
+let fresh ?n_disks ?pool_pages ~page_size kind pairs ~fill =
+  let sys = Setup.make ?n_disks ?pool_pages ~page_size () in
+  (sys, build sys kind pairs ~fill)
+
+(* Mature tree: bulkload a [bulk_frac] spread of the pairs at [fill], then
+   insert the rest in random order (the paper's recipe for update-aged
+   trees).  The bulkloaded subset is taken as every k-th pair so inserts
+   cover the whole key space. *)
+let fresh_mature ?n_disks ?pool_pages ~page_size ~seed kind pairs ~bulk_frac
+    ~fill =
+  let n = Array.length pairs in
+  let nb = max 1 (min (n - 1) (int_of_float (float_of_int n *. bulk_frac))) in
+  (* Spread the minority set (bulk or rest, whichever is smaller) as every
+     k-th pair so both sets cover the whole key space. *)
+  let bulk, rest =
+    if nb * 2 <= n then begin
+      let stride = max 1 (n / nb) in
+      let is_bulk i = i mod stride = 0 in
+      ( Array.of_seq
+          (Seq.filter_map
+             (fun i -> if is_bulk i then Some pairs.(i) else None)
+             (Seq.init n Fun.id)),
+        Array.of_seq
+          (Seq.filter_map
+             (fun i -> if is_bulk i then None else Some pairs.(i))
+             (Seq.init n Fun.id)) )
+    end
+    else begin
+      let stride = max 2 (n / (n - nb)) in
+      let is_rest i = i mod stride = stride - 1 in
+      ( Array.of_seq
+          (Seq.filter_map
+             (fun i -> if is_rest i then None else Some pairs.(i))
+             (Seq.init n Fun.id)),
+        Array.of_seq
+          (Seq.filter_map
+             (fun i -> if is_rest i then Some pairs.(i) else None)
+             (Seq.init n Fun.id)) )
+    end
+  in
+  let sys, idx = fresh ?n_disks ?pool_pages ~page_size kind bulk ~fill in
+  let rng = Fpb_workload.Prng.create seed in
+  Fpb_workload.Prng.shuffle rng rest;
+  Array.iter (fun (k, v) -> ignore (Index_sig.insert idx k v)) rest;
+  (sys, idx)
+
+let searches idx keys = Array.iter (fun k -> ignore (Index_sig.search idx k)) keys
+let inserts idx keys = Array.iter (fun k -> ignore (Index_sig.insert idx k k)) keys
+let deletes idx keys = Array.iter (fun k -> ignore (Index_sig.delete idx k)) keys

@@ -1,0 +1,78 @@
+(* Construction of fresh simulated systems and index instances for the
+   experiments.  Every experiment run gets its own simulator, page store,
+   disks and buffer pool so runs never contaminate each other. *)
+
+open Fpb_simmem
+open Fpb_storage
+open Fpb_btree_common
+
+type system = {
+  sim : Sim.t;
+  store : Page_store.t;
+  disks : Disk_model.t;
+  pool : Buffer_pool.t;
+}
+
+let make ?(n_disks = 10) ?(n_prefetchers = 8) ?(pool_pages = 200_000)
+    ~page_size () =
+  let sim = Sim.create () in
+  let store = Page_store.create ~page_size ~n_disks in
+  let disks =
+    Disk_model.create
+      ~transfer_ns:(Disk_model.transfer_ns_of_page_size page_size)
+      ~n_disks sim.Sim.clock
+  in
+  let pool = Buffer_pool.create ~n_prefetchers ~capacity:pool_pages sim store disks in
+  { sim; store; disks; pool }
+
+type kind = Disk_opt | Micro | Disk_first | Cache_first
+
+let all_kinds = [ Disk_opt; Micro; Disk_first; Cache_first ]
+let fp_kinds = [ Disk_first; Cache_first ]
+
+let kind_name = function
+  | Disk_opt -> "disk-optimized B+tree"
+  | Micro -> "micro-indexing"
+  | Disk_first -> "disk-first fpB+tree"
+  | Cache_first -> "cache-first fpB+tree"
+
+let make_index kind pool : Index_sig.instance =
+  match kind with
+  | Disk_opt ->
+      Index_sig.Instance
+        ((module Fpb_disk_btree.Disk_btree), Fpb_disk_btree.Disk_btree.create pool)
+  | Micro ->
+      Index_sig.Instance
+        ((module Fpb_micro_index.Micro_index),
+         Fpb_micro_index.Micro_index.create pool)
+  | Disk_first ->
+      Index_sig.Instance ((module Fpb_core.Disk_first), Fpb_core.Disk_first.create pool)
+  | Cache_first ->
+      Index_sig.Instance ((module Fpb_core.Cache_first), Fpb_core.Cache_first.create pool)
+
+(* Cache-performance measurement protocol (paper Section 4.2): flush CPU
+   caches, reset statistics, run the operation batch with the tree
+   memory-resident, report (busy, stall, total) cycles. *)
+type cycles = { busy : int; stall : int; total : int }
+
+let measure_cycles sys f =
+  Sim.flush_cache sys.sim;
+  Sim.reset_stats sys.sim;
+  let s0 = Stats.snapshot sys.sim.Sim.stats in
+  f ();
+  let busy, stall, _ = Stats.since sys.sim.Sim.stats s0 in
+  { busy; stall; total = busy + stall }
+
+(* I/O measurement: clear the buffer pool, reset I/O statistics, run, and
+   report demand misses (the paper's metric for search I/O). *)
+let measure_io_misses sys f =
+  Buffer_pool.clear sys.pool;
+  Buffer_pool.reset_stats sys.pool;
+  f ();
+  (Buffer_pool.stats sys.pool).Buffer_pool.misses
+
+(* Elapsed simulated time (ns) of a batch, including I/O waits. *)
+let measure_sim_time sys f =
+  let t0 = Clock.now sys.sim.Sim.clock in
+  f ();
+  Clock.now sys.sim.Sim.clock - t0

@@ -1,0 +1,43 @@
+(* Result tables for the experiment harness: a title, column headers and
+   string cells, printed aligned or as CSV. *)
+
+type t = { id : string; title : string; header : string list; rows : string list list }
+
+let make ~id ~title ~header rows = { id; title; header; rows }
+
+let cell_f f = Printf.sprintf "%.2f" f
+let cell_i = string_of_int
+
+(* Millions of cycles, matching the paper's plots. *)
+let cell_mcycles c = Printf.sprintf "%.3f" (float_of_int c /. 1e6)
+let cell_ms ns = Printf.sprintf "%.2f" (float_of_int ns /. 1e6)
+let cell_s ns = Printf.sprintf "%.3f" (float_of_int ns /. 1e9)
+
+let print ppf t =
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun a r -> max a (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun a r -> max a (try String.length (List.nth r c) with _ -> 0))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pr_row r =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Fmt.pf ppf "%-*s" w cell else Fmt.pf ppf "  %*s" w cell)
+      r;
+    Fmt.pf ppf "@."
+  in
+  Fmt.pf ppf "@.== %s: %s ==@." t.id t.title;
+  pr_row t.header;
+  pr_row (List.map (fun w -> String.make w '-') widths);
+  List.iter pr_row t.rows
+
+let csv t =
+  let b = Buffer.create 256 in
+  let row r = Buffer.add_string b (String.concat "," r ^ "\n") in
+  row t.header;
+  List.iter row t.rows;
+  Buffer.contents b

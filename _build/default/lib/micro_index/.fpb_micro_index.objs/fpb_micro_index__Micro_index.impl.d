@@ -1,0 +1,1 @@
+lib/micro_index/micro_index.ml: Array_search Fpb_btree_common Fpb_simmem Key Layout Mem Paged_tree Tuning

@@ -1,0 +1,95 @@
+(* Micro-indexing (Lomet [16], first evaluated in detail by the paper,
+   Figure 4): a disk-optimized B+-Tree page whose key array is divided into
+   cache-line-aligned sub-arrays; a small in-page micro-index holds the
+   first key of every sub-array.  A search prefetches and searches the
+   micro-index to pick the sub-array, then prefetches and binary-searches
+   only that sub-array — good search locality.  Updates, however, still
+   shift the big arrays (and refresh the micro-index), which is why the
+   paper finds its update performance as poor as the plain B+-Tree's.
+
+   Page layout: [common header | micro-index | pad to line | key array
+   (line-aligned, sub-array granular) | pointer array].  Sub-array size and
+   fan-out come from the tuner and reproduce Table 2. *)
+
+open Fpb_simmem
+open Fpb_btree_common
+
+module Format = struct
+  let name = "micro-indexing B+tree"
+
+  type cfg = {
+    fanout : int;
+    keys_per_sub : int;
+    sub_bytes : int;  (* key sub-array size in bytes (= lines * 64) *)
+    micro_base : int;  (* micro-index offset *)
+    key_base : int;
+    ptr_base : int;
+  }
+
+  let line_size = 64
+
+  let cfg_of_page_size page_size =
+    let sel = Tuning.micro_index ~line_size ~page_size () in
+    let fanout = sel.Tuning.mi_fanout in
+    let keys_per_sub = line_size * sel.mi_sub_lines / Key.size in
+    let max_n_sub = (fanout + keys_per_sub - 1) / keys_per_sub in
+    let key_base =
+      Layout.align_up (Layout.mi_page_header + (max_n_sub * Key.size)) line_size
+    in
+    let ptr_base = key_base + Layout.align_up (fanout * Key.size) line_size in
+    {
+      fanout;
+      keys_per_sub;
+      sub_bytes = line_size * sel.mi_sub_lines;
+      micro_base = Layout.mi_page_header;
+      key_base;
+      ptr_base;
+    }
+
+  let fanout c = c.fanout
+  let key_base c = c.key_base
+  let ptr_base c = c.ptr_base
+  let n_sub c ~n = (n + c.keys_per_sub - 1) / c.keys_per_sub
+
+  (* Two-phase search: prefetch + search the micro-index to find the
+     sub-array whose first key is the last one <= [key], then prefetch that
+     key sub-array and binary-search within it.  Consistent with a global
+     binary search because micro[j] = key array slot j*keys_per_sub. *)
+  let find_slot sim c r ~n ~key mode =
+    if n = 0 then 0
+    else begin
+      let ns = n_sub c ~n in
+      Mem.prefetch sim r ~off:c.micro_base ~len:(ns * Key.size);
+      let j =
+        let u =
+          Array_search.upper_bound sim r ~off:c.micro_base ~n:ns ~key
+        in
+        max 0 (u - 1)
+      in
+      let lo = j * c.keys_per_sub in
+      let cnt = min c.keys_per_sub (n - lo) in
+      Mem.prefetch sim r ~off:(c.key_base + (lo * Key.size)) ~len:c.sub_bytes;
+      let off = c.key_base + (lo * Key.size) in
+      let i =
+        match mode with
+        | `Lower -> Array_search.lower_bound sim r ~off ~n:cnt ~key
+        | `Upper -> Array_search.upper_bound sim r ~off ~n:cnt ~key
+      in
+      (* The boundary cases fall out: if key < micro[0] the answer is in
+         sub-array 0; if i = cnt within sub-array j < last, the next
+         sub-array's first key is > key (Lower) / > key (Upper) by choice of
+         j, so lo + i is globally correct. *)
+      lo + i
+    end
+
+  (* Refresh the micro-index entries covering slots [from, n). *)
+  let entries_updated sim c r ~n ~from =
+    let ns = n_sub c ~n in
+    let j0 = if c.keys_per_sub = 0 then 0 else from / c.keys_per_sub in
+    for j = j0 to ns - 1 do
+      let k = Mem.read_i32 sim r (c.key_base + (j * c.keys_per_sub * Key.size)) in
+      Mem.write_i32 sim r (c.micro_base + (j * Key.size)) k
+    done
+end
+
+include Paged_tree.Make (Format)

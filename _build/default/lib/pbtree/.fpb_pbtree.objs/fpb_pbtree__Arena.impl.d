@@ -1,0 +1,1 @@
+lib/pbtree/arena.ml: Bytes Fpb_btree_common Fpb_simmem Fpb_storage Mem Printf Vec

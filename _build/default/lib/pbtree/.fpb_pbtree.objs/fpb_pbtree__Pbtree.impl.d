@@ -1,0 +1,1 @@
+lib/pbtree/pbtree.ml: Arena Array Array_search Fmt Fpb_btree_common Fpb_simmem Key Mem Sim

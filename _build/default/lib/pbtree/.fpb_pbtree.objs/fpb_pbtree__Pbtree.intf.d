@@ -1,0 +1,1 @@
+lib/pbtree/pbtree.mli: Fpb_simmem

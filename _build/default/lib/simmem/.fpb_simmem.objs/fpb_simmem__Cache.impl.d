@@ -1,0 +1,1 @@
+lib/simmem/cache.ml: Array Clock Config Hashtbl Queue Stats

@@ -1,0 +1,1 @@
+lib/simmem/cache.mli: Clock Config Stats

@@ -1,0 +1,1 @@
+lib/simmem/config.ml: Fmt

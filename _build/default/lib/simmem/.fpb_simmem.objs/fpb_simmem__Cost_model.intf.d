@@ -1,0 +1,1 @@
+lib/simmem/cost_model.mli:

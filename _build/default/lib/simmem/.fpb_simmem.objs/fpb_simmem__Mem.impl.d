@@ -1,0 +1,1 @@
+lib/simmem/mem.ml: Bytes Cache Char Cost_model Int32 Sim

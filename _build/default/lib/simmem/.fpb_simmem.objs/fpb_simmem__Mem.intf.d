@@ -1,0 +1,1 @@
+lib/simmem/mem.mli: Bytes Sim

@@ -1,0 +1,1 @@
+lib/simmem/sim.ml: Cache Clock Config Cost_model Stats

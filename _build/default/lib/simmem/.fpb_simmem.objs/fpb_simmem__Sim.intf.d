@@ -1,0 +1,1 @@
+lib/simmem/sim.mli: Cache Clock Config Cost_model Stats

@@ -1,0 +1,1 @@
+lib/simmem/stats.mli: Format

@@ -1,0 +1,213 @@
+(* Two-level data-cache simulator with software prefetch.
+
+   Timing model (paper, Section 3.1.1): a demand miss to memory completes at
+   [max (now + T1) (last_completion + Tnext)], so a batch of prefetches
+   issued back-to-back for a w-line node costs T1 + (w-1)*Tnext once the
+   node is accessed — the pB+-Tree cost model.
+
+   L1 is set-associative with LRU replacement; L2 is direct-mapped
+   (Table 1).  Stores are modeled like loads (write-allocate, no write-back
+   cost).  Software prefetches occupy one of a bounded number of miss
+   handlers; issuing a prefetch when all handlers are busy stalls until the
+   oldest one retires. *)
+
+type t = {
+  cfg : Config.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  shift : int;
+  l1_sets : int;
+  l1_assoc : int;
+  l1_tags : int array;  (* sets * assoc entries; -1 = invalid *)
+  l1_stamp : int array;  (* LRU timestamps, parallel to l1_tags *)
+  l2_lines : int;
+  l2_tags : int array;  (* direct-mapped; -1 = invalid *)
+  inflight : (int, int) Hashtbl.t;  (* line -> completion time *)
+  order : (int * int) Queue.t;  (* (line, completion) in issue order *)
+  mutable last_completion : int;
+  mutable stamp : int;
+}
+
+let create cfg clock stats =
+  let l1_sets = cfg.Config.l1_size / (cfg.line_size * cfg.l1_assoc) in
+  let l2_lines = cfg.l2_size / cfg.line_size in
+  {
+    cfg;
+    clock;
+    stats;
+    shift = Config.line_shift cfg;
+    l1_sets;
+    l1_assoc = cfg.l1_assoc;
+    l1_tags = Array.make (l1_sets * cfg.l1_assoc) (-1);
+    l1_stamp = Array.make (l1_sets * cfg.l1_assoc) 0;
+    l2_lines;
+    l2_tags = Array.make l2_lines (-1);
+    inflight = Hashtbl.create 64;
+    order = Queue.create ();
+    last_completion = min_int / 2;
+    stamp = 0;
+  }
+
+let flush t =
+  Array.fill t.l1_tags 0 (Array.length t.l1_tags) (-1);
+  Array.fill t.l2_tags 0 (Array.length t.l2_tags) (-1);
+  Hashtbl.reset t.inflight;
+  Queue.clear t.order;
+  t.last_completion <- min_int / 2
+
+let install_l2 t line = t.l2_tags.(line mod t.l2_lines) <- line
+
+let install_l1 t line =
+  let base = line mod t.l1_sets * t.l1_assoc in
+  let victim = ref base and best = ref max_int in
+  (try
+     for w = 0 to t.l1_assoc - 1 do
+       if t.l1_tags.(base + w) = -1 then begin
+         victim := base + w;
+         raise Exit
+       end;
+       if t.l1_stamp.(base + w) < !best then begin
+         best := t.l1_stamp.(base + w);
+         victim := base + w
+       end
+     done
+   with Exit -> ());
+  t.l1_tags.(!victim) <- line;
+  t.stamp <- t.stamp + 1;
+  t.l1_stamp.(!victim) <- t.stamp
+
+let l1_lookup t line =
+  let base = line mod t.l1_sets * t.l1_assoc in
+  let rec go w =
+    if w >= t.l1_assoc then false
+    else if t.l1_tags.(base + w) = line then begin
+      t.stamp <- t.stamp + 1;
+      t.l1_stamp.(base + w) <- t.stamp;
+      true
+    end
+    else go (w + 1)
+  in
+  go 0
+
+let l2_lookup t line = t.l2_tags.(line mod t.l2_lines) = line
+
+(* Retire completed prefetches (completion <= now) into the caches. *)
+let drain t =
+  let now = Clock.now t.clock in
+  let rec go () =
+    match Queue.peek_opt t.order with
+    | Some (line, c) when c <= now ->
+        ignore (Queue.pop t.order);
+        if Hashtbl.mem t.inflight line then begin
+          Hashtbl.remove t.inflight line;
+          install_l2 t line;
+          install_l1 t line
+        end;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let stall t cycles =
+  if cycles > 0 then begin
+    t.stats.Stats.stall <- t.stats.Stats.stall + cycles;
+    Clock.advance t.clock cycles
+  end
+
+(* Schedule one memory access starting no earlier than [now]; returns its
+   completion time and occupies the shared memory pipeline. *)
+let schedule_mem t =
+  let now = Clock.now t.clock in
+  let completion =
+    max (now + t.cfg.Config.mem_latency) (t.last_completion + t.cfg.Config.mem_gap)
+  in
+  t.last_completion <- completion;
+  completion
+
+(* Demand access (load or store) to a byte address. *)
+let access t addr =
+  let line = addr asr t.shift in
+  drain t;
+  match Hashtbl.find_opt t.inflight line with
+  | Some c ->
+      (* Prefetch in flight: wait only for the remaining latency. *)
+      Hashtbl.remove t.inflight line;
+      t.stats.Stats.prefetch_useful <- t.stats.Stats.prefetch_useful + 1;
+      stall t (c - Clock.now t.clock);
+      install_l2 t line;
+      install_l1 t line
+  | None ->
+      if l1_lookup t line then t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1
+      else if l2_lookup t line then begin
+        t.stats.Stats.l2_hits <- t.stats.Stats.l2_hits + 1;
+        stall t t.cfg.Config.l2_latency;
+        install_l1 t line
+      end
+      else begin
+        t.stats.Stats.mem_misses <- t.stats.Stats.mem_misses + 1;
+        let c = schedule_mem t in
+        stall t (c - Clock.now t.clock);
+        install_l2 t line;
+        install_l1 t line
+      end
+
+(* Software prefetch of one line: non-blocking unless all miss handlers are
+   busy.  Hits in cache or on an in-flight line are no-ops. *)
+let prefetch t addr =
+  let line = addr asr t.shift in
+  drain t;
+  if
+    (not (Hashtbl.mem t.inflight line))
+    && (not (l1_lookup t line))
+    && not (l2_lookup t line)
+  then begin
+    if Queue.length t.order >= t.cfg.Config.miss_handlers then begin
+      (* All handlers busy: stall until the oldest outstanding completes. *)
+      t.stats.Stats.prefetch_waits <- t.stats.Stats.prefetch_waits + 1;
+      (match Queue.peek_opt t.order with
+      | Some (_, c) -> stall t (c - Clock.now t.clock)
+      | None -> ());
+      drain t
+    end;
+    let c = schedule_mem t in
+    Hashtbl.replace t.inflight line c;
+    Queue.push (line, c) t.order;
+    t.stats.Stats.prefetch_issued <- t.stats.Stats.prefetch_issued + 1
+  end
+
+let access_range t addr len =
+  if len > 0 then begin
+    let first = addr asr t.shift and last = (addr + len - 1) asr t.shift in
+    for line = first to last do
+      access t (line lsl t.shift)
+    done
+  end
+
+let prefetch_range t addr len =
+  if len > 0 then begin
+    let first = addr asr t.shift and last = (addr + len - 1) asr t.shift in
+    for line = first to last do
+      prefetch t (line lsl t.shift)
+    done
+  end
+
+(* Drop any cached or in-flight copies of the given byte range.  Used when a
+   buffer frame is reassigned to a different disk page: the new contents
+   arrive by DMA, so stale CPU-cache lines for those addresses must not
+   produce false hits. *)
+let invalidate_range t addr len =
+  if len > 0 then begin
+    let first = addr asr t.shift and last = (addr + len - 1) asr t.shift in
+    for line = first to last do
+      let base = line mod t.l1_sets * t.l1_assoc in
+      for w = 0 to t.l1_assoc - 1 do
+        if t.l1_tags.(base + w) = line then t.l1_tags.(base + w) <- -1
+      done;
+      let idx = line mod t.l2_lines in
+      if t.l2_tags.(idx) = line then t.l2_tags.(idx) <- -1;
+      Hashtbl.remove t.inflight line
+    done
+  end
+
+let lines_in t addr len =
+  if len <= 0 then 0 else ((addr + len - 1) asr t.shift) - (addr asr t.shift) + 1

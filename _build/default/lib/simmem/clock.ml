@@ -1,0 +1,13 @@
+(* Global simulated clock shared by the CPU/cache model and the disk model.
+   Unit: nanoseconds (equivalently CPU cycles at the paper's 1 GHz). *)
+
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now t = t.now
+let advance t dt = t.now <- t.now + dt
+
+(* Move the clock forward to an absolute time, e.g. an I/O completion.
+   Never moves backwards. *)
+let advance_to t when_ = if when_ > t.now then t.now <- when_
+let reset t = t.now <- 0

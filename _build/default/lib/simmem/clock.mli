@@ -1,0 +1,16 @@
+(** Global simulated clock shared by the CPU/cache model and the disk
+    model.  Unit: nanoseconds (equivalently CPU cycles at 1 GHz). *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+
+(** Advance by a relative amount of time (>= 0). *)
+val advance : t -> int -> unit
+
+(** Move the clock forward to an absolute time, e.g. an I/O completion.
+    Never moves backwards. *)
+val advance_to : t -> int -> unit
+
+val reset : t -> unit

@@ -1,0 +1,28 @@
+(* Busy-cycle cost model.  The cache simulator accounts stall time; these
+   constants account the instruction work between misses.  They are rough
+   but only relative magnitudes matter for reproducing the paper's shapes:
+   searches are dominated by per-probe comparisons, insertions into
+   disk-optimized pages by data movement, and page-granularity operations by
+   buffer-manager calls (the paper's Figure 3(b) notes the extra busy time
+   of disk-optimized trees comes from buffer pool management). *)
+
+type t = {
+  c_access : int;  (* per typed load/store: address arithmetic + issue *)
+  c_compare : int;  (* per key comparison, including branch *)
+  c_node : int;  (* per tree-node visit: setup, bounds, descend *)
+  c_bufcall : int;  (* per buffer-manager page lookup (hash, pin, unpin) *)
+  c_prefetch : int;  (* per software prefetch instruction *)
+  move_bytes_per_cycle : int;  (* throughput of bulk copies *)
+  c_op : int;  (* fixed per index operation (call overhead, key setup) *)
+}
+
+let default =
+  {
+    c_access = 1;
+    c_compare = 4;
+    c_node = 20;
+    c_bufcall = 150;
+    c_prefetch = 1;
+    move_bytes_per_cycle = 8;
+    c_op = 100;
+  }

@@ -1,0 +1,14 @@
+(** Busy-cycle cost model: the instruction work between cache misses.
+    Only relative magnitudes matter for reproducing the paper's shapes. *)
+
+type t = {
+  c_access : int;  (** per typed load/store: address arithmetic + issue *)
+  c_compare : int;  (** per key comparison, including branch *)
+  c_node : int;  (** per tree-node visit: setup, bounds, descend *)
+  c_bufcall : int;  (** per buffer-manager page lookup (hash, pin, unpin) *)
+  c_prefetch : int;  (** per software prefetch instruction *)
+  move_bytes_per_cycle : int;  (** throughput of bulk copies *)
+  c_op : int;  (** fixed per index operation (call overhead, key setup) *)
+}
+
+val default : t

@@ -1,0 +1,43 @@
+(** Typed access to simulated memory regions.
+
+    A region is a byte buffer (normally one buffer-pool frame) plus the
+    base address it occupies in the simulated physical address space.
+    The charged accessors drive the cache simulator and the busy-cycle
+    cost model; the [peek_*]/[poke_*] variants bypass both and exist for
+    invariant checkers, test oracles and debug printers.
+
+    All multi-byte values are little-endian. *)
+
+type region = { bytes : Bytes.t; base : int }
+
+val make : bytes:Bytes.t -> base:int -> region
+val length : region -> int
+
+(** {1 Charged access} *)
+
+val read_u8 : Sim.t -> region -> int -> int
+val read_u16 : Sim.t -> region -> int -> int
+val read_i32 : Sim.t -> region -> int -> int
+val write_u8 : Sim.t -> region -> int -> int -> unit
+val write_u16 : Sim.t -> region -> int -> int -> unit
+val write_i32 : Sim.t -> region -> int -> int -> unit
+
+(** Bulk copy between (possibly identical) regions; touches every source
+    and destination line and charges copy throughput, so array-shift
+    data movement costs what the paper says it costs. *)
+val blit : Sim.t -> region -> int -> region -> int -> int -> unit
+
+val fill_zero : Sim.t -> region -> int -> int -> unit
+
+(** Software prefetch of [len] bytes at [off]: one busy cycle per prefetch
+    instruction issued, lines enter the miss pipeline. *)
+val prefetch : Sim.t -> region -> off:int -> len:int -> unit
+
+(** {1 Uncharged access (checkers and oracles only)} *)
+
+val peek_u8 : region -> int -> int
+val peek_u16 : region -> int -> int
+val peek_i32 : region -> int -> int
+val poke_u8 : region -> int -> int -> unit
+val poke_u16 : region -> int -> int -> unit
+val poke_i32 : region -> int -> int -> unit

@@ -1,0 +1,33 @@
+(* Simulation context bundling the clock, cache model, cost model and
+   statistics.  Everything that "executes" on the simulated machine charges
+   cycles through this context. *)
+
+type t = {
+  cfg : Config.t;
+  cost : Cost_model.t;
+  clock : Clock.t;
+  stats : Stats.t;
+  cache : Cache.t;
+}
+
+let create ?(cfg = Config.default) ?(cost = Cost_model.default) () =
+  let clock = Clock.create () in
+  let stats = Stats.create () in
+  { cfg; cost; clock; stats; cache = Cache.create cfg clock stats }
+
+let charge_busy t cycles =
+  if cycles > 0 then begin
+    t.stats.Stats.busy <- t.stats.Stats.busy + cycles;
+    Clock.advance t.clock cycles
+  end
+
+let busy_compare t = charge_busy t t.cost.Cost_model.c_compare
+let busy_node t = charge_busy t t.cost.Cost_model.c_node
+let busy_bufcall t = charge_busy t t.cost.Cost_model.c_bufcall
+let busy_op t = charge_busy t t.cost.Cost_model.c_op
+
+(* Clear caches and in-flight prefetches (used between experiments, like the
+   paper's "all caches are cleared before the first search"). *)
+let flush_cache t = Cache.flush t.cache
+let reset_stats t = Stats.reset t.stats
+let now t = Clock.now t.clock

@@ -1,0 +1,54 @@
+(* Execution-time statistics for the cache simulation.  Busy cycles are
+   charged explicitly by the cost model; stall cycles are charged by the
+   cache simulator whenever an access must wait for a lower level of the
+   hierarchy.  Execution time = busy + stall, matching the breakdown of the
+   paper's Figure 3(b) (their "other stalls" come from the out-of-order
+   pipeline front end, which we do not model). *)
+
+type t = {
+  mutable busy : int;  (* cycles doing useful work *)
+  mutable stall : int;  (* cycles stalled on data cache misses *)
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable mem_misses : int;  (* demand accesses serviced from memory *)
+  mutable prefetch_issued : int;
+  mutable prefetch_useful : int;  (* prefetched lines later accessed *)
+  mutable prefetch_waits : int;  (* issue stalls: all miss handlers busy *)
+}
+
+let create () =
+  {
+    busy = 0;
+    stall = 0;
+    l1_hits = 0;
+    l2_hits = 0;
+    mem_misses = 0;
+    prefetch_issued = 0;
+    prefetch_useful = 0;
+    prefetch_waits = 0;
+  }
+
+let reset t =
+  t.busy <- 0;
+  t.stall <- 0;
+  t.l1_hits <- 0;
+  t.l2_hits <- 0;
+  t.mem_misses <- 0;
+  t.prefetch_issued <- 0;
+  t.prefetch_useful <- 0;
+  t.prefetch_waits <- 0
+
+type snapshot = { s_busy : int; s_stall : int; s_mem_misses : int }
+
+let snapshot t = { s_busy = t.busy; s_stall = t.stall; s_mem_misses = t.mem_misses }
+
+(* Deltas since an earlier snapshot: (busy, stall, mem_misses). *)
+let since t s = (t.busy - s.s_busy, t.stall - s.s_stall, t.mem_misses - s.s_mem_misses)
+
+let total t = t.busy + t.stall
+
+let pp ppf t =
+  Fmt.pf ppf
+    "busy=%d stall=%d total=%d | L1hit=%d L2hit=%d miss=%d | pf=%d useful=%d waits=%d"
+    t.busy t.stall (total t) t.l1_hits t.l2_hits t.mem_misses t.prefetch_issued
+    t.prefetch_useful t.prefetch_waits

@@ -1,0 +1,31 @@
+(** Execution-time statistics for the cache simulation.  Busy cycles are
+    charged explicitly by the cost model; stall cycles are charged by the
+    cache simulator whenever an access waits for a lower level of the
+    hierarchy.  Execution time = busy + stall, matching the breakdown of
+    the paper's Figure 3(b). *)
+
+type t = {
+  mutable busy : int;  (** cycles doing useful work *)
+  mutable stall : int;  (** cycles stalled on data cache misses *)
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable mem_misses : int;  (** demand accesses serviced from memory *)
+  mutable prefetch_issued : int;
+  mutable prefetch_useful : int;  (** prefetched lines later accessed *)
+  mutable prefetch_waits : int;  (** issue stalls: all miss handlers busy *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** Deltas since an earlier snapshot: (busy, stall, mem_misses). *)
+val since : t -> snapshot -> int * int * int
+
+(** busy + stall. *)
+val total : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Array Cache Clock Disk_model Fpb_simmem Fun Hashtbl Mem Page_store Sim

@@ -1,0 +1,1 @@
+lib/storage/disk_model.ml: Array Clock Fpb_simmem

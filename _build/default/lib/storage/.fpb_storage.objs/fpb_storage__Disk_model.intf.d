@@ -1,0 +1,1 @@
+lib/storage/disk_model.mli: Fpb_simmem

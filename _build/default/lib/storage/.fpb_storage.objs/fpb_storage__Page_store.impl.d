@@ -1,0 +1,1 @@
+lib/storage/page_store.ml: Array Bytes Vec

@@ -1,0 +1,1 @@
+lib/storage/page_store.mli: Bytes

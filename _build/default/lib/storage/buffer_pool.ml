@@ -1,0 +1,270 @@
+(* Buffer pool with CLOCK replacement, pinning, and asynchronous prefetch.
+
+   Page contents always live in the page store; the pool tracks which pages
+   are memory-resident, charges simulated disk time for the rest, and
+   assigns each resident page a frame.  Frames give pages their simulated
+   physical addresses (frame index x page size), so the CPU-cache simulator
+   sees a stable, conflict-realistic address space; reassigning a frame
+   invalidates its CPU-cache lines.
+
+   Prefetch requests are dispatched by a configurable pool of prefetcher
+   threads (the paper's DB2 experiment varies exactly this): each request is
+   picked up by the earliest-available prefetcher, which then stays busy
+   until the disk read completes.  A demand [get] of an in-flight page waits
+   only for the remaining latency. *)
+
+open Fpb_simmem
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;  (* demand reads that went to disk *)
+  mutable prefetch_issued : int;
+  mutable prefetch_hits : int;  (* gets satisfied by a prefetched page *)
+  mutable io_wait_ns : int;  (* time the querying thread waited on I/O *)
+}
+
+type t = {
+  sim : Sim.t;
+  store : Page_store.t;
+  disks : Disk_model.t;
+  capacity : int;
+  frames : int array;  (* frame -> page id (Page_store.nil if empty) *)
+  ref_bit : bool array;
+  pin : int array;
+  dirty : bool array;
+  table : (int, int) Hashtbl.t;  (* page id -> frame *)
+  inflight : (int, int) Hashtbl.t;  (* page id -> completion time *)
+  prefetcher_free : int array;  (* per prefetcher: time it becomes idle *)
+  prefetch_request_busy : int;  (* cycles to enqueue a prefetch request *)
+  mutable hand : int;
+  mutable readahead : int;  (* sequential readahead depth (0 = off) *)
+  stats : stats;
+}
+
+exception Pool_exhausted
+
+let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
+    store disks =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create";
+  {
+    sim;
+    store;
+    disks;
+    capacity;
+    frames = Array.make capacity Page_store.nil;
+    ref_bit = Array.make capacity false;
+    pin = Array.make capacity 0;
+    dirty = Array.make capacity false;
+    table = Hashtbl.create (2 * capacity);
+    inflight = Hashtbl.create 64;
+    prefetcher_free = Array.make (max 1 n_prefetchers) 0;
+    prefetch_request_busy;
+    hand = 0;
+    readahead = 0;
+    stats = { hits = 0; misses = 0; prefetch_issued = 0; prefetch_hits = 0; io_wait_ns = 0 };
+  }
+
+let stats t = t.stats
+let sim t = t.sim
+let store t = t.store
+let disks t = t.disks
+let capacity t = t.capacity
+
+let reset_stats t =
+  let s = t.stats in
+  s.hits <- 0;
+  s.misses <- 0;
+  s.prefetch_issued <- 0;
+  s.prefetch_hits <- 0;
+  s.io_wait_ns <- 0
+
+let region_of_frame t frame page =
+  Mem.make ~bytes:(Page_store.bytes t.store page)
+    ~base:(frame * Page_store.page_size t.store)
+
+let evictable t frame =
+  t.pin.(frame) = 0
+  &&
+  match t.frames.(frame) with
+  | p when p = Page_store.nil -> true
+  | p -> (
+      match Hashtbl.find_opt t.inflight p with
+      | Some c -> c <= Clock.now t.sim.Sim.clock
+      | None -> true)
+
+(* CLOCK sweep: find a frame, evicting its current page if needed. *)
+let victim_frame t =
+  let page_size = Page_store.page_size t.store in
+  let n = t.capacity in
+  let rec sweep steps =
+    if steps > 2 * n then raise Pool_exhausted;
+    let f = t.hand in
+    t.hand <- (f + 1) mod n;
+    if not (evictable t f) then sweep (steps + 1)
+    else if t.frames.(f) <> Page_store.nil && t.ref_bit.(f) then begin
+      t.ref_bit.(f) <- false;
+      sweep (steps + 1)
+    end
+    else f
+  in
+  let f = sweep 0 in
+  (match t.frames.(f) with
+  | p when p = Page_store.nil -> ()
+  | p ->
+      Hashtbl.remove t.table p;
+      Hashtbl.remove t.inflight p;
+      if t.dirty.(f) then begin
+        t.dirty.(f) <- false;
+        let disk, phys = Page_store.location t.store p in
+        Disk_model.write t.disks ~disk ~phys
+      end;
+      Cache.invalidate_range t.sim.Sim.cache (f * page_size) page_size);
+  t.frames.(f) <- Page_store.nil;
+  t.ref_bit.(f) <- false;
+  f
+
+let wait_until t when_ =
+  let now = Clock.now t.sim.Sim.clock in
+  if when_ > now then begin
+    t.stats.io_wait_ns <- t.stats.io_wait_ns + (when_ - now);
+    Clock.advance_to t.sim.Sim.clock when_
+  end
+
+(* Request an asynchronous read of [page].  No-op if already resident or in
+   flight.  The request is served by the earliest-available prefetcher. *)
+let prefetch t page =
+  if not (Hashtbl.mem t.table page) then begin
+    Sim.charge_busy t.sim t.prefetch_request_busy;
+    (try
+       let frame = victim_frame t in
+       let worker = ref 0 in
+       for i = 1 to Array.length t.prefetcher_free - 1 do
+         if t.prefetcher_free.(i) < t.prefetcher_free.(!worker) then worker := i
+       done;
+       let earliest =
+         max (Clock.now t.sim.Sim.clock) t.prefetcher_free.(!worker)
+       in
+       let disk, phys = Page_store.location t.store page in
+       let completion = Disk_model.read t.disks ~earliest ~disk ~phys () in
+       t.prefetcher_free.(!worker) <- completion;
+       t.frames.(frame) <- page;
+       Hashtbl.replace t.table page frame;
+       Hashtbl.replace t.inflight page completion;
+       t.stats.prefetch_issued <- t.stats.prefetch_issued + 1
+     with Pool_exhausted -> () (* drop the hint: pool too hot to prefetch *))
+  end
+
+(* Sequential readahead after a demand miss at (disk, phys): asynchronously
+   read the next physically-consecutive pages on the same disk. *)
+let issue_readahead t ~disk ~phys =
+  for k = 1 to t.readahead do
+    let nxt = Page_store.page_at t.store ~disk ~phys:(phys + k) in
+    if nxt <> Page_store.nil then prefetch t nxt
+  done
+
+(* Pin a page, reading it from disk if not resident.  Returns the region to
+   access its contents through.  Must be balanced by [unpin]. *)
+let get t page =
+  Sim.busy_bufcall t.sim;
+  match Hashtbl.find_opt t.table page with
+  | Some frame ->
+      (match Hashtbl.find_opt t.inflight page with
+      | Some c ->
+          Hashtbl.remove t.inflight page;
+          t.stats.prefetch_hits <- t.stats.prefetch_hits + 1;
+          wait_until t c
+      | None -> t.stats.hits <- t.stats.hits + 1);
+      t.ref_bit.(frame) <- true;
+      t.pin.(frame) <- t.pin.(frame) + 1;
+      region_of_frame t frame page
+  | None ->
+      let frame = victim_frame t in
+      let disk, phys = Page_store.location t.store page in
+      let completion = Disk_model.read t.disks ~disk ~phys () in
+      t.stats.misses <- t.stats.misses + 1;
+      wait_until t completion;
+      t.frames.(frame) <- page;
+      Hashtbl.replace t.table page frame;
+      t.ref_bit.(frame) <- true;
+      t.pin.(frame) <- 1;
+      let region = region_of_frame t frame page in
+      if t.readahead > 0 then issue_readahead t ~disk ~phys;
+      region
+
+let frame_of_page t page = Hashtbl.find_opt t.table page
+
+let unpin t page =
+  match frame_of_page t page with
+  | Some frame when t.pin.(frame) > 0 -> t.pin.(frame) <- t.pin.(frame) - 1
+  | _ -> invalid_arg "Buffer_pool.unpin: page not pinned"
+
+let mark_dirty t page =
+  match frame_of_page t page with
+  | Some frame -> t.dirty.(frame) <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+
+let with_page t page f =
+  let region = get t page in
+  Fun.protect ~finally:(fun () -> unpin t page) (fun () -> f region)
+
+let is_resident t page = Hashtbl.mem t.table page
+
+(* Classic sequential I/O prefetching (the paper's Section 2 contrast to
+   jump-pointer arrays): after a demand miss, asynchronously read the next
+   [depth] pages in *physical* order on the same disk.  Effective for
+   clustered/bulkloaded layouts, useless once updates have scattered the
+   leaf order. *)
+let set_sequential_readahead t depth = t.readahead <- max 0 depth
+
+(* Allocate a fresh page and make it resident (no disk read: it is born in
+   memory) with one pin.  Returns the page id and its region. *)
+let create_page t =
+  let page = Page_store.alloc t.store in
+  let frame = victim_frame t in
+  t.frames.(frame) <- page;
+  Hashtbl.replace t.table page frame;
+  t.ref_bit.(frame) <- true;
+  t.pin.(frame) <- 1;
+  t.dirty.(frame) <- true;
+  Sim.busy_bufcall t.sim;
+  (page, region_of_frame t frame page)
+
+(* Release a page back to the store.  It must be unpinned. *)
+let free_page t page =
+  (match frame_of_page t page with
+  | Some frame ->
+      if t.pin.(frame) > 0 then invalid_arg "Buffer_pool.free_page: pinned";
+      Hashtbl.remove t.table page;
+      Hashtbl.remove t.inflight page;
+      t.frames.(frame) <- Page_store.nil;
+      t.ref_bit.(frame) <- false;
+      t.dirty.(frame) <- false;
+      let page_size = Page_store.page_size t.store in
+      Cache.invalidate_range t.sim.Sim.cache (frame * page_size) page_size
+  | None -> ());
+  Page_store.free t.store page
+
+(* Evict every unpinned page (writing back dirty ones): a cold pool, as in
+   the paper's search-I/O experiments.  Raises [Pool_exhausted] via victim
+   search only if pages remain pinned. *)
+let clear t =
+  let page_size = Page_store.page_size t.store in
+  for f = 0 to t.capacity - 1 do
+    match t.frames.(f) with
+    | p when p = Page_store.nil -> ()
+    | p ->
+        if t.pin.(f) > 0 then invalid_arg "Buffer_pool.clear: pinned page";
+        Hashtbl.remove t.table p;
+        Hashtbl.remove t.inflight p;
+        if t.dirty.(f) then begin
+          t.dirty.(f) <- false;
+          let disk, phys = Page_store.location t.store p in
+          Disk_model.write t.disks ~disk ~phys
+        end;
+        t.frames.(f) <- Page_store.nil;
+        t.ref_bit.(f) <- false;
+        Cache.invalidate_range t.sim.Sim.cache (f * page_size) page_size
+  done;
+  Array.fill t.prefetcher_free 0 (Array.length t.prefetcher_free) 0
+
+let resident_pages t = Hashtbl.length t.table

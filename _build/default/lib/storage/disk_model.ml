@@ -1,0 +1,84 @@
+(* Discrete-event model of a farm of independent disks.
+
+   Each disk serves requests one at a time in submission order.  A request
+   costs a positioning overhead (seek + rotational latency) plus the page
+   transfer time; a request for the physical page immediately following the
+   previous one served by the same disk skips the positioning cost
+   (sequential access).  Requests may start no earlier than a caller-chosen
+   time, which lets the buffer pool model prefetcher threads dispatching
+   work in the future relative to the simulated CPU clock. *)
+
+open Fpb_simmem
+
+type t = {
+  clock : Clock.t;
+  n_disks : int;
+  seek_ns : int;
+  transfer_ns : int;
+  free_at : int array;  (* per disk: time the disk becomes idle *)
+  last_phys : int array;  (* per disk: last physical page served *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable busy_ns : int;  (* total time disks spent servicing requests *)
+}
+
+(* 8 ms positioning (seek + rotational), 40 MB/s transfer: the paper's
+   Seagate Cheetah 4LP-class disks. *)
+let default_seek_ns = 8_000_000
+
+let transfer_ns_of_page_size page_size = page_size * 25 (* 40 MB/s = 25 ns/B *)
+
+let create ?(seek_ns = default_seek_ns) ~transfer_ns ~n_disks clock =
+  if n_disks <= 0 then invalid_arg "Disk_model.create";
+  {
+    clock;
+    n_disks;
+    seek_ns;
+    transfer_ns;
+    free_at = Array.make n_disks 0;
+    last_phys = Array.make n_disks (-10);
+    reads = 0;
+    writes = 0;
+    busy_ns = 0;
+  }
+
+let n_disks t = t.n_disks
+
+let service t ~earliest ~disk ~phys =
+  let start = max earliest t.free_at.(disk) in
+  let cost =
+    if phys = t.last_phys.(disk) + 1 then t.transfer_ns
+    else t.seek_ns + t.transfer_ns
+  in
+  let completion = start + cost in
+  t.free_at.(disk) <- completion;
+  t.last_phys.(disk) <- phys;
+  t.busy_ns <- t.busy_ns + cost;
+  completion
+
+(* Submit a read; returns its completion time (absolute ns). *)
+let read t ?earliest ~disk ~phys () =
+  let earliest =
+    match earliest with Some e -> e | None -> Clock.now t.clock
+  in
+  t.reads <- t.reads + 1;
+  service t ~earliest ~disk ~phys
+
+(* Submit an asynchronous write-back; the caller never waits for it. *)
+let write t ~disk ~phys =
+  t.writes <- t.writes + 1;
+  ignore (service t ~earliest:(Clock.now t.clock) ~disk ~phys)
+
+let reads t = t.reads
+let writes t = t.writes
+let busy_ns t = t.busy_ns
+
+let reset_stats t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.busy_ns <- 0
+
+(* Forget positioning state and pending work, e.g. between experiments. *)
+let quiesce t =
+  Array.fill t.free_at 0 t.n_disks 0;
+  Array.fill t.last_phys 0 t.n_disks (-10)

@@ -1,0 +1,39 @@
+(** Discrete-event model of a farm of independent disks.
+
+    Each disk serves requests one at a time in submission order.  A
+    request costs a positioning overhead (seek + rotational latency) plus
+    the page transfer time; a request for the physical page immediately
+    following the previous one served by the same disk pays only the
+    transfer (sequential access). *)
+
+type t
+
+(** 8 ms positioning: the paper's Seagate Cheetah 4LP-class disks. *)
+val default_seek_ns : int
+
+(** Transfer time at 40 MB/s. *)
+val transfer_ns_of_page_size : int -> int
+
+val create :
+  ?seek_ns:int -> transfer_ns:int -> n_disks:int -> Fpb_simmem.Clock.t -> t
+
+val n_disks : t -> int
+
+(** Submit a read starting no earlier than [earliest] (default: now);
+    returns its completion time (absolute ns).  The caller decides whether
+    to wait. *)
+val read : t -> ?earliest:int -> disk:int -> phys:int -> unit -> int
+
+(** Submit an asynchronous write-back; never waited on. *)
+val write : t -> disk:int -> phys:int -> unit
+
+val reads : t -> int
+val writes : t -> int
+
+(** Total time disks spent servicing requests. *)
+val busy_ns : t -> int
+
+val reset_stats : t -> unit
+
+(** Forget positioning state and pending work (between experiments). *)
+val quiesce : t -> unit

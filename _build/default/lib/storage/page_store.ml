@@ -1,0 +1,75 @@
+(* The persistent page space: allocation, deallocation and the mapping of
+   logical page IDs to (disk, physical page) locations.
+
+   In this simulation the page contents always live in host memory (one
+   [Bytes.t] per page); the buffer pool decides which pages count as
+   memory-resident and charges simulated I/O for the rest.  Pages are
+   striped round-robin across the disks in allocation order, so pages
+   allocated consecutively (e.g. the leaves of a bulkload) are sequential
+   on each disk, while pages allocated later (splits in a mature tree) land
+   at the end of the physical space — exactly the layout drift the paper
+   relies on for its range-scan experiments.
+
+   Page ID 0 is reserved as nil. *)
+
+type t = {
+  page_size : int;
+  n_disks : int;
+  pages : Bytes.t Vec.t;  (* index = page id; slot 0 unused *)
+  location : (int * int) Vec.t;  (* page id -> (disk, phys) *)
+  mutable free : int list;
+  mutable allocated : int;  (* live pages *)
+  next_phys : int array;  (* per disk *)
+}
+
+let nil = 0
+
+let create ~page_size ~n_disks =
+  let pages = Vec.create ~dummy:Bytes.empty in
+  let location = Vec.create ~dummy:(-1, -1) in
+  Vec.push pages Bytes.empty;
+  Vec.push location (-1, -1);
+  { page_size; n_disks; pages; location; free = []; allocated = 0; next_phys = Array.make n_disks 0 }
+
+let page_size t = t.page_size
+
+let alloc t =
+  t.allocated <- t.allocated + 1;
+  match t.free with
+  | id :: rest ->
+      t.free <- rest;
+      Bytes.fill (Vec.get t.pages id) 0 t.page_size '\000';
+      id
+  | [] ->
+      let id = Vec.length t.pages in
+      let disk = (id - 1) mod t.n_disks in
+      let phys = t.next_phys.(disk) in
+      t.next_phys.(disk) <- phys + 1;
+      Vec.push t.pages (Bytes.create t.page_size |> fun b -> Bytes.fill b 0 t.page_size '\000'; b);
+      Vec.push t.location (disk, phys);
+      id
+
+let free t id =
+  if id = nil then invalid_arg "Page_store.free: nil";
+  t.allocated <- t.allocated - 1;
+  t.free <- id :: t.free
+
+let bytes t id =
+  if id = nil then invalid_arg "Page_store.bytes: nil";
+  Vec.get t.pages id
+
+let location t id = Vec.get t.location id
+
+(* Inverse of [location] under round-robin allocation: the page currently
+   mapped at (disk, phys), or nil if none was ever allocated there.  Used
+   by sequential readahead. *)
+let page_at t ~disk ~phys =
+  let id = (phys * t.n_disks) + disk + 1 in
+  if id < Vec.length t.pages && Vec.get t.location id = (disk, phys) then id
+  else nil
+
+(* Number of live (allocated, unfreed) pages: the paper's space metric. *)
+let live_pages t = t.allocated
+
+(* Total pages ever allocated (high-water mark of the physical space). *)
+let total_pages t = Vec.length t.pages - 1

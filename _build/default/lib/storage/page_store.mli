@@ -1,0 +1,35 @@
+(** The persistent page space: allocation, deallocation, and the mapping
+    of logical page IDs to (disk, physical page) locations.  Pages are
+    striped round-robin across disks in allocation order, so bulkloaded
+    leaves are sequential per disk while later splits land at the end of
+    the physical space — the layout drift the paper's range-scan
+    experiments rely on.  Page contents live in host memory; the buffer
+    pool decides what counts as resident. *)
+
+type t
+
+(** The reserved nil page ID (0). *)
+val nil : int
+
+val create : page_size:int -> n_disks:int -> t
+val page_size : t -> int
+
+(** Allocate a zeroed page (reuses freed IDs first). *)
+val alloc : t -> int
+
+val free : t -> int -> unit
+
+(** Backing bytes of a page (shared, not copied). *)
+val bytes : t -> int -> Bytes.t
+
+(** (disk, physical page number) of a page. *)
+val location : t -> int -> int * int
+
+(** Inverse of [location]: the page at (disk, phys), or [nil]. *)
+val page_at : t -> disk:int -> phys:int -> int
+
+(** Live (allocated, unfreed) pages: the paper's space metric. *)
+val live_pages : t -> int
+
+(** High-water mark of the physical space. *)
+val total_pages : t -> int

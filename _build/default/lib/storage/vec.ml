@@ -1,0 +1,32 @@
+(* Minimal growable array (OCaml 5.1 has no Dynarray). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 16 dummy; len = 0; dummy }
+let length t = t.len
+
+let ensure t n =
+  if n > Array.length t.data then begin
+    let cap = max n (2 * Array.length t.data) in
+    let data = Array.make cap t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done

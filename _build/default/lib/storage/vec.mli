@@ -1,0 +1,13 @@
+(** Minimal growable array (OCaml 5.1 has no Dynarray). *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+(** Raise [Invalid_argument] out of bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

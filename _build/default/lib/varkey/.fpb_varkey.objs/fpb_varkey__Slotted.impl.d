@@ -1,0 +1,1 @@
+lib/varkey/slotted.ml: Bytes Cache Fpb_simmem List Mem Sim String

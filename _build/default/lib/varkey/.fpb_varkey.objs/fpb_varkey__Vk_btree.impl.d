@@ -1,0 +1,1 @@
+lib/varkey/vk_btree.ml: Array Buffer_pool Fmt Fpb_simmem Fpb_storage Mem Page_store Sim Slotted String

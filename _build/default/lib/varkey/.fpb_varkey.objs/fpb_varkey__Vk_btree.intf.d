@@ -1,0 +1,1 @@
+lib/varkey/vk_btree.mli: Fpb_storage

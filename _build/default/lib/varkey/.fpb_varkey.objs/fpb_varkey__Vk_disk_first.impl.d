@@ -1,0 +1,1 @@
+lib/varkey/vk_disk_first.ml: Array Buffer_pool Fmt Fpb_simmem Fpb_storage List Mem Option Page_store Sim Slotted String

@@ -1,0 +1,1 @@
+lib/varkey/vk_disk_first.mli: Fpb_storage

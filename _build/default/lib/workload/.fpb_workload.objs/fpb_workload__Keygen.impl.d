@@ -1,0 +1,1 @@
+lib/workload/keygen.ml: Array Fpb_btree_common Key Prng

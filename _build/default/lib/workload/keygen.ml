@@ -1,0 +1,50 @@
+(* Key-set generation for the paper's workloads: n distinct random keys
+   over the 31-bit key space, returned sorted for bulkload.  Keys are
+   jittered strides, which gives a uniform-looking distinct set in O(n)
+   deterministically. *)
+
+open Fpb_btree_common
+
+(* Sorted distinct (key, tid) pairs; tid = key position (stable oracle). *)
+let bulk_pairs rng n =
+  if n <= 0 then [||]
+  else begin
+    let space = Key.max_key - 1 in
+    let step = max 2 (space / n) in
+    Array.init n (fun i ->
+        let base = i * step in
+        let jitter = Prng.int rng (step - 1) in
+        (base + jitter, i))
+  end
+
+(* Random probe keys drawn from an existing key set (hits). *)
+let probes rng pairs count =
+  let n = Array.length pairs in
+  Array.init count (fun _ -> fst pairs.(Prng.int rng n))
+
+(* Random keys over the whole space (for insertions; mostly misses). *)
+let random_keys rng count =
+  Array.init count (fun _ -> Prng.int rng Key.max_key)
+
+(* Random (start, end) ranges spanning [span] key positions within a
+   bulkloaded key set. *)
+let ranges rng pairs count ~span =
+  let n = Array.length pairs in
+  Array.init count (fun _ ->
+      let s = Prng.int rng (max 1 (n - span)) in
+      let e = min (n - 1) (s + span - 1) in
+      (fst pairs.(s), fst pairs.(e)))
+
+(* Zipf-distributed probe positions over an existing key set (rank 1 is
+   hottest), via the rejection-free power-law approximation
+   floor(n * u^(1/(1-theta))) for theta in (0, 1). *)
+let zipf_probes rng pairs count ~theta =
+  if theta <= 0. || theta >= 1. then invalid_arg "Keygen.zipf_probes: theta";
+  let n = Array.length pairs in
+  let expo = 1. /. (1. -. theta) in
+  Array.init count (fun _ ->
+      let u =
+        (float_of_int (Prng.int rng 1_000_000) +. 1.) /. 1_000_001.
+      in
+      let rank = int_of_float (float_of_int n *. (u ** expo)) in
+      fst pairs.(min (n - 1) rank))

@@ -1,0 +1,20 @@
+(** Key-set generation for the paper's workloads. *)
+
+(** [bulk_pairs rng n]: n strictly increasing distinct (key, tuple-id)
+    pairs spread uniformly over the 31-bit key space (jittered strides). *)
+val bulk_pairs : Prng.t -> int -> (int * int) array
+
+(** Random probe keys drawn from an existing key set (hits). *)
+val probes : Prng.t -> (int * int) array -> int -> int array
+
+(** Random keys over the whole space (insertions; mostly misses). *)
+val random_keys : Prng.t -> int -> int array
+
+(** Random (start, end) key ranges spanning [span] positions of the key
+    set. *)
+val ranges : Prng.t -> (int * int) array -> int -> span:int -> (int * int) array
+
+(** Zipf-skewed probe keys over a key set: rank 1 hottest; theta in (0,1)
+    controls the skew (0.99 ~ TPC-C-like). *)
+val zipf_probes :
+  Prng.t -> (int * int) array -> int -> theta:float -> int array

@@ -1,0 +1,13 @@
+(** splitmix64: tiny, fast, deterministic PRNG for workload generation
+    (stable across OCaml versions, unlike [Random]). *)
+
+type t
+
+val create : int -> t
+val next : t -> int64
+
+(** Uniform int in [0, bound); bound > 0. *)
+val int : t -> int -> int
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+test/test_dbsim.ml: Alcotest Dbsim Fpb_dbsim QCheck2 Util

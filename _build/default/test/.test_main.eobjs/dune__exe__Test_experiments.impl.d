@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Exp_config Exp_db2 Fpb_experiments Fpb_simmem List Registry Scale Setup String Table

@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Array Fpb_btree_common Fpb_core Fpb_disk_btree Fpb_experiments Fpb_pbtree Fpb_simmem Index_sig Int Key List Map Pbtree Printf QCheck2 Seq Util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Fpb_btree_common Fpb_core Fpb_experiments Fpb_simmem Fpb_storage Fpb_varkey Fpb_workload Hashtbl Index_sig Int List Map Printf QCheck2 Util

@@ -1,0 +1,1 @@
+test/test_simmem.ml: Alcotest Bytes Cache Clock Config Fpb_simmem List Mem Printf QCheck2 Sim Stats Util

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Bytes Clock Disk_model Fpb_simmem Fpb_storage List Mem Page_store Printf QCheck2 Sim Util Vec

@@ -1,0 +1,1 @@
+test/test_tuning.ml: Alcotest Fpb_btree_common Layout QCheck2 Tuning Util

@@ -1,0 +1,1 @@
+test/test_varkey.ml: Alcotest Bytes Char Fpb_simmem Fpb_varkey Fpb_workload List Map Printf QCheck2 Seq Sim String Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fpb_btree_common Fpb_workload Fun Keygen List Prng QCheck2 Util

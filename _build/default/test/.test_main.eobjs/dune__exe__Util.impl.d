@@ -1,0 +1,1 @@
+test/util.ml: Buffer_pool Disk_model Fpb_simmem Fpb_storage Page_store QCheck2 QCheck_alcotest Sim

@@ -1,0 +1,49 @@
+(* Properties of the DB2-style scan model (Figure 19 substrate). *)
+
+open Fpb_dbsim
+
+let small = { Dbsim.default with n_pages = 5000 }
+
+let test_in_memory_floor () =
+  let t = Dbsim.run { small with in_memory = true } in
+  let per = (small.n_pages + small.smp_degree - 1) / small.smp_degree in
+  Alcotest.(check int) "cpu bound" (per * small.cpu_per_page_ns) t;
+  Alcotest.(check bool) "floor below disk runs" true
+    (t < Dbsim.run { small with n_prefetchers = 0 })
+
+let prop_more_prefetchers_not_slower =
+  Util.qtest ~count:30 "more prefetchers never slower"
+    QCheck2.Gen.(1 -- 11)
+    (fun f ->
+      Dbsim.run { small with n_prefetchers = f + 1 }
+      <= Dbsim.run { small with n_prefetchers = f } + 1_000_000)
+
+let prop_more_smp_not_slower =
+  Util.qtest ~count:20 "more SMP degree never slower (no prefetch)"
+    QCheck2.Gen.(1 -- 8)
+    (fun s ->
+      Dbsim.run { small with n_prefetchers = 0; smp_degree = s + 1 }
+      <= Dbsim.run { small with n_prefetchers = 0; smp_degree = s })
+
+let prop_in_memory_is_lower_bound =
+  Util.qtest ~count:20 "in-memory bounds every configuration"
+    QCheck2.Gen.(pair (1 -- 12) (1 -- 9))
+    (fun (f, s) ->
+      Dbsim.run { small with smp_degree = s; in_memory = true }
+      <= Dbsim.run { small with n_prefetchers = f; smp_degree = s })
+
+let prop_prefetch_beats_none_when_enough =
+  Util.qtest ~count:10 "8 prefetchers beat no prefetch"
+    QCheck2.Gen.(2 -- 9)
+    (fun s ->
+      Dbsim.run { small with n_prefetchers = 8; smp_degree = s }
+      < Dbsim.run { small with n_prefetchers = 0; smp_degree = s })
+
+let suite =
+  [
+    Alcotest.test_case "in-memory floor" `Quick test_in_memory_floor;
+    prop_more_prefetchers_not_slower;
+    prop_more_smp_not_slower;
+    prop_in_memory_is_lower_bound;
+    prop_prefetch_beats_none_when_enough;
+  ]

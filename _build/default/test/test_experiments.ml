@@ -1,0 +1,53 @@
+(* Smoke tests for the experiment harness itself: the registry is complete
+   and the cheap experiments produce well-formed tables. *)
+
+open Fpb_experiments
+
+let expected_ids =
+  [ "table1"; "table2"; "fig3b"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
+    "fig15"; "fig16"; "fig17"; "fig18a"; "fig18bc"; "fig19"; "ablation";
+    "ext-varkey"; "ext-skew" ]
+
+let test_registry_complete () =
+  List.iter
+    (fun id ->
+      if Registry.find id = None then Alcotest.failf "missing experiment %s" id)
+    expected_ids;
+  Alcotest.(check int) "no unexpected experiments" (List.length expected_ids)
+    (List.length Registry.all)
+
+let test_tables_well_formed () =
+  let check_table (t : Table.t) =
+    if t.Table.header = [] then Alcotest.failf "%s: empty header" t.Table.id;
+    List.iter
+      (fun row ->
+        if List.length row <> List.length t.Table.header then
+          Alcotest.failf "%s: ragged row" t.Table.id)
+      t.Table.rows
+  in
+  check_table (Exp_config.table1 ());
+  check_table (Exp_config.table2 ());
+  check_table (Exp_db2.fig19a Scale.Quick);
+  check_table (Exp_db2.fig19b Scale.Quick)
+
+let test_csv_roundtrip () =
+  let t = Exp_config.table1 () in
+  let csv = Table.csv t in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "csv rows" (1 + List.length t.Table.rows) (List.length lines)
+
+let test_measure_cycles_isolated () =
+  (* measurement must reset stats so back-to-back measures are independent *)
+  let sys = Setup.make ~page_size:4096 () in
+  let m1 = Setup.measure_cycles sys (fun () -> Fpb_simmem.Sim.charge_busy sys.Setup.sim 100) in
+  let m2 = Setup.measure_cycles sys (fun () -> ()) in
+  Alcotest.(check int) "first measure" 100 m1.Setup.busy;
+  Alcotest.(check int) "second measure clean" 0 m2.Setup.total
+
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "tables well-formed" `Quick test_tables_well_formed;
+    Alcotest.test_case "csv" `Quick test_csv_roundtrip;
+    Alcotest.test_case "measurement isolation" `Quick test_measure_cycles_isolated;
+  ]

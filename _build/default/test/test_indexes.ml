@@ -1,0 +1,327 @@
+(* Model-based and unit tests shared by all four disk-resident index
+   structures (disk-optimized B+-Tree, micro-indexing, disk-first and
+   cache-first fpB+-Trees).  Every index is checked against a Map oracle
+   over random operation sequences, with structural invariants re-verified
+   along the way. *)
+
+open Fpb_btree_common
+module M = Map.Make (Int)
+
+let kinds =
+  [
+    ("disk_opt", Fpb_experiments.Setup.Disk_opt);
+    ("micro", Fpb_experiments.Setup.Micro);
+    ("disk_first", Fpb_experiments.Setup.Disk_first);
+    ("cache_first", Fpb_experiments.Setup.Cache_first);
+  ]
+
+let make_index ?page_size kind =
+  let pool = Util.make_pool ?page_size ~capacity:16384 () in
+  Fpb_experiments.Setup.make_index kind pool
+
+(* --- Unit tests, parameterised over the index kind ------------------------ *)
+
+let test_empty kind () =
+  let idx = make_index kind in
+  Alcotest.(check (option int)) "search empty" None (Index_sig.search idx 42);
+  Alcotest.(check bool) "delete empty" false (Index_sig.delete idx 42);
+  Alcotest.(check int) "scan empty" 0
+    (Index_sig.range_scan idx ~start_key:0 ~end_key:1000 (fun _ _ -> ()));
+  Index_sig.check idx
+
+let test_single kind () =
+  let idx = make_index kind in
+  Alcotest.(check bool) "insert" true (Index_sig.insert idx 5 50 = `Inserted);
+  Alcotest.(check (option int)) "found" (Some 50) (Index_sig.search idx 5);
+  Alcotest.(check (option int)) "miss below" None (Index_sig.search idx 4);
+  Alcotest.(check (option int)) "miss above" None (Index_sig.search idx 6);
+  Alcotest.(check bool) "update" true (Index_sig.insert idx 5 51 = `Updated);
+  Alcotest.(check (option int)) "updated" (Some 51) (Index_sig.search idx 5);
+  Alcotest.(check bool) "delete" true (Index_sig.delete idx 5);
+  Alcotest.(check (option int)) "gone" None (Index_sig.search idx 5);
+  Index_sig.check idx
+
+let test_bulkload_basics kind () =
+  let idx = make_index kind in
+  let pairs = Array.init 50_000 (fun i -> (3 * i, i)) in
+  Index_sig.bulkload idx pairs ~fill:0.75;
+  Index_sig.check idx;
+  Alcotest.(check (option int)) "first" (Some 0) (Index_sig.search idx 0);
+  Alcotest.(check (option int)) "last" (Some 49_999) (Index_sig.search idx 149_997);
+  Alcotest.(check (option int)) "between" None (Index_sig.search idx 1);
+  let count = ref 0 in
+  let n =
+    Index_sig.range_scan idx ~start_key:min_int ~end_key:max_int (fun _ _ ->
+        incr count)
+  in
+  Alcotest.(check int) "full scan count" 50_000 n;
+  Alcotest.(check int) "callback count" 50_000 !count
+
+let test_bulkload_rejects kind () =
+  let idx = make_index kind in
+  Alcotest.(check bool) "bad fill rejected" true
+    (try
+       Index_sig.bulkload idx [| (1, 1) |] ~fill:0.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_scan_boundaries kind () =
+  let idx = make_index kind in
+  Index_sig.bulkload idx (Array.init 10_000 (fun i -> (2 * i, i))) ~fill:1.0;
+  let collect a b =
+    let out = ref [] in
+    ignore (Index_sig.range_scan idx ~start_key:a ~end_key:b (fun k _ -> out := k :: !out));
+    List.rev !out
+  in
+  Alcotest.(check (list int)) "inclusive both ends" [ 100; 102; 104 ] (collect 100 104);
+  Alcotest.(check (list int)) "odd bounds" [ 100; 102; 104 ] (collect 99 105);
+  Alcotest.(check (list int)) "single" [ 100 ] (collect 100 100);
+  Alcotest.(check (list int)) "empty between keys" [] (collect 101 101);
+  Alcotest.(check (list int)) "inverted" [] (collect 104 100);
+  Alcotest.(check int) "tail" 3
+    (Index_sig.range_scan idx ~start_key:19_994 ~end_key:99_999_999 (fun _ _ -> ()))
+
+let test_descending_inserts kind () =
+  (* ever-smaller keys stress the untrusted-minimum routing fix *)
+  let idx = make_index ~page_size:4096 kind in
+  for i = 30_000 downto 1 do
+    ignore (Index_sig.insert idx i i)
+  done;
+  Index_sig.check idx;
+  for i = 1 to 30_000 do
+    if Index_sig.search idx i <> Some i then Alcotest.failf "missing %d" i
+  done
+
+let test_sentinel_rejected kind () =
+  let idx = make_index kind in
+  Alcotest.(check bool) "sentinel rejected" true
+    (try
+       ignore (Index_sig.insert idx Key.sentinel 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_prefetch_scan_equiv kind () =
+  (* jump-pointer prefetching must not change scan results *)
+  let idx = make_index kind in
+  Index_sig.bulkload idx (Array.init 80_000 (fun i -> (2 * i, i))) ~fill:0.8;
+  let run prefetch =
+    let acc = ref [] in
+    let n =
+      Index_sig.range_scan idx ~prefetch ~start_key:31_111 ~end_key:88_888
+        (fun k v -> acc := (k, v) :: !acc)
+    in
+    (n, List.rev !acc)
+  in
+  let n1, r1 = run false and n2, r2 = run true in
+  Alcotest.(check int) "same count" n1 n2;
+  Alcotest.(check bool) "same results" true (r1 = r2)
+
+(* --- Model-based property tests ------------------------------------------- *)
+
+type op = Insert of int * int | Delete of int | Search of int | Scan of int * int
+
+let op_gen =
+  let open QCheck2.Gen in
+  let key = 0 -- 2000 in
+  frequency
+    [
+      (5, map2 (fun k v -> Insert (k, v)) key (0 -- 10_000));
+      (2, map (fun k -> Delete k) key);
+      (2, map (fun k -> Search k) key);
+      (1, map2 (fun a len -> Scan (a, a + len)) key (0 -- 300));
+    ]
+
+let apply_model m = function
+  | Insert (k, v) -> M.add k v m
+  | Delete k -> M.remove k m
+  | Search _ | Scan _ -> m
+
+let agrees idx m op =
+  match op with
+  | Insert (k, v) ->
+      let r = Index_sig.insert idx k v in
+      (match r with
+      | `Inserted -> not (M.mem k m)
+      | `Updated -> M.mem k m)
+  | Delete k -> Index_sig.delete idx k = M.mem k m
+  | Search k -> Index_sig.search idx k = M.find_opt k m
+  | Scan (a, b) ->
+      let got = ref [] in
+      let n = Index_sig.range_scan idx ~start_key:a ~end_key:b (fun k v -> got := (k, v) :: !got) in
+      let want =
+        M.to_seq m |> Seq.filter (fun (k, _) -> k >= a && k <= b) |> List.of_seq
+      in
+      List.rev !got = want && n = List.length want
+
+let model_test name kind =
+  (* tiny pages (4KB smallest supported) so splits and reorganisations are
+     exercised with modest op counts *)
+  Util.qtest ~count:30
+    (Printf.sprintf "%s agrees with Map oracle" name)
+    QCheck2.Gen.(list_size (return 400) op_gen)
+    (fun ops ->
+      let idx = make_index ~page_size:4096 kind in
+      let m = ref M.empty in
+      let ok =
+        List.for_all
+          (fun op ->
+            let good = agrees idx !m op in
+            m := apply_model !m op;
+            good)
+          ops
+      in
+      Index_sig.check idx;
+      (* final state equivalence *)
+      let dumped = ref [] in
+      Index_sig.iter idx (fun k v -> dumped := (k, v) :: !dumped);
+      ok && List.rev !dumped = List.of_seq (M.to_seq !m))
+
+let model_test_bulk name kind =
+  (* start from a bulkloaded tree, then mutate *)
+  Util.qtest ~count:15
+    (Printf.sprintf "%s bulk+ops agrees with Map oracle" name)
+    QCheck2.Gen.(
+      pair
+        (pair (1 -- 3000) (oneofl [ 0.6; 0.8; 1.0 ]))
+        (list_size (return 250) op_gen))
+    (fun ((n, fill), ops) ->
+      let idx = make_index ~page_size:4096 kind in
+      let pairs = Array.init n (fun i -> (2 * i, i)) in
+      Index_sig.bulkload idx pairs ~fill;
+      let m = ref (Array.fold_left (fun m (k, v) -> M.add k v m) M.empty pairs) in
+      let ok =
+        List.for_all
+          (fun op ->
+            let good = agrees idx !m op in
+            m := apply_model !m op;
+            good)
+          ops
+      in
+      Index_sig.check idx;
+      ok)
+
+(* --- pB+-Tree (memory-resident) -------------------------------------------- *)
+
+let pb_model_test =
+  Util.qtest ~count:30 "pB+tree agrees with Map oracle"
+    QCheck2.Gen.(pair (2 -- 8) (list_size (return 400) op_gen))
+    (fun (node_lines, ops) ->
+      let open Fpb_pbtree in
+      let sim = Fpb_simmem.Sim.create () in
+      let t = Pbtree.create ~node_lines sim in
+      let m = ref M.empty in
+      let ok =
+        List.for_all
+          (fun op ->
+            let good =
+              match op with
+              | Insert (k, v) -> (
+                  match Pbtree.insert t k v with
+                  | `Inserted -> not (M.mem k !m)
+                  | `Updated -> M.mem k !m)
+              | Delete k -> Pbtree.delete t k = M.mem k !m
+              | Search k -> Pbtree.search t k = M.find_opt k !m
+              | Scan (a, b) ->
+                  let got = ref [] in
+                  let n =
+                    Pbtree.range_scan t ~start_key:a ~end_key:b (fun k v ->
+                        got := (k, v) :: !got)
+                  in
+                  let want =
+                    M.to_seq !m
+                    |> Seq.filter (fun (k, _) -> k >= a && k <= b)
+                    |> List.of_seq
+                  in
+                  List.rev !got = want && n = List.length want
+            in
+            m := apply_model !m op;
+            good)
+          ops
+      in
+      Pbtree.check t;
+      ok)
+
+(* --- Suite ------------------------------------------------------------------ *)
+
+let per_kind_cases =
+  List.concat_map
+    (fun (name, kind) ->
+      [
+        Alcotest.test_case (name ^ ": empty tree") `Quick (test_empty kind);
+        Alcotest.test_case (name ^ ": single key") `Quick (test_single kind);
+        Alcotest.test_case (name ^ ": bulkload basics") `Quick (test_bulkload_basics kind);
+        Alcotest.test_case (name ^ ": bulkload rejects bad fill") `Quick
+          (test_bulkload_rejects kind);
+        Alcotest.test_case (name ^ ": scan boundaries") `Quick (test_scan_boundaries kind);
+        Alcotest.test_case (name ^ ": descending inserts") `Quick
+          (test_descending_inserts kind);
+        Alcotest.test_case (name ^ ": sentinel key rejected") `Quick
+          (test_sentinel_rejected kind);
+        Alcotest.test_case (name ^ ": prefetch scan equivalence") `Quick
+          (test_prefetch_scan_equiv kind);
+        model_test name kind;
+        model_test_bulk name kind;
+      ])
+    kinds
+
+(* --- Reverse scans ----------------------------------------------------------- *)
+
+let test_reverse_scan_disk_btree () =
+  let pool = Util.make_pool ~page_size:4096 ~capacity:16384 () in
+  let t = Fpb_disk_btree.Disk_btree.create pool in
+  Fpb_disk_btree.Disk_btree.bulkload t (Array.init 50_000 (fun i -> (2 * i, i))) ~fill:0.8;
+  let fwd = ref [] and rev = ref [] in
+  let n1 =
+    Fpb_disk_btree.Disk_btree.range_scan t ~start_key:1001 ~end_key:77_777
+      (fun k v -> fwd := (k, v) :: !fwd)
+  in
+  let n2 =
+    Fpb_disk_btree.Disk_btree.range_scan_rev t ~prefetch:true ~start_key:1001
+      ~end_key:77_777
+      (fun k v -> rev := (k, v) :: !rev)
+  in
+  Alcotest.(check int) "same count" n1 n2;
+  Alcotest.(check bool) "reverse order" true (!rev = List.rev !fwd)
+
+let test_reverse_scan_disk_first () =
+  let pool = Util.make_pool ~page_size:4096 ~capacity:16384 () in
+  let t = Fpb_core.Disk_first.create pool in
+  Fpb_core.Disk_first.bulkload t (Array.init 50_000 (fun i -> (2 * i, i))) ~fill:1.0;
+  (* splits exercise last-leaf maintenance *)
+  for i = 0 to 20_000 do
+    ignore (Fpb_core.Disk_first.insert t ((2 * i) + 1) i)
+  done;
+  Fpb_core.Disk_first.check t;
+  let fwd = ref [] and rev = ref [] in
+  let n1 =
+    Fpb_core.Disk_first.range_scan t ~start_key:999 ~end_key:33_333 (fun k v ->
+        fwd := (k, v) :: !fwd)
+  in
+  let n2 =
+    Fpb_core.Disk_first.range_scan_rev t ~start_key:999 ~end_key:33_333
+      (fun k v -> rev := (k, v) :: !rev)
+  in
+  Alcotest.(check int) "same count" n1 n2;
+  Alcotest.(check bool) "reverse order" true (!rev = List.rev !fwd)
+
+let prop_reverse_matches_forward =
+  Util.qtest ~count:25 "disk-first reverse scan mirrors forward scan"
+    QCheck2.Gen.(pair (pair (100 -- 3000) (0 -- 6000)) (0 -- 2000))
+    (fun ((n, a), len) ->
+      let pool = Util.make_pool ~page_size:4096 ~capacity:16384 () in
+      let t = Fpb_core.Disk_first.create pool in
+      Fpb_core.Disk_first.bulkload t (Array.init n (fun i -> (3 * i, i))) ~fill:0.7;
+      let b = a + len in
+      let fwd = ref [] and rev = ref [] in
+      let n1 = Fpb_core.Disk_first.range_scan t ~start_key:a ~end_key:b (fun k _ -> fwd := k :: !fwd) in
+      let n2 = Fpb_core.Disk_first.range_scan_rev t ~start_key:a ~end_key:b (fun k _ -> rev := k :: !rev) in
+      n1 = n2 && !rev = List.rev !fwd)
+
+let suite =
+  per_kind_cases
+  @ [
+      pb_model_test;
+      Alcotest.test_case "disk_btree: reverse scan" `Quick test_reverse_scan_disk_btree;
+      Alcotest.test_case "disk_first: reverse scan" `Quick test_reverse_scan_disk_first;
+      prop_reverse_matches_forward;
+    ]

@@ -1,0 +1,16 @@
+(* Entry point: all suites.  `dune runtest` runs everything. *)
+
+let () =
+  Alcotest.run "fpbtree"
+    [
+      ("simmem", Test_simmem.suite);
+      ("storage", Test_storage.suite);
+      ("tuning", Test_tuning.suite);
+      ("workload", Test_workload.suite);
+      ("indexes", Test_indexes.suite);
+      ("core-extra", Test_core_extra.suite);
+      ("dbsim", Test_dbsim.suite);
+      ("varkey", Test_varkey.suite);
+      ("experiments", Test_experiments.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,160 @@
+(* Cross-cutting property tests: equivalence between index structures,
+   behaviour under buffer-pool pressure, and model tests for the smaller
+   data structures. *)
+
+open Fpb_btree_common
+module M = Map.Make (Int)
+
+(* --- All four indexes agree with each other -------------------------------- *)
+
+let prop_indexes_equivalent =
+  Util.qtest ~count:15 "all four indexes give identical answers"
+    QCheck2.Gen.(
+      pair (1 -- 2000)
+        (list_size (return 200)
+           (pair (0 -- 3) (pair (0 -- 4000) (0 -- 1000)))))
+    (fun (n, ops) ->
+      let make kind =
+        let pool = Util.make_pool ~page_size:4096 ~capacity:16384 () in
+        let idx = Fpb_experiments.Setup.make_index kind pool in
+        Index_sig.bulkload idx (Array.init n (fun i -> (2 * i, i))) ~fill:0.8;
+        idx
+      in
+      let idxs = List.map make Fpb_experiments.Setup.all_kinds in
+      List.for_all
+        (fun (op, (k, v)) ->
+          let results =
+            List.map
+              (fun idx ->
+                match op with
+                | 0 -> `I (Index_sig.insert idx k v)
+                | 1 -> `D (Index_sig.delete idx k)
+                | 2 -> `S (Index_sig.search idx k)
+                | _ ->
+                    let acc = ref 0 in
+                    ignore
+                      (Index_sig.range_scan idx ~start_key:k ~end_key:(k + v)
+                         (fun _ _ -> incr acc));
+                    `N !acc)
+              idxs
+          in
+          match results with
+          | first :: rest -> List.for_all (( = ) first) rest
+          | [] -> true)
+        ops)
+
+(* --- Correctness under a thrashing buffer pool ----------------------------- *)
+
+let test_tiny_pool kind () =
+  (* a small pool forces constant eviction mid-operation (cache-first pins
+     the most pages at once during a leaf-page split: page, new page,
+     parent-walk page, sibling pages, jump-pointer chunks) *)
+  let capacity = if kind = Fpb_experiments.Setup.Cache_first then 16 else 12 in
+  let pool = Util.make_pool ~page_size:4096 ~capacity () in
+  let idx = Fpb_experiments.Setup.make_index kind pool in
+  let m = ref M.empty in
+  let rng = Fpb_workload.Prng.create 61 in
+  for _ = 1 to 6000 do
+    let k = Fpb_workload.Prng.int rng 50_000 in
+    ignore (Index_sig.insert idx k k);
+    m := M.add k k !m
+  done;
+  Index_sig.check idx;
+  for _ = 1 to 500 do
+    let k = Fpb_workload.Prng.int rng 60_000 in
+    Alcotest.(check (option int))
+      (Printf.sprintf "search %d" k)
+      (M.find_opt k !m) (Index_sig.search idx k)
+  done;
+  let count = ref 0 in
+  ignore
+    (Index_sig.range_scan idx ~start_key:min_int ~end_key:max_int (fun _ _ ->
+         incr count));
+  Alcotest.(check int) "full scan under thrash" (M.cardinal !m) !count
+
+(* --- Jump-pointer array vs list model --------------------------------------- *)
+
+let prop_jump_array_model =
+  Util.qtest ~count:40 "jump array behaves like a list"
+    QCheck2.Gen.(pair (1 -- 60) (list_size (0 -- 40) (0 -- 1000)))
+    (fun (initial, insert_positions) ->
+      let pool = Util.make_pool ~page_size:4096 () in
+      let store = Fpb_storage.Buffer_pool.store pool in
+      let jp = Fpb_core.Jump_array.create pool in
+      let chunk_of = Hashtbl.create 64 in
+      let on_assign pg ~chunk = Hashtbl.replace chunk_of pg chunk in
+      let pages = Array.init initial (fun _ -> Fpb_storage.Page_store.alloc store) in
+      Fpb_core.Jump_array.build jp pages ~fill:0.9 ~on_assign;
+      let model = ref (Array.to_list pages) in
+      List.iter
+        (fun pos ->
+          let after = List.nth !model (pos mod List.length !model) in
+          let np = Fpb_storage.Page_store.alloc store in
+          Fpb_core.Jump_array.insert_after jp
+            ~chunk:(Hashtbl.find chunk_of after)
+            ~after_page:after ~new_page:np ~on_assign;
+          let rec ins = function
+            | [] -> [ np ]
+            | x :: rest when x = after -> x :: np :: rest
+            | x :: rest -> x :: ins rest
+          in
+          model := ins !model)
+        insert_positions;
+      Fpb_core.Jump_array.peek_all jp = !model)
+
+(* --- Slotted node vs sorted association list -------------------------------- *)
+
+let prop_slotted_model =
+  Util.qtest ~count:60 "slotted node behaves like a sorted assoc list"
+    QCheck2.Gen.(list_size (0 -- 60) (pair (string_size ~gen:(char_range 'a' 'f') (1 -- 8)) (0 -- 100)))
+    (fun kvs ->
+      let sim = Fpb_simmem.Sim.create () in
+      let r = Fpb_simmem.Mem.make ~bytes:(Bytes.create 4096) ~base:0 in
+      let nd = { Fpb_varkey.Slotted.r; off = 0; size = 4096 } in
+      Fpb_varkey.Slotted.init sim nd ~leaf:true;
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          let i = Fpb_varkey.Slotted.find sim nd ~key:k `Lower in
+          let dup =
+            i < Fpb_varkey.Slotted.count sim nd
+            && Fpb_varkey.Slotted.key_at sim nd i = k
+          in
+          if dup then Fpb_varkey.Slotted.set_ptr_at sim nd i v
+          else ignore (Fpb_varkey.Slotted.insert_at sim nd ~i k v);
+          model := (k, v) :: List.remove_assoc k !model)
+        kvs;
+      let want = List.sort compare !model in
+      Fpb_varkey.Slotted.entries sim nd = want)
+
+(* --- Tuner stability over page sizes ----------------------------------------- *)
+
+let prop_indexes_work_at_64kb =
+  Util.qtest ~count:5 "indexes work at 64KB pages (beyond Table 2)"
+    QCheck2.Gen.(0 -- 1000)
+    (fun seed ->
+      let rng = Fpb_workload.Prng.create seed in
+      List.for_all
+        (fun kind ->
+          let pool = Util.make_pool ~page_size:65536 ~capacity:4096 () in
+          let idx = Fpb_experiments.Setup.make_index kind pool in
+          Index_sig.bulkload idx (Array.init 30_000 (fun i -> (2 * i, i))) ~fill:0.9;
+          for _ = 1 to 200 do
+            ignore (Index_sig.insert idx (Fpb_workload.Prng.int rng 100_000) 1)
+          done;
+          Index_sig.check idx;
+          Index_sig.search idx 2000 = Some 1000)
+        Fpb_experiments.Setup.all_kinds)
+
+let suite =
+  prop_indexes_equivalent
+  :: prop_jump_array_model :: prop_slotted_model :: prop_indexes_work_at_64kb
+  :: List.map
+       (fun (name, kind) ->
+         Alcotest.test_case (name ^ ": tiny pool thrash") `Slow (test_tiny_pool kind))
+       [
+         ("disk_opt", Fpb_experiments.Setup.Disk_opt);
+         ("micro", Fpb_experiments.Setup.Micro);
+         ("disk_first", Fpb_experiments.Setup.Disk_first);
+         ("cache_first", Fpb_experiments.Setup.Cache_first);
+       ]

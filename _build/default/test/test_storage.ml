@@ -1,0 +1,227 @@
+(* Unit tests for the storage substrate: page store, disk model, buffer
+   pool (CLOCK, pinning, prefetchers, failure injection). *)
+
+open Fpb_simmem
+open Fpb_storage
+
+let check_int = Alcotest.(check int)
+
+let test_vec () =
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  check_int "set" (-1) (Vec.get v 42);
+  let sum = ref 0 in
+  Vec.iteri (fun i x -> sum := !sum + i + x) v;
+  Alcotest.(check bool) "iteri" true (!sum > 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 100))
+
+let test_page_store_alloc_free () =
+  let s = Page_store.create ~page_size:4096 ~n_disks:3 in
+  let a = Page_store.alloc s in
+  let b = Page_store.alloc s in
+  let c = Page_store.alloc s in
+  Alcotest.(check bool) "ids distinct & non-nil" true
+    (a <> b && b <> c && a <> Page_store.nil);
+  check_int "live" 3 (Page_store.live_pages s);
+  (* pages stripe round-robin across disks *)
+  let da, _ = Page_store.location s a in
+  let db, _ = Page_store.location s b in
+  let dc, _ = Page_store.location s c in
+  Alcotest.(check (list int)) "striping" [ 0; 1; 2 ] [ da; db; dc ];
+  Bytes.set (Page_store.bytes s b) 0 'x';
+  Page_store.free s b;
+  check_int "live after free" 2 (Page_store.live_pages s);
+  let b' = Page_store.alloc s in
+  check_int "freed page reused" b b';
+  Alcotest.(check char) "reused page zeroed" '\000' (Bytes.get (Page_store.bytes s b') 0)
+
+let test_disk_model () =
+  let clock = Clock.create () in
+  let d = Disk_model.create ~seek_ns:1000 ~transfer_ns:100 ~n_disks:2 clock in
+  let c1 = Disk_model.read d ~disk:0 ~phys:5 () in
+  check_int "random read = seek+transfer" 1100 c1;
+  let c2 = Disk_model.read d ~disk:0 ~phys:6 () in
+  check_int "sequential read = transfer only" (c1 + 100) c2;
+  let c3 = Disk_model.read d ~disk:0 ~phys:0 () in
+  check_int "back to random" (c2 + 1100) c3;
+  (* the other disk is idle: requests run in parallel *)
+  let c4 = Disk_model.read d ~disk:1 ~phys:0 () in
+  check_int "parallel disk" 1100 c4;
+  (* deferred start *)
+  let c5 = Disk_model.read d ~earliest:10_000 ~disk:1 ~phys:1 () in
+  check_int "earliest honoured" 10_100 c5;
+  check_int "reads counted" 5 (Disk_model.reads d)
+
+let test_buffer_pool_hits_misses () =
+  let sim, store, _disks, pool = Util.make_system ~capacity:8 () in
+  let p1 = Page_store.alloc store in
+  let p2 = Page_store.alloc store in
+  let r = Buffer_pool.get pool p1 in
+  Mem.write_i32 sim r 0 7;
+  Buffer_pool.mark_dirty pool p1;
+  Buffer_pool.unpin pool p1;
+  ignore (Buffer_pool.get pool p2);
+  Buffer_pool.unpin pool p2;
+  ignore (Buffer_pool.get pool p1);
+  Buffer_pool.unpin pool p1;
+  let s = Buffer_pool.stats pool in
+  check_int "misses" 2 s.Buffer_pool.misses;
+  check_int "hits" 1 s.Buffer_pool.hits;
+  (* contents survive eviction via the store *)
+  Buffer_pool.clear pool;
+  let r = Buffer_pool.get pool p1 in
+  check_int "contents persist" 7 (Mem.read_i32 sim r 0);
+  Buffer_pool.unpin pool p1
+
+let test_buffer_pool_eviction () =
+  let _sim, store, disks, pool = Util.make_system ~capacity:4 () in
+  let pages = Array.init 10 (fun _ -> Page_store.alloc store) in
+  Array.iter
+    (fun p ->
+      ignore (Buffer_pool.get pool p);
+      Buffer_pool.unpin pool p)
+    pages;
+  check_int "resident bounded by capacity" 4 (Buffer_pool.resident_pages pool);
+  check_int "all reads went to disk" 10 (Disk_model.reads disks)
+
+let test_buffer_pool_pinned_exhaustion () =
+  let _sim, store, _disks, pool = Util.make_system ~capacity:2 () in
+  let p1 = Page_store.alloc store in
+  let p2 = Page_store.alloc store in
+  let p3 = Page_store.alloc store in
+  ignore (Buffer_pool.get pool p1);
+  ignore (Buffer_pool.get pool p2);
+  Alcotest.check_raises "exhausted" Buffer_pool.Pool_exhausted (fun () ->
+      ignore (Buffer_pool.get pool p3));
+  Buffer_pool.unpin pool p2;
+  ignore (Buffer_pool.get pool p3);
+  Buffer_pool.unpin pool p3;
+  Buffer_pool.unpin pool p1
+
+let test_prefetch_overlap () =
+  (* Prefetching n pages on n disks overlaps their seeks: the elapsed
+     simulated time is far less than n sequential reads. *)
+  let sim, store, _disks, pool = Util.make_system ~n_disks:4 ~capacity:64 () in
+  let pages = Array.init 4 (fun _ -> Page_store.alloc store) in
+  Buffer_pool.clear pool;
+  let t0 = Clock.now sim.Sim.clock in
+  Array.iter (Buffer_pool.prefetch pool) pages;
+  Array.iter
+    (fun p ->
+      ignore (Buffer_pool.get pool p);
+      Buffer_pool.unpin pool p)
+    pages;
+  let elapsed = Clock.now sim.Sim.clock - t0 in
+  let one_read = Disk_model.default_seek_ns in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 overlapped reads ~1 seek (elapsed %d)" elapsed)
+    true
+    (elapsed < 2 * one_read);
+  let s = Buffer_pool.stats pool in
+  check_int "prefetch issued" 4 s.Buffer_pool.prefetch_issued;
+  check_int "prefetch hits" 4 s.Buffer_pool.prefetch_hits;
+  check_int "no demand misses" 0 s.Buffer_pool.misses
+
+let test_prefetcher_limit () =
+  (* With a single prefetcher, prefetch reads serialise even on many
+     disks. *)
+  let sim, store, _, pool =
+    Util.make_system ~n_disks:8 ~capacity:64 ~n_prefetchers:1 ()
+  in
+  let pages = Array.init 8 (fun _ -> Page_store.alloc store) in
+  let t0 = Clock.now sim.Sim.clock in
+  Array.iter (Buffer_pool.prefetch pool) pages;
+  Array.iter
+    (fun p ->
+      ignore (Buffer_pool.get pool p);
+      Buffer_pool.unpin pool p)
+    pages;
+  let elapsed = Clock.now sim.Sim.clock - t0 in
+  Alcotest.(check bool) "serialised by single prefetcher" true
+    (elapsed >= 8 * Disk_model.default_seek_ns)
+
+let test_create_and_free_page () =
+  let sim, _store, disks, pool = Util.make_system ~capacity:8 () in
+  let p, r = Buffer_pool.create_page pool in
+  Mem.write_i32 sim r 0 5;
+  check_int "no disk read for fresh page" 0 (Disk_model.reads disks);
+  Buffer_pool.unpin pool p;
+  Buffer_pool.free_page pool p;
+  Alcotest.(check bool) "not resident after free" false (Buffer_pool.is_resident pool p)
+
+let test_dirty_writeback () =
+  let _sim, store, disks, pool = Util.make_system ~capacity:2 () in
+  let p1 = Page_store.alloc store in
+  ignore (Buffer_pool.get pool p1);
+  Buffer_pool.mark_dirty pool p1;
+  Buffer_pool.unpin pool p1;
+  Buffer_pool.clear pool;
+  check_int "dirty page written back" 1 (Disk_model.writes disks)
+
+let test_page_at_inverse () =
+  let s = Page_store.create ~page_size:4096 ~n_disks:3 in
+  let pages = Array.init 20 (fun _ -> Page_store.alloc s) in
+  Array.iter
+    (fun p ->
+      let disk, phys = Page_store.location s p in
+      check_int "page_at inverts location" p (Page_store.page_at s ~disk ~phys))
+    pages;
+  check_int "unallocated slot is nil" Page_store.nil
+    (Page_store.page_at s ~disk:0 ~phys:999)
+
+let test_sequential_readahead () =
+  let sim, store, _disks, pool = Util.make_system ~n_disks:2 ~capacity:64 () in
+  let pages = Array.init 12 (fun _ -> Page_store.alloc store) in
+  Buffer_pool.set_sequential_readahead pool 4;
+  (* miss on the first page of disk 0 kicks off readahead of the next 4
+     physically-consecutive pages on that disk *)
+  ignore (Buffer_pool.get pool pages.(0));
+  Buffer_pool.unpin pool pages.(0);
+  let s = Buffer_pool.stats pool in
+  check_int "one demand miss" 1 s.Buffer_pool.misses;
+  check_int "readahead issued" 4 s.Buffer_pool.prefetch_issued;
+  (* the next page on the same disk (striped: pages.(2)) is now in flight;
+     getting it is a prefetch hit, not a miss *)
+  Fpb_simmem.Clock.advance sim.Fpb_simmem.Sim.clock 100_000_000;
+  ignore (Buffer_pool.get pool pages.(2));
+  Buffer_pool.unpin pool pages.(2);
+  let s = Buffer_pool.stats pool in
+  check_int "still one miss" 1 s.Buffer_pool.misses;
+  check_int "prefetch hit" 1 s.Buffer_pool.prefetch_hits
+
+let prop_clock_never_past_capacity =
+  Util.qtest ~count:50 "resident pages never exceed capacity"
+    QCheck2.Gen.(list_size (10 -- 80) (0 -- 19))
+    (fun accesses ->
+      let _sim, store, _, pool = Util.make_system ~capacity:5 () in
+      let pages = Array.init 20 (fun _ -> Page_store.alloc store) in
+      List.iter
+        (fun i ->
+          ignore (Buffer_pool.get pool pages.(i));
+          Buffer_pool.unpin pool pages.(i);
+          assert (Buffer_pool.resident_pages pool <= 5))
+        accesses;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "page store alloc/free" `Quick test_page_store_alloc_free;
+    Alcotest.test_case "disk model timing" `Quick test_disk_model;
+    Alcotest.test_case "buffer pool hits/misses" `Quick test_buffer_pool_hits_misses;
+    Alcotest.test_case "buffer pool eviction" `Quick test_buffer_pool_eviction;
+    Alcotest.test_case "pinned exhaustion" `Quick test_buffer_pool_pinned_exhaustion;
+    Alcotest.test_case "prefetch overlaps seeks" `Quick test_prefetch_overlap;
+    Alcotest.test_case "prefetcher limit" `Quick test_prefetcher_limit;
+    Alcotest.test_case "create/free page" `Quick test_create_and_free_page;
+    Alcotest.test_case "dirty writeback" `Quick test_dirty_writeback;
+    Alcotest.test_case "page_at inverse" `Quick test_page_at_inverse;
+    Alcotest.test_case "sequential readahead" `Quick test_sequential_readahead;
+    prop_clock_never_past_capacity;
+  ]

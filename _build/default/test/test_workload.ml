@@ -1,0 +1,65 @@
+(* Workload generator tests: determinism, distinctness, sortedness. *)
+
+open Fpb_workload
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1_000_000) (Prng.int b 1_000_000)
+  done;
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (List.init 10 (fun _ -> Prng.int a 1000) <> List.init 10 (fun _ -> Prng.int c 1000))
+
+let test_bulk_pairs_sorted_distinct () =
+  let rng = Prng.create 7 in
+  let pairs = Keygen.bulk_pairs rng 100_000 in
+  Alcotest.(check int) "count" 100_000 (Array.length pairs);
+  for i = 1 to Array.length pairs - 1 do
+    if fst pairs.(i - 1) >= fst pairs.(i) then
+      Alcotest.failf "not strictly increasing at %d" i
+  done;
+  Array.iter
+    (fun (k, _) ->
+      if not (Fpb_btree_common.Key.valid k) then Alcotest.failf "invalid key %d" k)
+    pairs
+
+let test_shuffle_permutes () =
+  let rng = Prng.create 9 in
+  let a = Array.init 1000 Fun.id in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 1000 Fun.id);
+  Alcotest.(check bool) "actually shuffled" true (a <> Array.init 1000 Fun.id)
+
+let test_probes_and_ranges () =
+  let rng = Prng.create 11 in
+  let pairs = Keygen.bulk_pairs rng 10_000 in
+  let probes = Keygen.probes rng pairs 500 in
+  Array.iter
+    (fun p ->
+      if not (Array.exists (fun (k, _) -> k = p) pairs) then
+        Alcotest.failf "probe %d not a key" p)
+    probes;
+  let ranges = Keygen.ranges rng pairs 50 ~span:100 in
+  Array.iter
+    (fun (a, b) -> if a > b then Alcotest.failf "inverted range %d > %d" a b)
+    ranges
+
+let prop_int_bounds =
+  Util.qtest "Prng.int stays in bounds"
+    QCheck2.Gen.(pair (1 -- 1000) (0 -- 1000000))
+    (fun (bound, seed) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "bulk pairs sorted distinct valid" `Quick test_bulk_pairs_sorted_distinct;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "probes and ranges" `Quick test_probes_and_ranges;
+    prop_int_bounds;
+  ]
