@@ -6,10 +6,13 @@
      dune exec bench/main.exe                 # every experiment, quick scale
      dune exec bench/main.exe -- fig10 fig13  # selected experiments
      dune exec bench/main.exe -- --full all   # paper-sized trees
+     dune exec bench/main.exe -- --tiny all   # smoke-test sizes (CI)
      dune exec bench/main.exe -- --csv out/   # also write each table as CSV
+     dune exec bench/main.exe -- --json F     # machine-readable report to F
      dune exec bench/main.exe -- bechamel     # wall-clock microbenches
 
-   Results (paper vs. measured) are catalogued in EXPERIMENTS.md. *)
+   Results (paper vs. measured) are catalogued in EXPERIMENTS.md; the
+   --json report schema is docs/OBSERVABILITY.md. *)
 
 open Fpb_experiments
 
@@ -63,54 +66,64 @@ let run_bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let names = Hashtbl.fold (fun name _ acc -> name :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun name ->
       match Analyze.OLS.estimates (Hashtbl.find results name) with
-      | Some (est :: _) -> Printf.printf "%-50s %12.1f ns/op\n%!" name est
-      | _ -> Printf.printf "%-50s (no estimate)\n%!" name)
+      | Some (est :: _) ->
+          Printf.printf "%-50s %12.1f ns/op\n%!" name est;
+          Some (name, est)
+      | _ ->
+          Printf.printf "%-50s (no estimate)\n%!" name;
+          None)
     (List.sort compare names)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
-  let scale = if full then Scale.Full else Scale.Quick in
-  let args = List.filter (fun a -> a <> "--full") args in
-  let csv_dir, args =
+  let tiny = List.mem "--tiny" args in
+  let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
+  let args = List.filter (fun a -> a <> "--full" && a <> "--tiny") args in
+  let take_opt flag args =
     let rec go acc = function
-      | "--csv" :: dir :: rest -> (Some dir, List.rev_append acc rest)
+      | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
       | x :: rest -> go (x :: acc) rest
       | [] -> (None, List.rev acc)
     in
     go [] args
   in
+  let csv_dir, args = take_opt "--csv" args in
+  let json_path, args = take_opt "--json" args in
   (match csv_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
   let wanted = match args with [] | [ "all" ] -> None | l -> Some l in
   let ppf = Format.std_formatter in
-  Format.printf "fpB+-Tree benchmark harness (%s scale)@."
-    (if full then "full" else "quick");
+  Format.printf "fpB+-Tree benchmark harness (%s scale)@." (Scale.to_string scale);
   let run_bechamel_wanted =
     match wanted with None -> true | Some l -> List.mem "bechamel" l
   in
   let exp_wanted id =
     match wanted with None -> true | Some l -> List.mem id l
   in
-  List.iter
-    (fun e ->
-      if exp_wanted e.Registry.id then begin
-        let tables = Registry.run_and_print ppf scale e in
-        match csv_dir with
-        | Some dir ->
-            List.iter
-              (fun t ->
-                let path = Filename.concat dir (t.Table.id ^ ".csv") in
-                Out_channel.with_open_text path (fun oc ->
-                    Out_channel.output_string oc (Table.csv t)))
-              tables
-        | None -> ()
-      end)
-    Registry.all;
+  let outcomes =
+    List.filter_map
+      (fun e ->
+        if not (exp_wanted e.Registry.id) then None
+        else begin
+          let o = Registry.run_and_print ppf scale e in
+          (match csv_dir with
+          | Some dir ->
+              List.iter
+                (fun t ->
+                  let path = Filename.concat dir (t.Table.id ^ ".csv") in
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc (Table.csv t)))
+                o.Registry.tables
+          | None -> ());
+          Some o
+        end)
+      Registry.all
+  in
   (match wanted with
   | Some l ->
       List.iter
@@ -119,8 +132,22 @@ let () =
             Format.printf "unknown experiment id: %s@." id)
         l
   | None -> ());
-  if run_bechamel_wanted then begin
-    Format.printf
-      "@.== bechamel: wall-clock microbenchmarks (real time, not simulated) ==@.";
-    run_bechamel ()
-  end
+  let bechamel =
+    if run_bechamel_wanted then begin
+      Format.printf
+        "@.== bechamel: wall-clock microbenchmarks (real time, not simulated) ==@.";
+      run_bechamel ()
+    end
+    else []
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let timestamp =
+        let t = Unix.gmtime (Unix.gettimeofday ()) in
+        Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+          (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+          t.Unix.tm_sec
+      in
+      Report.write path (Report.make ~scale ~timestamp ~bechamel outcomes);
+      if path <> "-" then Format.printf "@.wrote %s@." path

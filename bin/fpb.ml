@@ -48,15 +48,35 @@ let list_cmd =
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-sized trees") in
-  let run id full =
-    let scale = if full then Fpb_experiments.Scale.Full else Quick in
-    match Fpb_experiments.Registry.find id with
+  let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test-sized trees") in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Also write the metrics report as JSON to $(docv) (\"-\" for stdout)")
+  in
+  let run id full tiny json =
+    let open Fpb_experiments in
+    let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
+    match Registry.find id with
     | Some e ->
-        ignore (Fpb_experiments.Registry.run_and_print Format.std_formatter scale e);
+        let o = Registry.run_and_print Format.std_formatter scale e in
+        (match json with
+        | None -> ()
+        | Some path ->
+            let timestamp =
+              let t = Unix.gmtime (Unix.gettimeofday ()) in
+              Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+                (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+                t.Unix.tm_sec
+            in
+            Report.write path (Report.make ~scale ~timestamp [ o ]));
         `Ok ()
     | None -> `Error (false, "unknown experiment id: " ^ id)
   in
-  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment") Term.(ret (const run $ id $ full))
+  Cmd.v (Cmd.info "exp" ~doc:"Run one experiment")
+    Term.(ret (const run $ id $ full $ tiny $ json))
 
 let check_cmd =
   let keys = Arg.(value & opt int 200_000 & info [ "keys" ] ~doc:"Number of keys") in

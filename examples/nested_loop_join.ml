@@ -37,7 +37,7 @@ let () =
       probe_keys;
     let elapsed = Clock.now sim.Sim.clock - t0 in
     let s = Buffer_pool.stats pool in
-    (!matches, elapsed, s.Buffer_pool.misses)
+    (!matches, elapsed, Fpb_obs.Counter.value s.Buffer_pool.misses)
   in
   let m1, t1, io1 = join outer in
   let sorted = Array.copy outer in

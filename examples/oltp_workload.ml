@@ -34,8 +34,8 @@ let () =
       done;
       let s = sys.Setup.sim.Sim.stats in
       Fmt.pr "%-26s %12.3f %12.3f %12.3f@." (Setup.kind_name kind)
-        (float_of_int s.Stats.busy /. 1e6)
-        (float_of_int s.Stats.stall /. 1e6)
+        (float_of_int (Fpb_obs.Counter.value s.Stats.busy) /. 1e6)
+        (float_of_int (Fpb_obs.Counter.value s.Stats.stall) /. 1e6)
         (float_of_int (Stats.total s) /. 1e6);
       Index_sig.check idx)
     Setup.all_kinds

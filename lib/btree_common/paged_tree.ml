@@ -53,7 +53,12 @@ module Make (F : PAGE_FORMAT) = struct
     mutable levels : int;  (* 1 = root is a leaf *)
     mutable n_pages : int;
     mutable io_prefetch_distance : int;
+    level_acc : int array;  (* page accesses by depth, slot 0 = root *)
+    mutable trace : Fpb_obs.Trace.t option;
   }
+
+  (* Deeper than any tree the 62-bit key space can produce. *)
+  let max_levels = 16
 
   let name = F.name
 
@@ -89,6 +94,8 @@ module Make (F : PAGE_FORMAT) = struct
         levels = 1;
         n_pages = 0;
         io_prefetch_distance = 16;
+        level_acc = Array.make max_levels 0;
+        trace = None;
       }
     in
     let root, _r = new_page t ~leaf:true in
@@ -98,6 +105,34 @@ module Make (F : PAGE_FORMAT) = struct
 
   let set_io_prefetch_distance t d = t.io_prefetch_distance <- max 1 d
 
+  (* --- Uncharged instrumentation ------------------------------------------ *)
+
+  let level_accesses t = Array.sub t.level_acc 0 t.levels
+  let reset_level_accesses t = Array.fill t.level_acc 0 max_levels 0
+  let set_trace t tr = t.trace <- tr
+
+  let bump_level t depth =
+    if depth <= max_levels then
+      t.level_acc.(depth - 1) <- t.level_acc.(depth - 1) + 1
+
+  (* Record one node visit: bump the per-level counter and, if a trace is
+     attached, emit a [node_access] event with the cache-stall cycles this
+     visit incurred ([stall0] = stall counter before the visit). *)
+  let note_access t ~page ~depth ~stall0 =
+    bump_level t depth;
+    match t.trace with
+    | None -> ()
+    | Some tr ->
+        let stall = Fpb_obs.Counter.value t.sim.Sim.stats.Stats.stall in
+        Fpb_obs.Trace.emit tr "node_access"
+          [
+            ("level", Fpb_obs.Json.Int depth);
+            ("page", Fpb_obs.Json.Int page);
+            ("stall_cycles", Fpb_obs.Json.Int (stall - stall0));
+          ]
+
+  let stall_now t = Fpb_obs.Counter.value t.sim.Sim.stats.Stats.stall
+
   (* --- Search ------------------------------------------------------------ *)
 
   let route t r ~n key =
@@ -105,20 +140,25 @@ module Make (F : PAGE_FORMAT) = struct
     max 0 (i - 1)
 
   let descend t key ~visit =
-    let rec go page =
+    let rec go page depth =
+      let stall0 = stall_now t in
       let r = Buffer_pool.get t.pool page in
       Sim.busy_node t.sim;
-      if Mem.read_u8 t.sim r off_is_leaf = 1 then (page, r)
+      if Mem.read_u8 t.sim r off_is_leaf = 1 then begin
+        note_access t ~page ~depth ~stall0;
+        (page, r)
+      end
       else begin
         let n = Mem.read_u16 t.sim r off_n in
         let i = route t r ~n key in
         let child = Mem.read_i32 t.sim r (ptr_off t i) in
+        note_access t ~page ~depth ~stall0;
         visit page r n i;
         Buffer_pool.unpin t.pool page;
-        go child
+        go child (depth + 1)
       end
     in
-    go t.root
+    go t.root 1
 
   let search t key =
     Sim.busy_op t.sim;
@@ -407,6 +447,7 @@ module Make (F : PAGE_FORMAT) = struct
           if !outstanding > 0 then decr outstanding;
           pump ();
           let nr = Buffer_pool.get t.pool next in
+          bump_level t t.levels;
           scan_page next nr
         end
       in
@@ -501,6 +542,7 @@ module Make (F : PAGE_FORMAT) = struct
           if !outstanding > 0 then decr outstanding;
           pump ();
           let pr = Buffer_pool.get t.pool prev in
+          bump_level t t.levels;
           scan_page prev pr
         end
       in

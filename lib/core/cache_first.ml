@@ -67,6 +67,8 @@ type t = {
   mutable overflow_page : int;  (* current overflow allocation page *)
   level_pool : (int, int) Hashtbl.t;  (* tree depth -> allocation page *)
   mutable io_prefetch_distance : int;
+  level_acc : int array;  (* node accesses by depth, slot 0 = root *)
+  mutable trace : Fpb_obs.Trace.t option;
 }
 
 let name = "cache-first fpB+tree"
@@ -201,6 +203,8 @@ let create_with_cfg pool cfg =
       overflow_page = nil;
       level_pool = Hashtbl.create 8;
       io_prefetch_distance = 16;
+      level_acc = Array.make 16 0;
+      trace = None;
     }
   in
   let page, r = new_page t ~kind:0 in
@@ -228,6 +232,33 @@ let create_custom pool ~w =
 
 let set_io_prefetch_distance t d = t.io_prefetch_distance <- max 1 d
 
+(* --- Uncharged instrumentation --------------------------------------------- *)
+
+let level_accesses t = Array.sub t.level_acc 0 t.levels
+let reset_level_accesses t = Array.fill t.level_acc 0 (Array.length t.level_acc) 0
+let set_trace t tr = t.trace <- tr
+
+let bump_level t depth =
+  if depth <= Array.length t.level_acc then
+    t.level_acc.(depth - 1) <- t.level_acc.(depth - 1) + 1
+
+let stall_now t = Fpb_obs.Counter.value t.sim.Sim.stats.Stats.stall
+
+(* Record one node visit: bump the per-level counter and, if a trace is
+   attached, emit a [node_access] event with the cache-stall cycles the
+   visit incurred ([stall0] = stall counter before the visit). *)
+let note_access t ~page ~depth ~stall0 =
+  bump_level t depth;
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Fpb_obs.Trace.emit tr "node_access"
+        [
+          ("level", Fpb_obs.Json.Int depth);
+          ("page", Fpb_obs.Json.Int page);
+          ("stall_cycles", Fpb_obs.Json.Int (stall_now t - stall0));
+        ]
+
 (* --- Search ---------------------------------------------------------------- *)
 
 let prefetch_node t r line =
@@ -239,12 +270,17 @@ let prefetch_node t r line =
 let descend t key ~visit =
   let c = t.cfg in
   let rec go page r line depth =
+    let stall0 = stall_now t in
     prefetch_node t r line;
-    if depth = t.levels then (page, r, line)
+    if depth = t.levels then begin
+      note_access t ~page ~depth ~stall0;
+      (page, r, line)
+    end
     else begin
       let n = Mem.read_u16 t.sim r (node_off line + n_count) in
       let i = Array_search.upper_bound t.sim r ~off:(key_off line 0) ~n ~key in
       let slot = max 0 (i - 1) in
+      note_access t ~page ~depth ~stall0;
       visit { pg = page; ln = line } slot;
       let child_pg = Mem.read_i32 t.sim r (cpg_off c line slot) in
       let child_ln = Mem.read_u16 t.sim r (cln_off c line slot) in
@@ -828,7 +864,10 @@ let range_scan t ?(prefetch = true) ~start_key ~end_key f =
       else begin
         let next_pg = Mem.read_i32 t.sim r (node_off line + n_next_pg) in
         let next_ln = Mem.read_u16 t.sim r (node_off line + n_next_ln) in
-        if next_pg = page then scan page r next_ln
+        if next_pg = page then begin
+          bump_level t t.levels;
+          scan page r next_ln
+        end
         else begin
           Buffer_pool.unpin t.pool page;
           if next_pg <> nil then begin
@@ -836,6 +875,7 @@ let range_scan t ?(prefetch = true) ~start_key ~end_key f =
             pump ();
             let nr = Buffer_pool.get t.pool next_pg in
             prefetch_page_nodes nr;
+            bump_level t t.levels;
             scan next_pg nr next_ln
           end
         end

@@ -49,6 +49,17 @@ val page_count : t -> int
 (** Pages excluding the external jump-pointer array. *)
 val index_page_count : t -> int
 
+(** {1 Telemetry (uncharged host-side bookkeeping)} *)
+
+(** Node accesses per tree level since the last reset, slot 0 = root. *)
+val level_accesses : t -> int array
+
+val reset_level_accesses : t -> unit
+
+(** Attach (or with [None] detach) a trace sink; node visits during
+    search descents emit [node_access] events into it. *)
+val set_trace : t -> Fpb_obs.Trace.t option -> unit
+
 (** {1 Uncharged introspection (tests)} *)
 
 val check : t -> unit

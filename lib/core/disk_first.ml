@@ -59,6 +59,8 @@ type t = {
   mutable io_prefetch_distance : int;
   mutable cache_prefetch_leaves : bool;  (* prefetch leaf nodes per page in scans *)
   mutable bound_scan_end : bool;  (* stop I/O prefetch at the end page *)
+  level_acc : int array;  (* page accesses by depth, slot 0 = root *)
+  mutable trace : Fpb_obs.Trace.t option;
 }
 
 let name = "disk-first fpB+tree"
@@ -230,6 +232,8 @@ let create_with_cfg pool cfg =
       io_prefetch_distance = 16;
       cache_prefetch_leaves = true;
       bound_scan_end = true;
+      level_acc = Array.make 16 0;
+      trace = None;
     }
   in
   let root, r = new_page t ~kind:0 in
@@ -254,6 +258,33 @@ let set_io_prefetch_distance t d = t.io_prefetch_distance <- max 1 d
    bounds I/O prefetching at the end page (overshooting). *)
 let set_cache_prefetch_leaves t b = t.cache_prefetch_leaves <- b
 let set_bound_scan_end t b = t.bound_scan_end <- b
+
+(* --- Uncharged instrumentation --------------------------------------------- *)
+
+let level_accesses t = Array.sub t.level_acc 0 t.levels
+let reset_level_accesses t = Array.fill t.level_acc 0 (Array.length t.level_acc) 0
+let set_trace t tr = t.trace <- tr
+
+let bump_level t depth =
+  if depth <= Array.length t.level_acc then
+    t.level_acc.(depth - 1) <- t.level_acc.(depth - 1) + 1
+
+let stall_now t = Fpb_obs.Counter.value t.sim.Sim.stats.Stats.stall
+
+(* Record one page visit: bump the per-level counter and, if a trace is
+   attached, emit a [node_access] event with the cache-stall cycles the
+   visit incurred ([stall0] = stall counter before the visit). *)
+let note_access t ~page ~depth ~stall0 =
+  bump_level t depth;
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Fpb_obs.Trace.emit tr "node_access"
+        [
+          ("level", Fpb_obs.Json.Int depth);
+          ("page", Fpb_obs.Json.Int page);
+          ("stall_cycles", Fpb_obs.Json.Int (stall_now t - stall0));
+        ]
 
 (* --- In-page search ------------------------------------------------------- *)
 
@@ -300,6 +331,7 @@ let ip_route t r key =
 let search t key =
   Sim.busy_op t.sim;
   let rec go page depth =
+    let stall0 = stall_now t in
     let r = Buffer_pool.get t.pool page in
     if depth = t.levels then begin
       let line = ip_find_leaf t r key ~visit:(fun _ _ _ -> ()) in
@@ -310,11 +342,13 @@ let search t key =
           Some (Mem.read_i32 t.sim r (leaf_ptr_off t.cfg line i))
         else None
       in
+      note_access t ~page ~depth ~stall0;
       Buffer_pool.unpin t.pool page;
       result
     end
     else begin
       let child = ip_route t r key in
+      note_access t ~page ~depth ~stall0;
       Buffer_pool.unpin t.pool page;
       go child (depth + 1)
     end
@@ -580,10 +614,14 @@ let insert t key tid =
   Sim.busy_op t.sim;
   (* descend to the leaf page, recording the page path *)
   let rec go page depth path =
-    if depth = t.levels then (page, path)
+    if depth = t.levels then begin
+      bump_level t depth;
+      (page, path)
+    end
     else begin
       let r = Buffer_pool.get t.pool page in
       let child = ip_route t r key in
+      bump_level t depth;
       Buffer_pool.unpin t.pool page;
       go child (depth + 1) (page :: path)
     end
@@ -602,6 +640,7 @@ let delete t key =
   Sim.busy_op t.sim;
   let rec go page depth =
     let r = Buffer_pool.get t.pool page in
+    bump_level t depth;
     if depth < t.levels then begin
       let child = ip_route t r key in
       Buffer_pool.unpin t.pool page;
@@ -744,6 +783,7 @@ let range_scan t ?(prefetch = true) ~start_key ~end_key f =
       else begin
         let r = Buffer_pool.get t.pool page in
         let child = ip_route t r key in
+        bump_level t depth;
         visit page r;
         Buffer_pool.unpin t.pool page;
         find_page key child (depth + 1) ~visit
@@ -787,6 +827,7 @@ let range_scan t ?(prefetch = true) ~start_key ~end_key f =
     let count = ref 0 in
     let rec scan_page page =
       let r = Buffer_pool.get t.pool page in
+      bump_level t t.levels;
       if prefetch && t.cache_prefetch_leaves then prefetch_page_leaves t r;
       let line = ref (Mem.read_u16 t.sim r h_first_leaf) in
       let stop = ref false in
@@ -836,6 +877,7 @@ let range_scan_rev t ?(prefetch = true) ~start_key ~end_key f =
       else begin
         let r = Buffer_pool.get t.pool page in
         let child = ip_route t r key in
+        bump_level t depth;
         visit page;
         Buffer_pool.unpin t.pool page;
         find_page key child (depth + 1) ~visit
@@ -922,6 +964,7 @@ let range_scan_rev t ?(prefetch = true) ~start_key ~end_key f =
     let first_page = ref true in
     let rec scan_page page =
       let r = Buffer_pool.get t.pool page in
+      bump_level t t.levels;
       if prefetch && t.cache_prefetch_leaves then prefetch_page_leaves t r;
       let stop = ref false in
       let line = ref 0 in

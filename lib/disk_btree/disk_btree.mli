@@ -1,0 +1,23 @@
+(** Traditional disk-optimized B+-Tree (paper, Figure 3(a)): every node is
+    one page holding a large sorted key array and a parallel pointer
+    array, searched by plain binary search.  This is the cache-hostile
+    baseline the paper starts from — a search touches O(log2 fanout)
+    cache lines of the key array, almost all of them misses.
+
+    Tree mechanics (descent, splits, bulkload, jump-pointer range scans)
+    come from {!Fpb_btree_common.Paged_tree}; this module only supplies
+    the page layout and its binary search. *)
+
+(** The full common index interface: [create], [bulkload], [search],
+    [insert], [delete], [range_scan], sizes, telemetry
+    ([level_accesses] / [set_trace]) and uncharged checkers. *)
+include Fpb_btree_common.Index_sig.S
+
+(** Reverse (descending) scan of [start_key, end_key] entries, following
+    the backward leaf chain; returns the number of entries visited. *)
+val range_scan_rev :
+  t -> ?prefetch:bool -> start_key:int -> end_key:int -> (int -> int -> unit) -> int
+
+(** Pages of leaves prefetched ahead during jump-pointer range scans
+    (default 16). *)
+val set_io_prefetch_distance : t -> int -> unit

@@ -49,7 +49,7 @@ let timed_df_scan sys t pairs ~span ~prefetch ~trial =
 (* A1: I/O jump-pointer prefetch on/off, for the fpB+-Tree and for the
    standard B+-Tree (via the shared instance interface). *)
 let a1 scale =
-  let span = match scale with Scale.Quick -> 300_000 | Full -> 3_000_000 in
+  let span = match scale with Scale.Tiny -> 20_000 | Quick -> 300_000 | Full -> 3_000_000 in
   let n = Scale.io_entries scale in
   let rng = Fpb_workload.Prng.create 8008 in
   let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
@@ -120,7 +120,7 @@ let a2 scale =
 
 (* A3: I/O prefetch distance. *)
 let a3 scale =
-  let span = match scale with Scale.Quick -> 300_000 | Full -> 3_000_000 in
+  let span = match scale with Scale.Tiny -> 20_000 | Quick -> 300_000 | Full -> 3_000_000 in
   let sys, t, pairs = mature_df scale ~n_disks:10 in
   let rows =
     List.map
@@ -156,7 +156,9 @@ let a4 scale =
         ignore (DF.range_scan t ~prefetch:true ~start_key:a ~end_key:b (fun _ _ -> ())))
       ranges;
     let s = Buffer_pool.stats sys.Setup.pool in
-    float_of_int (s.Buffer_pool.misses + s.Buffer_pool.prefetch_issued)
+    float_of_int
+      (Fpb_obs.Counter.value s.Buffer_pool.misses
+      + Fpb_obs.Counter.value s.Buffer_pool.prefetch_issued)
     /. float_of_int scans
   in
   let bounded = run ~bounded:true in
@@ -174,7 +176,7 @@ let a4 scale =
    argument: sequential prefetching covers clustered (bulkloaded) layouts,
    but only jump pointers help once updates scatter the leaf order. *)
 let a5 scale =
-  let span = match scale with Scale.Quick -> 300_000 | Full -> 3_000_000 in
+  let span = match scale with Scale.Tiny -> 20_000 | Quick -> 300_000 | Full -> 3_000_000 in
   let n = Scale.io_entries scale in
   let rng = Fpb_workload.Prng.create 8008 in
   let pairs = Fpb_workload.Keygen.bulk_pairs rng n in

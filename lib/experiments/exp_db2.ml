@@ -8,7 +8,7 @@
 
 let base scale =
   let n_pages =
-    match scale with Scale.Quick -> 100_000 | Full -> 800_000
+    match scale with Scale.Tiny -> 20_000 | Quick -> 100_000 | Full -> 800_000
   in
   { Fpb_dbsim.Dbsim.default with n_pages }
 

@@ -17,11 +17,10 @@ let run scale =
   let sim = Sim.create () in
   let pb = Fpb_pbtree.Pbtree.create sim in
   Fpb_pbtree.Pbtree.bulkload pb pairs ~fill:1.0;
-  Sim.flush_cache sim;
-  Sim.reset_stats sim;
-  let s0 = Stats.snapshot sim.Sim.stats in
-  Array.iter (fun k -> ignore (Fpb_pbtree.Pbtree.search pb k)) probes;
-  let pb_busy, pb_stall, _ = Stats.since sim.Sim.stats s0 in
+  let pbm =
+    Setup.measure_cycles_sim sim (fun () ->
+        Array.iter (fun k -> ignore (Fpb_pbtree.Pbtree.search pb k)) probes)
+  in
   let base = float_of_int disk.Setup.total in
   let row name (busy, stall) =
     let total = busy + stall in
@@ -41,5 +40,5 @@ let run scale =
     ~header:[ "index"; "busy"; "dcache stalls"; "total"; "normalized" ]
     [
       row "disk-optimized B+tree" (disk.Setup.busy, disk.Setup.stall);
-      row "pB+tree (cache-optimized)" (pb_busy, pb_stall);
+      row "pB+tree (cache-optimized)" (pbm.Setup.busy, pbm.Setup.stall);
     ]

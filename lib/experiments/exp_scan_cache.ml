@@ -5,7 +5,7 @@
 let fig15 scale =
   let n = Scale.base_entries scale in
   let span = n / 3 in
-  let n_scans = match scale with Scale.Quick -> 20 | Full -> 100 in
+  let n_scans = match scale with Scale.Tiny -> 5 | Quick -> 20 | Full -> 100 in
   let rng = Fpb_workload.Prng.create 5005 in
   let pairs = Fpb_workload.Keygen.bulk_pairs rng n in
   let ranges = Fpb_workload.Keygen.ranges rng pairs n_scans ~span in

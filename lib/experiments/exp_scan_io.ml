@@ -35,7 +35,8 @@ let scan_time sys idx pairs ~span ~prefetch ~trial =
 let fig18a scale =
   let spans =
     match scale with
-    | Scale.Quick -> [ 100; 1000; 10_000; 100_000; 500_000 ]
+    | Scale.Tiny -> [ 100; 1000; 10_000 ]
+    | Quick -> [ 100; 1000; 10_000; 100_000; 500_000 ]
     | Full -> [ 100; 1000; 10_000; 100_000; 1_000_000; 5_000_000 ]
   in
   let trials = 3 in
@@ -69,7 +70,7 @@ let fig18a scale =
 
 let fig18bc scale =
   let span =
-    match scale with Scale.Quick -> 500_000 | Full -> 5_000_000
+    match scale with Scale.Tiny -> 20_000 | Quick -> 500_000 | Full -> 5_000_000
   in
   let disks = [ 1; 2; 4; 6; 8; 10 ] in
   let time kind ~prefetch ~n_disks =

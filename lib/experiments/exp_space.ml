@@ -9,7 +9,7 @@ let overhead_pct ~fp_pages ~base_pages =
 
 let space_row scale ~mature page_size =
   let n =
-    match scale with Scale.Quick -> 500_000 | Full -> 10_000_000
+    match scale with Scale.Tiny -> 60_000 | Quick -> 500_000 | Full -> 10_000_000
   in
   let rng = Fpb_workload.Prng.create 6006 in
   let pairs = Fpb_workload.Keygen.bulk_pairs rng n in

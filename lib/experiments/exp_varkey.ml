@@ -18,7 +18,7 @@ let keys rng n ~len =
   Array.mapi (fun i k -> (k, i)) arr
 
 let run scale =
-  let n = match scale with Scale.Quick -> 60_000 | Full -> 300_000 in
+  let n = match scale with Scale.Tiny -> 20_000 | Quick -> 60_000 | Full -> 300_000 in
   let ops = 2000 in
   let rows =
     List.map

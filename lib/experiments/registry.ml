@@ -41,11 +41,33 @@ let all : entry list =
       run = (fun s -> [ Exp_skew.run s ]) };
   ]
 
-let find id = List.find_opt (fun e -> e.id = id) all
+(* Exact id, or a unique prefix of one ("fig3" finds fig3b; "fig18" is
+   ambiguous between fig18a and fig18bc and finds nothing). *)
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some _ as found -> found
+  | None -> (
+      match List.filter (fun e -> String.starts_with ~prefix:id e.id) all with
+      | [ e ] -> Some e
+      | _ -> None)
+
+(* One experiment run: its tables, the metrics its measurement helpers
+   recorded (see [Telemetry]), and wall-clock time.  This is the uniform
+   record [Report] serialises into BENCH_results.json. *)
+type outcome = {
+  entry : entry;
+  tables : Table.t list;
+  metrics : Fpb_obs.Registry.t;
+  wall_s : float;
+}
+
+let run_entry scale e =
+  let t0 = Unix.gettimeofday () in
+  let metrics, tables = Telemetry.with_collector (fun () -> e.run scale) in
+  { entry = e; tables; metrics; wall_s = Unix.gettimeofday () -. t0 }
 
 let run_and_print ppf scale e =
-  let t0 = Unix.gettimeofday () in
-  let tables = e.run scale in
-  List.iter (Table.print ppf) tables;
-  Fmt.pf ppf "(%s finished in %.1fs wall clock)@." e.id (Unix.gettimeofday () -. t0);
-  tables
+  let o = run_entry scale e in
+  List.iter (Table.print ppf) o.tables;
+  Fmt.pf ppf "(%s finished in %.1fs wall clock)@." e.id o.wall_s;
+  o

@@ -54,6 +54,40 @@ let fresh_mature ?n_disks ?pool_pages ~page_size ~seed kind pairs ~bulk_frac
   Array.iter (fun (k, v) -> ignore (Index_sig.insert idx k v)) rest;
   (sys, idx)
 
-let searches idx keys = Array.iter (fun k -> ignore (Index_sig.search idx k)) keys
-let inserts idx keys = Array.iter (fun k -> ignore (Index_sig.insert idx k k)) keys
-let deletes idx keys = Array.iter (fun k -> ignore (Index_sig.delete idx k)) keys
+(* "disk-first fpB+tree" -> "disk-first-fpb-tree", a counter-name-safe
+   slug of the index name. *)
+let slug name =
+  String.concat "-"
+    (List.filter
+       (fun s -> s <> "")
+       (String.split_on_char '-'
+          (String.map
+             (fun c ->
+               match Char.lowercase_ascii c with
+               | ('a' .. 'z' | '0' .. '9') as c -> c
+               | _ -> '-')
+             name)))
+
+(* Run an operation batch with per-level access counting: the index's
+   level counters are reset around [f] and the deltas recorded as
+   [<op>.<index>.level<i>_accesses] (level 0 = root). *)
+let with_levels op idx f =
+  Index_sig.reset_level_accesses idx;
+  f ();
+  let prefix = Printf.sprintf "%s.%s" op (slug (Index_sig.name idx)) in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then Telemetry.add (Printf.sprintf "%s.level%d_accesses" prefix i) c)
+    (Index_sig.level_accesses idx)
+
+let searches idx keys =
+  with_levels "search" idx (fun () ->
+      Array.iter (fun k -> ignore (Index_sig.search idx k)) keys)
+
+let inserts idx keys =
+  with_levels "insert" idx (fun () ->
+      Array.iter (fun k -> ignore (Index_sig.insert idx k k)) keys)
+
+let deletes idx keys =
+  with_levels "delete" idx (fun () ->
+      Array.iter (fun k -> ignore (Index_sig.delete idx k)) keys)

@@ -1,19 +1,24 @@
 (* Experiment scaling.  [Quick] reproduces every figure's shape at reduced
    tree sizes (minutes of wall clock); [Full] uses the paper's sizes where
-   feasible.  EXPERIMENTS.md records both against the paper's numbers. *)
+   feasible.  [Tiny] is for smoke tests and CI: seconds of wall clock, the
+   numbers are not meaningful.  EXPERIMENTS.md records Quick and Full
+   against the paper's numbers. *)
 
-type t = Quick | Full
+type t = Tiny | Quick | Full
+
+let to_string = function Tiny -> "tiny" | Quick -> "quick" | Full -> "full"
 
 (* Tree sizes for the search/update sweeps (paper: 1e5..1e7). *)
 let entry_counts = function
+  | Tiny -> [ 10_000; 30_000 ]
   | Quick -> [ 100_000; 300_000; 1_000_000 ]
   | Full -> [ 100_000; 300_000; 1_000_000; 3_000_000; 10_000_000 ]
 
 (* Standard single tree size (paper: 3e6 for Figures 12-15). *)
-let base_entries = function Quick -> 1_000_000 | Full -> 3_000_000
+let base_entries = function Tiny -> 30_000 | Quick -> 1_000_000 | Full -> 3_000_000
 
 (* Large tree for I/O experiments (paper: 1e7 keys searched, 1e8 scanned). *)
-let io_entries = function Quick -> 1_000_000 | Full -> 10_000_000
+let io_entries = function Tiny -> 50_000 | Quick -> 1_000_000 | Full -> 10_000_000
 
-let ops = function Quick -> 2000 | Full -> 2000
+let ops = function Tiny -> 300 | Quick -> 2000 | Full -> 2000
 let page_sizes = [ 4096; 8192; 16384; 32768 ]

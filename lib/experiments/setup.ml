@@ -55,24 +55,39 @@ let make_index kind pool : Index_sig.instance =
    memory-resident, report (busy, stall, total) cycles. *)
 type cycles = { busy : int; stall : int; total : int }
 
-let measure_cycles sys f =
-  Sim.flush_cache sys.sim;
-  Sim.reset_stats sys.sim;
-  let s0 = Stats.snapshot sys.sim.Sim.stats in
+(* Same protocol for a bare simulator with no storage attached (the
+   pB+-Tree in the Figure 3 breakdown lives purely in simulated memory). *)
+let measure_cycles_sim sim f =
+  Sim.flush_cache sim;
+  Sim.reset_stats sim;
+  let s0 = Stats.snapshot sim.Sim.stats in
   f ();
-  let busy, stall, _ = Stats.since sys.sim.Sim.stats s0 in
+  Telemetry.add_kv (Stats.delta_kv sim.Sim.stats s0);
+  let busy, stall, _ = Stats.since sim.Sim.stats s0 in
+  Telemetry.observe "measure.batch_cycles" (busy + stall);
   { busy; stall; total = busy + stall }
+
+let measure_cycles sys f = measure_cycles_sim sys.sim f
 
 (* I/O measurement: clear the buffer pool, reset I/O statistics, run, and
    report demand misses (the paper's metric for search I/O). *)
 let measure_io_misses sys f =
   Buffer_pool.clear sys.pool;
   Buffer_pool.reset_stats sys.pool;
+  let d0 = Disk_model.kv sys.disks in
   f ();
-  (Buffer_pool.stats sys.pool).Buffer_pool.misses
+  Telemetry.add_kv (Buffer_pool.kv sys.pool);
+  Telemetry.add_kv (Telemetry.delta (Disk_model.kv sys.disks) d0);
+  Fpb_obs.Counter.value (Buffer_pool.stats sys.pool).Buffer_pool.misses
 
 (* Elapsed simulated time (ns) of a batch, including I/O waits. *)
 let measure_sim_time sys f =
+  let p0 = Buffer_pool.kv sys.pool in
+  let d0 = Disk_model.kv sys.disks in
   let t0 = Clock.now sys.sim.Sim.clock in
   f ();
-  Clock.now sys.sim.Sim.clock - t0
+  let ns = Clock.now sys.sim.Sim.clock - t0 in
+  Telemetry.add_kv (Telemetry.delta (Buffer_pool.kv sys.pool) p0);
+  Telemetry.add_kv (Telemetry.delta (Disk_model.kv sys.disks) d0);
+  Telemetry.observe "measure.batch_sim_ns" ns;
+  ns

@@ -1,0 +1,37 @@
+(* Ambient per-experiment metrics collector.
+
+   The registry runner installs a fresh [Fpb_obs.Registry.t] around each
+   experiment; the measurement helpers in [Setup] and [Run] fold counter
+   deltas and histogram observations into whichever collector is current.
+   With no collector installed every call is a no-op, so the experiment
+   code itself stays unchanged whether or not anyone is recording. *)
+
+let current : Fpb_obs.Registry.t option ref = ref None
+
+let add name n =
+  match !current with None -> () | Some r -> Fpb_obs.Registry.add r name n
+
+(* Zero deltas are skipped so metrics records only mention instruments
+   that actually moved. *)
+let add_kv kvs = List.iter (fun (name, n) -> if n <> 0 then add name n) kvs
+
+let observe name v =
+  match !current with None -> () | Some r -> Fpb_obs.Registry.observe r name v
+
+(* [delta after before] subtracts matching (name, value) snapshots taken
+   from the same counter list. *)
+let delta after before =
+  List.map2 (fun (name, a) ((_ : string), b) -> (name, a - b)) after before
+
+(* Run [f] under a fresh collector; returns the collector (with whatever
+   [f] recorded) alongside [f]'s result.  Nests: the previous collector is
+   restored afterwards, even on exceptions. *)
+let with_collector f =
+  let r = Fpb_obs.Registry.create () in
+  let saved = !current in
+  current := Some r;
+  Fun.protect
+    ~finally:(fun () -> current := saved)
+    (fun () ->
+      let x = f () in
+      (r, x))

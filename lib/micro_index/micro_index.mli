@@ -1,0 +1,26 @@
+(** Micro-indexing (Lomet [16]; paper, Figure 4): a disk-optimized
+    B+-Tree page whose key array is divided into cache-line-aligned
+    sub-arrays, with a small in-page micro-index holding the first key of
+    every sub-array.  A search prefetches and searches the micro-index to
+    pick a sub-array, then prefetches and binary-searches only that
+    sub-array — good search locality.  Updates still shift the big
+    arrays (and refresh the micro-index), which is why the paper finds
+    its update performance as poor as the plain B+-Tree's.
+
+    Tree mechanics come from {!Fpb_btree_common.Paged_tree}; this module
+    only supplies the page layout and the two-phase search.  Sub-array
+    size and fan-out come from {!Fpb_btree_common.Tuning} (Table 2). *)
+
+(** The full common index interface: [create], [bulkload], [search],
+    [insert], [delete], [range_scan], sizes, telemetry
+    ([level_accesses] / [set_trace]) and uncharged checkers. *)
+include Fpb_btree_common.Index_sig.S
+
+(** Reverse (descending) scan of [start_key, end_key] entries, following
+    the backward leaf chain; returns the number of entries visited. *)
+val range_scan_rev :
+  t -> ?prefetch:bool -> start_key:int -> end_key:int -> (int -> int -> unit) -> int
+
+(** Pages of leaves prefetched ahead during jump-pointer range scans
+    (default 16). *)
+val set_io_prefetch_distance : t -> int -> unit

@@ -1,0 +1,12 @@
+(* Named monotonic counters: the cheapest telemetry primitive, a single
+   mutable field, so simulator hot paths can charge them directly. *)
+
+type t = { name : string; mutable value : int }
+
+let make name = { name; value = 0 }
+let name t = t.name
+let value t = t.value
+let add t n = t.value <- t.value + n
+let incr t = add t 1
+let reset t = t.value <- 0
+let kv t = (t.name, t.value)

@@ -1,0 +1,290 @@
+(* JSON tree, emitter and parser.  Deliberately dependency-free so every
+   library in the repository can emit machine-readable telemetry without
+   widening the build closure. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- Emitter --------------------------------------------------------------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no NaN/infinity; "%.17g" would round-trip but is noisy, and the
+   values here are measurements, so 12 significant digits suffice. *)
+let float_string f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let to_string ?(minify = false) v =
+  let b = Buffer.create 1024 in
+  let indent n = Buffer.add_char b '\n'; for _ = 1 to n do Buffer.add_string b "  " done in
+  let rec emit depth v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_string f)
+    | Str s -> escape_string b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            if not minify then indent (depth + 1);
+            emit (depth + 1) item)
+          items;
+        if not minify then indent depth;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char b ',';
+            if not minify then indent (depth + 1);
+            escape_string b k;
+            Buffer.add_string b (if minify then ":" else ": ");
+            emit (depth + 1) item)
+          fields;
+        if not minify then indent depth;
+        Buffer.add_char b '}'
+  in
+  emit 0 v;
+  if not minify then Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* --- Parser ---------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "%s at byte %d" m cur.pos))) fmt
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance cur; true
+    | _ -> false
+  do () done
+
+let expect cur c =
+  match peek cur with
+  | Some x when x = c -> advance cur
+  | Some x -> fail cur "expected '%c', found '%c'" c x
+  | None -> fail cur "expected '%c', found end of input" c
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word
+  then begin cur.pos <- cur.pos + n; value end
+  else fail cur "invalid literal"
+
+(* Encode a Unicode scalar value as UTF-8 into [b]. *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let hex4 cur =
+  let digit () =
+    match peek cur with
+    | Some c ->
+        advance cur;
+        (match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail cur "bad \\u escape")
+    | None -> fail cur "truncated \\u escape"
+  in
+  let a = digit () in
+  let b = digit () in
+  let c = digit () in
+  let d = digit () in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+let parse_string cur =
+  expect cur '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur; Buffer.contents b
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+        | Some '"' -> advance cur; Buffer.add_char b '"'
+        | Some '\\' -> advance cur; Buffer.add_char b '\\'
+        | Some '/' -> advance cur; Buffer.add_char b '/'
+        | Some 'n' -> advance cur; Buffer.add_char b '\n'
+        | Some 't' -> advance cur; Buffer.add_char b '\t'
+        | Some 'r' -> advance cur; Buffer.add_char b '\r'
+        | Some 'b' -> advance cur; Buffer.add_char b '\b'
+        | Some 'f' -> advance cur; Buffer.add_char b '\012'
+        | Some 'u' ->
+            advance cur;
+            let u = hex4 cur in
+            (* surrogate pair *)
+            if u >= 0xd800 && u <= 0xdbff
+               && cur.pos + 1 < String.length cur.src
+               && cur.src.[cur.pos] = '\\'
+               && cur.src.[cur.pos + 1] = 'u'
+            then begin
+              cur.pos <- cur.pos + 2;
+              let lo = hex4 cur in
+              if lo >= 0xdc00 && lo <= 0xdfff then
+                add_utf8 b (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+              else begin add_utf8 b u; add_utf8 b lo end
+            end
+            else add_utf8 b u
+        | _ -> fail cur "bad escape");
+        go ()
+    | Some c -> advance cur; Buffer.add_char b c; go ()
+  in
+  go ()
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let consume () = advance cur in
+  (match peek cur with Some '-' -> consume () | _ -> ());
+  while (match peek cur with Some '0' .. '9' -> true | _ -> false) do consume () done;
+  (match peek cur with
+  | Some '.' ->
+      is_float := true;
+      consume ();
+      while (match peek cur with Some '0' .. '9' -> true | _ -> false) do consume () done
+  | _ -> ());
+  (match peek cur with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      consume ();
+      (match peek cur with Some ('+' | '-') -> consume () | _ -> ());
+      while (match peek cur with Some '0' .. '9' -> true | _ -> false) do consume () done
+  | _ -> ());
+  let s = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail cur "bad number %S" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        (* out of int range: fall back to float *)
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail cur "bad number %S" s)
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> Str (parse_string cur)
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin advance cur; List [] end
+      else begin
+        let rec items acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; items (v :: acc)
+          | Some ']' -> advance cur; List (List.rev (v :: acc))
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        items []
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin advance cur; Obj [] end
+      else begin
+        let field () =
+          skip_ws cur;
+          let k = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          (k, parse_value cur)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; fields (kv :: acc)
+          | Some '}' -> advance cur; Obj (List.rev (kv :: acc))
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        fields []
+      end
+  | Some c -> fail cur "unexpected character '%c'" c
+
+let parse s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* --- Accessors ------------------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,52 @@
+(** Zero-dependency JSON tree, emitter and parser.
+
+    This is the wire format of the telemetry layer: benchmark reports
+    ([BENCH_results.json]), per-experiment metrics records and trace dumps
+    are all built from {!t} values and written with {!to_string}.  The
+    parser exists so tests (and future PRs consuming the perf trajectory)
+    can read reports back without external libraries.
+
+    Numbers are split into [Int] and [Float]; the parser returns [Int]
+    for numeric tokens without a fraction or exponent.  Strings are
+    OCaml byte strings; the emitter escapes control characters and the
+    parser decodes [\uXXXX] escapes to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion-ordered; keys should be unique *)
+
+(** [to_string v] renders [v] as JSON text.  With [minify:false] (the
+    default) the output is pretty-printed with two-space indentation and a
+    trailing newline; with [minify:true] it is a single line.  Non-finite
+    floats render as [null] (JSON has no NaN/infinity). *)
+val to_string : ?minify:bool -> t -> string
+
+(** Raised by {!parse} with a human-readable message including the byte
+    offset of the error. *)
+exception Parse_error of string
+
+(** [parse s] parses one JSON value from [s] (surrounding whitespace is
+    allowed; trailing garbage is an error).
+    @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+(** {1 Accessors}
+
+    Total functions for picking reports apart; each returns [None] on a
+    shape mismatch. *)
+
+(** [member k v] is the value bound to key [k] if [v] is an object. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_int : t -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_str : t -> string option

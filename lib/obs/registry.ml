@@ -1,0 +1,53 @@
+(* Find-or-create collection of counters and histograms; snapshots are
+   name-sorted so identical runs serialise to identical JSON. *)
+
+type t = {
+  counters : (string, Counter.t) Hashtbl.t;
+  histograms : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 64; histograms = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = Counter.make name in
+      Hashtbl.add t.counters name c;
+      c
+
+let add t name n = Counter.add (counter t name) n
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = Histogram.make name in
+      Hashtbl.add t.histograms name h;
+      h
+
+let observe t name v = Histogram.record (histogram t name) v
+
+let sorted_bindings tbl =
+  List.sort (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let snapshot t =
+  List.map (fun (name, c) -> (name, Counter.value c)) (sorted_bindings t.counters)
+
+let reset t =
+  Hashtbl.iter (fun _ c -> Counter.reset c) t.counters;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (name, v) -> (name, Json.Int v)) (snapshot t)) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (name, h) -> (name, Histogram.to_json h))
+             (sorted_bindings t.histograms)) );
+    ]

@@ -1,0 +1,37 @@
+(** A named collection of counters and histograms with one JSON snapshot.
+
+    The experiment harness installs a fresh registry per experiment run;
+    stat sources fold their deltas into it and the registry serialises to
+    the experiment's uniform metrics record in [BENCH_results.json]
+    (schema: [docs/OBSERVABILITY.md]).
+
+    [counter]/[histogram] are find-or-create: the first call under a name
+    creates the instrument, later calls return the same one, so sources
+    need no registration phase. *)
+
+type t
+
+val create : unit -> t
+
+(** The counter registered under [name] (created at zero if new). *)
+val counter : t -> string -> Counter.t
+
+(** [add t name n] adds [n] to the counter [name]. *)
+val add : t -> string -> int -> unit
+
+(** The histogram registered under [name] (created empty if new). *)
+val histogram : t -> string -> Histogram.t
+
+(** [observe t name v] records [v] in the histogram [name]. *)
+val observe : t -> string -> int -> unit
+
+(** Counter values at this instant, sorted by name. *)
+val snapshot : t -> (string * int) list
+
+(** Reset every registered counter and histogram to empty (the
+    instruments stay registered). *)
+val reset : t -> unit
+
+(** [{"counters": {name: value, ...}, "histograms": {name: {...}, ...}}]
+    with keys sorted, so equal runs serialise identically. *)
+val to_json : t -> Json.t

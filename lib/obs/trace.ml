@@ -1,0 +1,40 @@
+(* Bounded trace-event ring: keeps the newest [capacity] events and
+   counts evictions, so tracing an unbounded run stays fixed-memory. *)
+
+type event = { ev_name : string; ev_attrs : (string * Json.t) list }
+
+type t = {
+  capacity : int;
+  q : event Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create";
+  { capacity; q = Queue.create (); dropped = 0 }
+
+let emit t name attrs =
+  if Queue.length t.q >= t.capacity then begin
+    ignore (Queue.pop t.q);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.push { ev_name = name; ev_attrs = attrs } t.q
+
+let events t = List.of_seq (Queue.to_seq t.q)
+let length t = Queue.length t.q
+let dropped t = t.dropped
+
+let clear t =
+  Queue.clear t.q;
+  t.dropped <- 0
+
+let to_json t =
+  Json.Obj
+    [
+      ("dropped", Json.Int t.dropped);
+      ( "events",
+        Json.List
+          (List.map
+             (fun e -> Json.Obj (("event", Json.Str e.ev_name) :: e.ev_attrs))
+             (events t)) );
+    ]

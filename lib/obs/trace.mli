@@ -1,0 +1,40 @@
+(** Bounded per-operation trace event sinks.
+
+    A trace is a ring of structured events — e.g.
+    [node_access level=2 page=517 stall=140] — for inspecting *why* a
+    counter moved, at per-access granularity.  Index structures accept an
+    optional trace sink ([set_trace]); when none is attached the
+    instrumentation is a single option check, so traces cost nothing
+    unless requested.
+
+    The ring keeps the most recent [capacity] events and counts how many
+    older ones were dropped, so a bounded trace of an unbounded run is
+    always safe. *)
+
+type t
+
+type event = {
+  ev_name : string;  (** e.g. ["node_access"] *)
+  ev_attrs : (string * Json.t) list;  (** e.g. [[("level", Int 2)]] *)
+}
+
+(** [create ()] is an empty sink keeping the last [capacity] events
+    (default 4096). *)
+val create : ?capacity:int -> unit -> t
+
+(** [emit t name attrs] appends an event, evicting the oldest if full. *)
+val emit : t -> string -> (string * Json.t) list -> unit
+
+(** Events currently retained, oldest first. *)
+val events : t -> event list
+
+(** Events retained now. *)
+val length : t -> int
+
+(** Events evicted so far to stay within capacity. *)
+val dropped : t -> int
+
+val clear : t -> unit
+
+(** [{"dropped": n, "events": [{"event": name, attrs...}, ...]}] *)
+val to_json : t -> Json.t

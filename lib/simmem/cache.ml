@@ -110,7 +110,7 @@ let drain t =
 
 let stall t cycles =
   if cycles > 0 then begin
-    t.stats.Stats.stall <- t.stats.Stats.stall + cycles;
+    Fpb_obs.Counter.add t.stats.Stats.stall cycles;
     Clock.advance t.clock cycles
   end
 
@@ -132,19 +132,19 @@ let access t addr =
   | Some c ->
       (* Prefetch in flight: wait only for the remaining latency. *)
       Hashtbl.remove t.inflight line;
-      t.stats.Stats.prefetch_useful <- t.stats.Stats.prefetch_useful + 1;
+      Fpb_obs.Counter.incr t.stats.Stats.prefetch_useful;
       stall t (c - Clock.now t.clock);
       install_l2 t line;
       install_l1 t line
   | None ->
-      if l1_lookup t line then t.stats.Stats.l1_hits <- t.stats.Stats.l1_hits + 1
+      if l1_lookup t line then Fpb_obs.Counter.incr t.stats.Stats.l1_hits
       else if l2_lookup t line then begin
-        t.stats.Stats.l2_hits <- t.stats.Stats.l2_hits + 1;
+        Fpb_obs.Counter.incr t.stats.Stats.l2_hits;
         stall t t.cfg.Config.l2_latency;
         install_l1 t line
       end
       else begin
-        t.stats.Stats.mem_misses <- t.stats.Stats.mem_misses + 1;
+        Fpb_obs.Counter.incr t.stats.Stats.mem_misses;
         let c = schedule_mem t in
         stall t (c - Clock.now t.clock);
         install_l2 t line;
@@ -163,7 +163,7 @@ let prefetch t addr =
   then begin
     if Queue.length t.order >= t.cfg.Config.miss_handlers then begin
       (* All handlers busy: stall until the oldest outstanding completes. *)
-      t.stats.Stats.prefetch_waits <- t.stats.Stats.prefetch_waits + 1;
+      Fpb_obs.Counter.incr t.stats.Stats.prefetch_waits;
       (match Queue.peek_opt t.order with
       | Some (_, c) -> stall t (c - Clock.now t.clock)
       | None -> ());
@@ -172,7 +172,7 @@ let prefetch t addr =
     let c = schedule_mem t in
     Hashtbl.replace t.inflight line c;
     Queue.push (line, c) t.order;
-    t.stats.Stats.prefetch_issued <- t.stats.Stats.prefetch_issued + 1
+    Fpb_obs.Counter.incr t.stats.Stats.prefetch_issued
   end
 
 let access_range t addr len =

@@ -17,7 +17,7 @@ let create ?(cfg = Config.default) ?(cost = Cost_model.default) () =
 
 let charge_busy t cycles =
   if cycles > 0 then begin
-    t.stats.Stats.busy <- t.stats.Stats.busy + cycles;
+    Fpb_obs.Counter.add t.stats.Stats.busy cycles;
     Clock.advance t.clock cycles
   end
 

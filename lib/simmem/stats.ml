@@ -5,50 +5,95 @@
    paper's Figure 3(b) (their "other stalls" come from the out-of-order
    pipeline front end, which we do not model). *)
 
+module Counter = Fpb_obs.Counter
+
 type t = {
-  mutable busy : int;  (* cycles doing useful work *)
-  mutable stall : int;  (* cycles stalled on data cache misses *)
-  mutable l1_hits : int;
-  mutable l2_hits : int;
-  mutable mem_misses : int;  (* demand accesses serviced from memory *)
-  mutable prefetch_issued : int;
-  mutable prefetch_useful : int;  (* prefetched lines later accessed *)
-  mutable prefetch_waits : int;  (* issue stalls: all miss handlers busy *)
+  busy : Counter.t;  (* cycles doing useful work *)
+  stall : Counter.t;  (* cycles stalled on data cache misses *)
+  l1_hits : Counter.t;
+  l2_hits : Counter.t;
+  mem_misses : Counter.t;  (* demand accesses serviced from memory *)
+  prefetch_issued : Counter.t;
+  prefetch_useful : Counter.t;  (* prefetched lines later accessed *)
+  prefetch_waits : Counter.t;  (* issue stalls: all miss handlers busy *)
 }
 
 let create () =
   {
-    busy = 0;
-    stall = 0;
-    l1_hits = 0;
-    l2_hits = 0;
-    mem_misses = 0;
-    prefetch_issued = 0;
-    prefetch_useful = 0;
-    prefetch_waits = 0;
+    busy = Counter.make "sim.busy_cycles";
+    stall = Counter.make "sim.stall_cycles";
+    l1_hits = Counter.make "sim.l1_hits";
+    l2_hits = Counter.make "sim.l2_hits";
+    mem_misses = Counter.make "sim.mem_misses";
+    prefetch_issued = Counter.make "sim.prefetch_issued";
+    prefetch_useful = Counter.make "sim.prefetch_useful";
+    prefetch_waits = Counter.make "sim.prefetch_waits";
   }
 
-let reset t =
-  t.busy <- 0;
-  t.stall <- 0;
-  t.l1_hits <- 0;
-  t.l2_hits <- 0;
-  t.mem_misses <- 0;
-  t.prefetch_issued <- 0;
-  t.prefetch_useful <- 0;
-  t.prefetch_waits <- 0
+let counters t =
+  [
+    t.busy;
+    t.stall;
+    t.l1_hits;
+    t.l2_hits;
+    t.mem_misses;
+    t.prefetch_issued;
+    t.prefetch_useful;
+    t.prefetch_waits;
+  ]
 
-type snapshot = { s_busy : int; s_stall : int; s_mem_misses : int }
+let reset t = List.iter Counter.reset (counters t)
+let kv t = List.map Counter.kv (counters t)
 
-let snapshot t = { s_busy = t.busy; s_stall = t.stall; s_mem_misses = t.mem_misses }
+type snapshot = {
+  s_busy : int;
+  s_stall : int;
+  s_l1_hits : int;
+  s_l2_hits : int;
+  s_mem_misses : int;
+  s_prefetch_issued : int;
+  s_prefetch_useful : int;
+  s_prefetch_waits : int;
+}
+
+let snapshot t =
+  {
+    s_busy = Counter.value t.busy;
+    s_stall = Counter.value t.stall;
+    s_l1_hits = Counter.value t.l1_hits;
+    s_l2_hits = Counter.value t.l2_hits;
+    s_mem_misses = Counter.value t.mem_misses;
+    s_prefetch_issued = Counter.value t.prefetch_issued;
+    s_prefetch_useful = Counter.value t.prefetch_useful;
+    s_prefetch_waits = Counter.value t.prefetch_waits;
+  }
 
 (* Deltas since an earlier snapshot: (busy, stall, mem_misses). *)
-let since t s = (t.busy - s.s_busy, t.stall - s.s_stall, t.mem_misses - s.s_mem_misses)
+let since t s =
+  ( Counter.value t.busy - s.s_busy,
+    Counter.value t.stall - s.s_stall,
+    Counter.value t.mem_misses - s.s_mem_misses )
 
-let total t = t.busy + t.stall
+let delta_kv t s =
+  [
+    ("sim.busy_cycles", Counter.value t.busy - s.s_busy);
+    ("sim.stall_cycles", Counter.value t.stall - s.s_stall);
+    ("sim.l1_hits", Counter.value t.l1_hits - s.s_l1_hits);
+    ("sim.l2_hits", Counter.value t.l2_hits - s.s_l2_hits);
+    ("sim.mem_misses", Counter.value t.mem_misses - s.s_mem_misses);
+    ("sim.prefetch_issued", Counter.value t.prefetch_issued - s.s_prefetch_issued);
+    ("sim.prefetch_useful", Counter.value t.prefetch_useful - s.s_prefetch_useful);
+    ("sim.prefetch_waits", Counter.value t.prefetch_waits - s.s_prefetch_waits);
+  ]
+
+let total t = Counter.value t.busy + Counter.value t.stall
 
 let pp ppf t =
   Fmt.pf ppf
     "busy=%d stall=%d total=%d | L1hit=%d L2hit=%d miss=%d | pf=%d useful=%d waits=%d"
-    t.busy t.stall (total t) t.l1_hits t.l2_hits t.mem_misses t.prefetch_issued
-    t.prefetch_useful t.prefetch_waits
+    (Counter.value t.busy) (Counter.value t.stall) (total t)
+    (Counter.value t.l1_hits) (Counter.value t.l2_hits)
+    (Counter.value t.mem_misses)
+    (Counter.value t.prefetch_issued)
+    (Counter.value t.prefetch_useful)
+    (Counter.value t.prefetch_waits)

@@ -2,28 +2,54 @@
     charged explicitly by the cost model; stall cycles are charged by the
     cache simulator whenever an access waits for a lower level of the
     hierarchy.  Execution time = busy + stall, matching the breakdown of
-    the paper's Figure 3(b). *)
+    the paper's Figure 3(b).
+
+    Each field is a named {!Fpb_obs.Counter} under the [sim.*] namespace
+    (units are cycles for [sim.*_cycles], event counts otherwise); [kv]
+    exports the whole set for the telemetry layer. *)
 
 type t = {
-  mutable busy : int;  (** cycles doing useful work *)
-  mutable stall : int;  (** cycles stalled on data cache misses *)
-  mutable l1_hits : int;
-  mutable l2_hits : int;
-  mutable mem_misses : int;  (** demand accesses serviced from memory *)
-  mutable prefetch_issued : int;
-  mutable prefetch_useful : int;  (** prefetched lines later accessed *)
-  mutable prefetch_waits : int;  (** issue stalls: all miss handlers busy *)
+  busy : Fpb_obs.Counter.t;  (** [sim.busy_cycles]: useful work *)
+  stall : Fpb_obs.Counter.t;  (** [sim.stall_cycles]: data-cache stalls *)
+  l1_hits : Fpb_obs.Counter.t;  (** [sim.l1_hits] *)
+  l2_hits : Fpb_obs.Counter.t;  (** [sim.l2_hits] *)
+  mem_misses : Fpb_obs.Counter.t;
+      (** [sim.mem_misses]: demand accesses serviced from memory *)
+  prefetch_issued : Fpb_obs.Counter.t;  (** [sim.prefetch_issued] *)
+  prefetch_useful : Fpb_obs.Counter.t;
+      (** [sim.prefetch_useful]: prefetched lines later accessed *)
+  prefetch_waits : Fpb_obs.Counter.t;
+      (** [sim.prefetch_waits]: issue stalls, all miss handlers busy *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
-type snapshot
+(** All eight counters, in declaration order. *)
+val counters : t -> Fpb_obs.Counter.t list
+
+(** Current values as [(name, value)] pairs, in declaration order. *)
+val kv : t -> (string * int) list
+
+(** Immutable copy of all eight values, for computing deltas. *)
+type snapshot = {
+  s_busy : int;
+  s_stall : int;
+  s_l1_hits : int;
+  s_l2_hits : int;
+  s_mem_misses : int;
+  s_prefetch_issued : int;
+  s_prefetch_useful : int;
+  s_prefetch_waits : int;
+}
 
 val snapshot : t -> snapshot
 
 (** Deltas since an earlier snapshot: (busy, stall, mem_misses). *)
 val since : t -> snapshot -> int * int * int
+
+(** Deltas for all eight counters since [snapshot], as named pairs. *)
+val delta_kv : t -> snapshot -> (string * int) list
 
 (** busy + stall. *)
 val total : t -> int

@@ -14,14 +14,29 @@
    only for the remaining latency. *)
 
 open Fpb_simmem
+module Counter = Fpb_obs.Counter
 
 type stats = {
-  mutable hits : int;
-  mutable misses : int;  (* demand reads that went to disk *)
-  mutable prefetch_issued : int;
-  mutable prefetch_hits : int;  (* gets satisfied by a prefetched page *)
-  mutable io_wait_ns : int;  (* time the querying thread waited on I/O *)
+  hits : Counter.t;
+  misses : Counter.t;  (* demand reads that went to disk *)
+  prefetch_issued : Counter.t;
+  prefetch_hits : Counter.t;  (* gets satisfied by a prefetched page *)
+  io_wait_ns : Counter.t;  (* time the querying thread waited on I/O *)
 }
+
+let make_stats () =
+  {
+    hits = Counter.make "pool.hits";
+    misses = Counter.make "pool.misses";
+    prefetch_issued = Counter.make "pool.prefetch_issued";
+    prefetch_hits = Counter.make "pool.prefetch_hits";
+    io_wait_ns = Counter.make "pool.io_wait_ns";
+  }
+
+let stats_counters s =
+  [ s.hits; s.misses; s.prefetch_issued; s.prefetch_hits; s.io_wait_ns ]
+
+let stats_kv s = List.map Counter.kv (stats_counters s)
 
 type t = {
   sim : Sim.t;
@@ -61,7 +76,7 @@ let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
     prefetch_request_busy;
     hand = 0;
     readahead = 0;
-    stats = { hits = 0; misses = 0; prefetch_issued = 0; prefetch_hits = 0; io_wait_ns = 0 };
+    stats = make_stats ();
   }
 
 let stats t = t.stats
@@ -69,14 +84,8 @@ let sim t = t.sim
 let store t = t.store
 let disks t = t.disks
 let capacity t = t.capacity
-
-let reset_stats t =
-  let s = t.stats in
-  s.hits <- 0;
-  s.misses <- 0;
-  s.prefetch_issued <- 0;
-  s.prefetch_hits <- 0;
-  s.io_wait_ns <- 0
+let reset_stats t = List.iter Counter.reset (stats_counters t.stats)
+let kv t = stats_kv t.stats
 
 let region_of_frame t frame page =
   Mem.make ~bytes:(Page_store.bytes t.store page)
@@ -126,7 +135,7 @@ let victim_frame t =
 let wait_until t when_ =
   let now = Clock.now t.sim.Sim.clock in
   if when_ > now then begin
-    t.stats.io_wait_ns <- t.stats.io_wait_ns + (when_ - now);
+    Counter.add t.stats.io_wait_ns (when_ - now);
     Clock.advance_to t.sim.Sim.clock when_
   end
 
@@ -150,7 +159,7 @@ let prefetch t page =
        t.frames.(frame) <- page;
        Hashtbl.replace t.table page frame;
        Hashtbl.replace t.inflight page completion;
-       t.stats.prefetch_issued <- t.stats.prefetch_issued + 1
+       Counter.incr t.stats.prefetch_issued
      with Pool_exhausted -> () (* drop the hint: pool too hot to prefetch *))
   end
 
@@ -171,9 +180,9 @@ let get t page =
       (match Hashtbl.find_opt t.inflight page with
       | Some c ->
           Hashtbl.remove t.inflight page;
-          t.stats.prefetch_hits <- t.stats.prefetch_hits + 1;
+          Counter.incr t.stats.prefetch_hits;
           wait_until t c
-      | None -> t.stats.hits <- t.stats.hits + 1);
+      | None -> Counter.incr t.stats.hits);
       t.ref_bit.(frame) <- true;
       t.pin.(frame) <- t.pin.(frame) + 1;
       region_of_frame t frame page
@@ -181,7 +190,7 @@ let get t page =
       let frame = victim_frame t in
       let disk, phys = Page_store.location t.store page in
       let completion = Disk_model.read t.disks ~disk ~phys () in
-      t.stats.misses <- t.stats.misses + 1;
+      Counter.incr t.stats.misses;
       wait_until t completion;
       t.frames.(frame) <- page;
       Hashtbl.replace t.table page frame;

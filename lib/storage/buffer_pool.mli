@@ -9,12 +9,17 @@
     this); a demand [get] of an in-flight page waits only for the
     remaining latency. *)
 
+(** Named counters under the [pool.*] namespace; [pool.io_wait_ns] is in
+    simulated nanoseconds, the rest are event counts. *)
 type stats = {
-  mutable hits : int;
-  mutable misses : int;  (** demand reads that went to disk *)
-  mutable prefetch_issued : int;
-  mutable prefetch_hits : int;  (** gets satisfied by a prefetched page *)
-  mutable io_wait_ns : int;  (** time the caller waited on I/O *)
+  hits : Fpb_obs.Counter.t;  (** [pool.hits] *)
+  misses : Fpb_obs.Counter.t;
+      (** [pool.misses]: demand reads that went to disk *)
+  prefetch_issued : Fpb_obs.Counter.t;  (** [pool.prefetch_issued] *)
+  prefetch_hits : Fpb_obs.Counter.t;
+      (** [pool.prefetch_hits]: gets satisfied by a prefetched page *)
+  io_wait_ns : Fpb_obs.Counter.t;
+      (** [pool.io_wait_ns]: time the caller waited on I/O *)
 }
 
 type t
@@ -33,6 +38,9 @@ val create :
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** Current pool counter values as [(name, value)] pairs. *)
+val kv : t -> (string * int) list
 val sim : t -> Fpb_simmem.Sim.t
 val store : t -> Page_store.t
 val disks : t -> Disk_model.t

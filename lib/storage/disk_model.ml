@@ -9,6 +9,7 @@
    work in the future relative to the simulated CPU clock. *)
 
 open Fpb_simmem
+module Counter = Fpb_obs.Counter
 
 type t = {
   clock : Clock.t;
@@ -17,9 +18,9 @@ type t = {
   transfer_ns : int;
   free_at : int array;  (* per disk: time the disk becomes idle *)
   last_phys : int array;  (* per disk: last physical page served *)
-  mutable reads : int;
-  mutable writes : int;
-  mutable busy_ns : int;  (* total time disks spent servicing requests *)
+  c_reads : Counter.t;
+  c_writes : Counter.t;
+  c_busy_ns : Counter.t;  (* total time disks spent servicing requests *)
 }
 
 (* 8 ms positioning (seek + rotational), 40 MB/s transfer: the paper's
@@ -37,9 +38,9 @@ let create ?(seek_ns = default_seek_ns) ~transfer_ns ~n_disks clock =
     transfer_ns;
     free_at = Array.make n_disks 0;
     last_phys = Array.make n_disks (-10);
-    reads = 0;
-    writes = 0;
-    busy_ns = 0;
+    c_reads = Counter.make "disk.reads";
+    c_writes = Counter.make "disk.writes";
+    c_busy_ns = Counter.make "disk.busy_ns";
   }
 
 let n_disks t = t.n_disks
@@ -53,7 +54,7 @@ let service t ~earliest ~disk ~phys =
   let completion = start + cost in
   t.free_at.(disk) <- completion;
   t.last_phys.(disk) <- phys;
-  t.busy_ns <- t.busy_ns + cost;
+  Counter.add t.c_busy_ns cost;
   completion
 
 (* Submit a read; returns its completion time (absolute ns). *)
@@ -61,22 +62,20 @@ let read t ?earliest ~disk ~phys () =
   let earliest =
     match earliest with Some e -> e | None -> Clock.now t.clock
   in
-  t.reads <- t.reads + 1;
+  Counter.incr t.c_reads;
   service t ~earliest ~disk ~phys
 
 (* Submit an asynchronous write-back; the caller never waits for it. *)
 let write t ~disk ~phys =
-  t.writes <- t.writes + 1;
+  Counter.incr t.c_writes;
   ignore (service t ~earliest:(Clock.now t.clock) ~disk ~phys)
 
-let reads t = t.reads
-let writes t = t.writes
-let busy_ns t = t.busy_ns
-
-let reset_stats t =
-  t.reads <- 0;
-  t.writes <- 0;
-  t.busy_ns <- 0
+let counters t = [ t.c_reads; t.c_writes; t.c_busy_ns ]
+let kv t = List.map Counter.kv (counters t)
+let reads t = Counter.value t.c_reads
+let writes t = Counter.value t.c_writes
+let busy_ns t = Counter.value t.c_busy_ns
+let reset_stats t = List.iter Counter.reset (counters t)
 
 (* Forget positioning state and pending work, e.g. between experiments. *)
 let quiesce t =

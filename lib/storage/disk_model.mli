@@ -33,6 +33,13 @@ val writes : t -> int
 (** Total time disks spent servicing requests. *)
 val busy_ns : t -> int
 
+(** The underlying named counters ([disk.reads], [disk.writes],
+    [disk.busy_ns] — the latter in simulated nanoseconds). *)
+val counters : t -> Fpb_obs.Counter.t list
+
+(** Current values as [(name, value)] pairs. *)
+val kv : t -> (string * int) list
+
 val reset_stats : t -> unit
 
 (** Forget positioning state and pending work (between experiments). *)

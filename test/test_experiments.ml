@@ -44,10 +44,50 @@ let test_measure_cycles_isolated () =
   Alcotest.(check int) "first measure" 100 m1.Setup.busy;
   Alcotest.(check int) "second measure clean" 0 m2.Setup.total
 
+let test_find_prefix () =
+  (match Registry.find "fig3" with
+  | Some e -> Alcotest.(check string) "unique prefix resolves" "fig3b" e.Registry.id
+  | None -> Alcotest.fail "fig3 should resolve to fig3b");
+  Alcotest.(check bool) "ambiguous prefix rejected" true (Registry.find "fig18" = None);
+  Alcotest.(check bool)
+    "exact id wins over prefixes" true
+    (match Registry.find "fig18a" with Some e -> e.Registry.id = "fig18a" | None -> false)
+
+(* Every registered experiment runs at Tiny scale, and the resulting
+   report serialises to JSON that parses back with all ids present and a
+   metrics record per experiment. *)
+let test_full_report_roundtrip () =
+  let module J = Fpb_obs.Json in
+  let outcomes = List.map (Registry.run_entry Scale.Tiny) Registry.all in
+  let json =
+    Report.make ~scale:Scale.Tiny ~timestamp:"1970-01-01T00:00:00Z"
+      ~bechamel:[ ("search/demo", 120.5) ]
+      outcomes
+  in
+  let parsed = J.parse (J.to_string json) in
+  let exps =
+    Option.value ~default:[] (Option.bind (J.member "experiments" parsed) J.to_list)
+  in
+  let ids = List.filter_map (fun e -> Option.bind (J.member "id" e) J.to_str) exps in
+  Alcotest.(check (list string))
+    "every registered experiment reported"
+    (List.map (fun e -> e.Registry.id) Registry.all)
+    ids;
+  List.iter
+    (fun e ->
+      match Option.bind (J.member "metrics" e) (J.member "counters") with
+      | Some (J.Obj _) -> ()
+      | _ ->
+          Alcotest.failf "%s: missing counters object"
+            (Option.value ~default:"?" (Option.bind (J.member "id" e) J.to_str)))
+    exps
+
 let suite =
   [
     Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "find: unique prefix" `Quick test_find_prefix;
     Alcotest.test_case "tables well-formed" `Quick test_tables_well_formed;
     Alcotest.test_case "csv" `Quick test_csv_roundtrip;
     Alcotest.test_case "measurement isolation" `Quick test_measure_cycles_isolated;
+    Alcotest.test_case "full tiny report round-trips" `Slow test_full_report_roundtrip;
   ]

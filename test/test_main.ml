@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "fpbtree"
     [
+      ("obs", Test_obs.suite);
       ("simmem", Test_simmem.suite);
       ("storage", Test_storage.suite);
       ("tuning", Test_tuning.suite);

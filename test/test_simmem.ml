@@ -11,6 +11,7 @@ let fresh () =
   (clock, stats, Cache.create cfg clock stats)
 
 let check_int = Alcotest.(check int)
+let cv = Fpb_obs.Counter.value
 
 let test_clock () =
   let c = Clock.create () in
@@ -25,10 +26,10 @@ let test_cold_miss_latency () =
   let clock, stats, cache = fresh () in
   Cache.access cache 0;
   check_int "first miss costs T1" cfg.Config.mem_latency (Clock.now clock);
-  check_int "one memory miss" 1 stats.Stats.mem_misses;
+  check_int "one memory miss" 1 (cv stats.Stats.mem_misses);
   Cache.access cache 0;
   check_int "hit is free" cfg.Config.mem_latency (Clock.now clock);
-  check_int "one L1 hit" 1 stats.Stats.l1_hits
+  check_int "one L1 hit" 1 (cv stats.Stats.l1_hits)
 
 let test_prefetched_node_cost () =
   (* The pB+-Tree cost model: a w-line node prefetched in full costs
@@ -73,14 +74,14 @@ let test_l2_hit () =
   ignore t0;
   Cache.access cache 0;
   (* 0 was evicted from L1 (2-way set, 2 newer residents) but lives in L2 *)
-  Alcotest.(check bool) "l2 hit recorded" true (stats.Stats.l2_hits >= 1)
+  Alcotest.(check bool) "l2 hit recorded" true (cv stats.Stats.l2_hits >= 1)
 
 let test_invalidate () =
   let _clock, stats, cache = fresh () in
   Cache.access cache 0;
   Cache.invalidate_range cache 0 cfg.Config.line_size;
   Cache.access cache 0;
-  check_int "miss again after invalidate" 2 stats.Stats.mem_misses
+  check_int "miss again after invalidate" 2 (cv stats.Stats.mem_misses)
 
 let test_miss_handler_bound () =
   let _clock, stats, cache = fresh () in
@@ -89,14 +90,14 @@ let test_miss_handler_bound () =
     Cache.prefetch cache (l * cfg.Config.line_size)
   done;
   Alcotest.(check bool) "prefetch waits happened" true
-    (stats.Stats.prefetch_waits > 0)
+    (cv stats.Stats.prefetch_waits > 0)
 
 let test_flush () =
   let _clock, stats, cache = fresh () in
   Cache.access cache 0;
   Cache.flush cache;
   Cache.access cache 0;
-  check_int "miss after flush" 2 stats.Stats.mem_misses
+  check_int "miss after flush" 2 (cv stats.Stats.mem_misses)
 
 let test_mem_accessors () =
   let sim = Sim.create () in
@@ -117,7 +118,7 @@ let test_mem_accessors () =
 let test_busy_accounting () =
   let sim = Sim.create () in
   Sim.charge_busy sim 42;
-  Alcotest.(check int) "busy charged" 42 sim.Sim.stats.Stats.busy;
+  Alcotest.(check int) "busy charged" 42 (cv sim.Sim.stats.Stats.busy);
   Alcotest.(check int) "clock advanced" 42 (Sim.now sim);
   let s0 = Stats.snapshot sim.Sim.stats in
   Sim.charge_busy sim 8;
