@@ -4,6 +4,7 @@
    fpb list                                             experiments
    fpb exp ID [--full]                                  run one experiment
    fpb check [--keys N] [--page N]                      build + verify all indexes
+   fpb crashtest [--tiny] [--seed N]                    WAL fault-injection sweep
    fpb demo                                             quickstart walk-through *)
 
 open Cmdliner
@@ -99,6 +100,32 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Build every index variant and verify structural invariants")
     Term.(const run $ keys $ page)
 
+let crashtest_cmd =
+  let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test-sized scenario") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Large scenario") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed") in
+  let run tiny full seed =
+    let open Fpb_experiments in
+    let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
+    let results, table = Crashtest.run_all ~seed scale in
+    Table.print Format.std_formatter table;
+    let failures = List.concat_map (fun r -> r.Crashtest.failures) results in
+    List.iter (fun (label, msg) -> Fmt.epr "FAIL %s: %s@." label msg) failures;
+    if failures = [] then begin
+      Fmt.pr "crashtest OK: %d crash points, 0 checker failures@."
+        (List.fold_left (fun a r -> a + r.Crashtest.points) 0 results);
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "%d checker failures" (List.length failures))
+  in
+  Cmd.v
+    (Cmd.info "crashtest"
+       ~doc:
+         "Fault-injection sweep: crash the simulated machine at every log \
+          record boundary (and torn mid-record/torn-page variants), recover, \
+          and verify every index structure")
+    Term.(ret (const run $ tiny $ full $ seed))
+
 let demo_cmd =
   let run () =
     let open Fpb_simmem in
@@ -129,4 +156,5 @@ let () =
   let doc = "Fractal Prefetching B+-Trees (SIGMOD 2002) reproduction" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "fpb" ~doc) [ tune_cmd; list_cmd; exp_cmd; check_cmd; demo_cmd ]))
+       (Cmd.group (Cmd.info "fpb" ~doc)
+          [ tune_cmd; list_cmd; exp_cmd; check_cmd; crashtest_cmd; demo_cmd ]))

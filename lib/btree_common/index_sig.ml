@@ -44,6 +44,14 @@ module type S = sig
      descents emit [node_access] events into it.  Uncharged. *)
   val set_trace : t -> Fpb_obs.Trace.t option -> unit
 
+  (* Durable handle metadata: the mutable OCaml-side state (root page,
+     height, page counts, auxiliary-structure heads) that page contents
+     alone cannot rebuild.  [meta] is captured by every WAL commit;
+     [restore_meta] resets a handle to metadata returned by crash
+     recovery.  Uncharged.  [restore_meta t (meta t)] is the identity. *)
+  val meta : t -> int list
+  val restore_meta : t -> int list -> unit
+
   (* Validate structural invariants; raises [Failure] with a description on
      violation.  Uncharged. *)
   val check : t -> unit
@@ -67,6 +75,8 @@ let reset_level_accesses (Instance ((module M), t)) = M.reset_level_accesses t
 let set_trace (Instance ((module M), t)) tr = M.set_trace t tr
 let height (Instance ((module M), t)) = M.height t
 let page_count (Instance ((module M), t)) = M.page_count t
+let meta (Instance ((module M), t)) = M.meta t
+let restore_meta (Instance ((module M), t)) m = M.restore_meta t m
 let check (Instance ((module M), t)) = M.check t
 let iter (Instance ((module M), t)) f = M.iter t f
 let name (Instance ((module M), _)) = M.name

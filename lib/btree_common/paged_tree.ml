@@ -554,6 +554,14 @@ module Make (F : PAGE_FORMAT) = struct
 
   let height t = t.levels
   let page_count t = t.n_pages
+  let meta t = [ t.root; t.levels; t.n_pages ]
+
+  let restore_meta t = function
+    | [ root; levels; n_pages ] ->
+        t.root <- root;
+        t.levels <- levels;
+        t.n_pages <- n_pages
+    | _ -> invalid_arg (F.name ^ ".restore_meta: bad shape")
 
   let peek_region t page =
     let r = Buffer_pool.get t.pool page in

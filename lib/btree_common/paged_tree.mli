@@ -1,0 +1,59 @@
+(** Generic B+-Tree over "array pages": pages holding a sorted key array
+    and a parallel pointer array at format-chosen offsets.  The format
+    decides how a page is searched (plain binary search for the
+    disk-optimized baseline; micro-index + sub-array search for
+    micro-indexing) and what bookkeeping follows an update; the
+    tree-level logic — descent, splits, parent maintenance, bulkload,
+    range scans with jump-pointer prefetching, invariants — is shared.
+
+    Sibling links are kept at every level (as the paper's DB2
+    implementation does); the leaf-parent level doubles as the internal
+    jump-pointer array for range-scan I/O prefetching (Section 2.2). *)
+
+open Fpb_simmem
+
+(** What a page format must supply to instantiate the tree. *)
+module type PAGE_FORMAT = sig
+  val name : string
+
+  type cfg
+
+  val cfg_of_page_size : int -> cfg
+  val fanout : cfg -> int
+
+  (** Byte offset of key slot 0 / pointer slot 0.  Slot [i] lives [4i]
+      bytes further. *)
+  val key_base : cfg -> int
+
+  val ptr_base : cfg -> int
+
+  (** Position of [key] in the page's sorted key array using the
+      format's search strategy (including any prefetching): [`Lower] =
+      first slot with a key >= [key]; [`Upper] = first slot with a key
+      > [key]. *)
+  val find_slot :
+    Sim.t -> cfg -> Mem.region -> n:int -> key:int -> [ `Lower | `Upper ] -> int
+
+  (** Entries [from, n) just changed (shift, split, bulk fill); update
+      any derived in-page structures. *)
+  val entries_updated : Sim.t -> cfg -> Mem.region -> n:int -> from:int -> unit
+end
+
+module Make (F : PAGE_FORMAT) : sig
+  include Index_sig.S
+
+  (** Reverse (descending) scan of [start_key, end_key] entries, walking
+      the backward sibling links with backward jump-pointer prefetching;
+      returns the number of entries visited. *)
+  val range_scan_rev :
+    t ->
+    ?prefetch:bool ->
+    start_key:int ->
+    end_key:int ->
+    (int -> int -> unit) ->
+    int
+
+  (** Pages of leaves prefetched ahead during jump-pointer range scans
+      (default 16). *)
+  val set_io_prefetch_distance : t -> int -> unit
+end

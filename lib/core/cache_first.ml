@@ -892,6 +892,40 @@ let page_count t = t.n_pages + Jump_array.page_count t.jp
 let index_page_count t = t.n_pages
 let cfg t = t.cfg
 
+(* Durable handle metadata.  Shape:
+   [root.pg; root.ln; levels; n_pages; overflow_page; jp head; jp chunks;
+    |level_pool|; (depth, page)...], level-pool entries sorted by depth. *)
+let meta t =
+  let jp_head, jp_chunks = Jump_array.meta t.jp in
+  let pools =
+    Hashtbl.fold (fun d p acc -> (d, p) :: acc) t.level_pool []
+    |> List.sort compare
+  in
+  [
+    t.root.pg; t.root.ln; t.levels; t.n_pages; t.overflow_page; jp_head;
+    jp_chunks; List.length pools;
+  ]
+  @ List.concat_map (fun (d, p) -> [ d; p ]) pools
+
+let restore_meta t = function
+  | pg :: ln :: levels :: n_pages :: overflow_page :: jp_head :: jp_chunks
+    :: n_pools :: rest ->
+      let rec pools n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | d :: p :: rest -> pools (n - 1) ((d, p) :: acc) rest
+        | _ -> invalid_arg (name ^ ".restore_meta: bad shape")
+      in
+      let pools, rest = pools n_pools [] rest in
+      if rest <> [] then invalid_arg (name ^ ".restore_meta: bad shape");
+      t.root <- { pg; ln };
+      t.levels <- levels;
+      t.n_pages <- n_pages;
+      t.overflow_page <- overflow_page;
+      Jump_array.restore_meta t.jp ~head:jp_head ~n_chunks:jp_chunks;
+      Hashtbl.reset t.level_pool;
+      List.iter (fun (d, p) -> Hashtbl.replace t.level_pool d p) pools
+  | _ -> invalid_arg (name ^ ".restore_meta: bad shape")
+
 let peek_region t page =
   let r = Buffer_pool.get t.pool page in
   Buffer_pool.unpin t.pool page;

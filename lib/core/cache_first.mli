@@ -49,6 +49,13 @@ val page_count : t -> int
 (** Pages excluding the external jump-pointer array. *)
 val index_page_count : t -> int
 
+(** Durable handle metadata (root pointer, levels, page counts, overflow
+    and per-level allocation pages, jump-pointer head) captured by WAL
+    commits, and its inverse for crash recovery. *)
+val meta : t -> int list
+
+val restore_meta : t -> int list -> unit
+
 (** {1 Telemetry (uncharged host-side bookkeeping)} *)
 
 (** Node accesses per tree level since the last reset, slot 0 = root. *)

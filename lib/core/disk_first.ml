@@ -1012,6 +1012,14 @@ let range_scan_rev t ?(prefetch = true) ~start_key ~end_key f =
 
 let height t = t.levels
 let page_count t = t.n_pages
+let meta t = [ t.root; t.levels; t.n_pages ]
+
+let restore_meta t = function
+  | [ root; levels; n_pages ] ->
+      t.root <- root;
+      t.levels <- levels;
+      t.n_pages <- n_pages
+  | _ -> invalid_arg (name ^ ".restore_meta: bad shape")
 let cfg t = t.cfg
 
 let peek_region t page =

@@ -67,6 +67,12 @@ val range_scan_rev :
 val height : t -> int
 val page_count : t -> int
 
+(** Durable handle metadata ([root; levels; n_pages]) captured by WAL
+    commits, and its inverse for crash recovery. *)
+val meta : t -> int list
+
+val restore_meta : t -> int list -> unit
+
 (** {1 Telemetry (uncharged host-side bookkeeping)} *)
 
 (** Page accesses per tree level since the last reset, slot 0 = root. *)

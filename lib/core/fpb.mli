@@ -1,0 +1,28 @@
+(** Front-end for the fpB+-Tree library.
+
+    Quickstart:
+    {[
+      let sim = Fpb_simmem.Sim.create () in
+      let pool = Fpb.make_pool ~page_size:16384 ~n_disks:10 ~capacity:50_000 sim in
+      let index = Fpb.Disk_first.create pool in
+      Fpb.Disk_first.bulkload index pairs ~fill:0.8;
+      Fpb.Disk_first.search index 42
+    ]}
+
+    {!Disk_first} is the recommended variant (minimal I/O impact); use
+    {!Cache_first} when the working set is memory-resident (paper,
+    Section 5). *)
+
+module Disk_first = Disk_first
+module Cache_first = Cache_first
+module Jump_array = Jump_array
+
+(** A buffer pool over a fresh page store and disk farm: the usual way
+    to host one index. *)
+val make_pool :
+  ?n_prefetchers:int ->
+  page_size:int ->
+  n_disks:int ->
+  capacity:int ->
+  Fpb_simmem.Sim.t ->
+  Fpb_storage.Buffer_pool.t

@@ -188,6 +188,14 @@ let reset t =
   done;
   t.head <- nil
 
+(* Durable handle metadata: the chunk-list head and count, for WAL crash
+   recovery (chunk contents live in pages and are replayed by redo). *)
+let meta t = (t.head, t.n_chunks)
+
+let restore_meta t ~head ~n_chunks =
+  t.head <- head;
+  t.n_chunks <- n_chunks
+
 (* Uncharged: all IDs in order (tests). *)
 let peek_all t =
   let out = ref [] in

@@ -39,5 +39,12 @@ val next : cursor -> int option
 (** Free every chunk and empty the array (before a bulk rebuild). *)
 val reset : t -> unit
 
+(** Durable handle metadata [(head chunk, chunk count)] and its inverse,
+    for WAL crash recovery (chunk contents live in pages and are rebuilt
+    by redo). *)
+val meta : t -> int * int
+
+val restore_meta : t -> head:int -> n_chunks:int -> unit
+
 (** Uncharged: all IDs in order (tests). *)
 val peek_all : t -> int list

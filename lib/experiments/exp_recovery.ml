@@ -1,0 +1,117 @@
+(* Extension experiment: durability cost and crash-recovery behaviour.
+
+   Not a figure from the paper — the paper measures steady-state cache
+   and I/O performance; this measures what the WAL adds around it:
+   log volume and recovery time as the update count grows, and the
+   checkpoint-interval trade-off (shorter intervals cost more log images
+   and data write-backs but bound the redo work a crash leaves behind).
+
+   Every run drives a committed update stream against a bulkloaded tree,
+   power-cuts the machine at the end ([Wal.crash_now]), recovers, and
+   reports the WAL's own counters through the telemetry collector. *)
+
+open Fpb_btree_common
+open Fpb_wal
+
+let page_size = 4096
+let pool_pages = 96
+
+let bulk_entries = function
+  | Scale.Tiny -> 1_000
+  | Scale.Quick -> 8_000
+  | Scale.Full -> 30_000
+
+let op_counts = function
+  | Scale.Tiny -> [ 50; 150; 300 ]
+  | Scale.Quick -> [ 200; 600; 2_000 ]
+  | Scale.Full -> [ 500; 2_000; 8_000 ]
+
+(* One measured run: returns (golden log bytes, recovery record). *)
+let run_case scale kind ~n_ops ~ckpt_every =
+  let rng = Fpb_workload.Prng.create 4004 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng (bulk_entries scale) in
+  let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+  let keys = Fpb_workload.Keygen.random_keys rng n_ops in
+  Array.iteri
+    (fun i k ->
+      ignore (Index_sig.insert idx k k);
+      Wal.commit wal ~op:(i + 1) ~meta:(Index_sig.meta idx);
+      if ckpt_every > 0 && (i + 1) mod ckpt_every = 0 then
+        Wal.checkpoint wal ~meta:(Index_sig.meta idx))
+    keys;
+  let log_bytes = Wal.log_bytes wal in
+  Wal.crash_now wal;
+  let r = Wal.recover wal in
+  (* Fold the wal.* counters and the commit-latency distribution into the
+     ambient telemetry registry (-> BENCH_results.json). *)
+  Telemetry.add_kv (Wal.kv wal);
+  Telemetry.observe "wal.commit_latency_ns"
+    (int_of_float (Fpb_obs.Histogram.mean (Wal.commit_latency wal)));
+  Index_sig.restore_meta idx r.Wal.meta;
+  Index_sig.check idx;
+  (log_bytes, r)
+
+(* Recovery time and log volume vs. update count, per index structure
+   (checkpoint only at attach, so recovery replays the whole stream). *)
+let by_update_rate scale =
+  let runs =
+    List.map
+      (fun n_ops ->
+        ( n_ops,
+          List.map
+            (fun kind -> run_case scale kind ~n_ops ~ckpt_every:0)
+            Setup.all_kinds ))
+      (op_counts scale)
+  in
+  let kinds = List.map Setup.kind_name Setup.all_kinds in
+  [
+    Table.make ~id:"recovery-a"
+      ~title:"Recovery time vs. committed updates (ms, no checkpoints)"
+      ~header:("updates" :: kinds)
+      (List.map
+         (fun (n, rs) ->
+           Table.cell_i n
+           :: List.map (fun (_, r) -> Table.cell_ms r.Wal.recovery_ns) rs)
+         runs);
+    Table.make ~id:"recovery-b"
+      ~title:"Log volume vs. committed updates (KB)"
+      ~header:("updates" :: kinds)
+      (List.map
+         (fun (n, rs) ->
+           Table.cell_i n
+           :: List.map (fun (lb, _) -> Table.cell_i (lb / 1024)) rs)
+         runs);
+  ]
+
+(* The checkpoint-interval trade-off on the recommended (disk-first)
+   variant: log volume grows with checkpoint frequency (fresh full
+   images after every checkpoint), redo work shrinks. *)
+let by_checkpoint_interval scale =
+  let n_ops = List.nth (op_counts scale) 2 in
+  let intervals = [ 0; n_ops / 2; n_ops / 8; n_ops / 32 ] in
+  let rows =
+    List.map
+      (fun ckpt_every ->
+        let lb, r = run_case scale Setup.Disk_first ~n_ops ~ckpt_every in
+        [
+          (if ckpt_every = 0 then "never" else string_of_int ckpt_every);
+          Table.cell_i (lb / 1024);
+          Table.cell_ms r.Wal.recovery_ns;
+          Table.cell_i r.Wal.scanned_records;
+          Table.cell_i r.Wal.redo_records;
+          Table.cell_i r.Wal.redo_pages;
+        ])
+      intervals
+  in
+  Table.make ~id:"recovery-c"
+    ~title:
+      (Printf.sprintf
+         "Checkpoint interval trade-off (disk-first fpB+tree, %d updates)"
+         n_ops)
+    ~header:
+      [ "ckpt every"; "log KB"; "recovery ms"; "scanned"; "redone"; "pages" ]
+    rows
+
+let run scale = by_update_rate scale @ [ by_checkpoint_interval scale ]

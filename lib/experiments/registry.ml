@@ -39,6 +39,8 @@ let all : entry list =
       run = (fun s -> [ Exp_varkey.run s ]) };
     { id = "ext-skew"; describes = "Extension: Zipf-skewed search workloads";
       run = (fun s -> [ Exp_skew.run s ]) };
+    { id = "recovery"; describes = "Extension: WAL log volume and crash-recovery time";
+      run = Exp_recovery.run };
   ]
 
 (* Exact id, or a unique prefix of one ("fig3" finds fig3b; "fig18" is

@@ -38,6 +38,21 @@ let stats_counters s =
 
 let stats_kv s = List.map Counter.kv (stats_counters s)
 
+(* Durability hooks installed by the write-ahead log (see [Fpb_wal.Wal]).
+   The pool stays ignorant of log internals: it only announces the events
+   the WAL protocol is defined over.  [before_page_write] runs before a
+   dirty page's write-back is submitted (WAL-before-data: the log forces
+   itself durable up to the page's LSN, and may raise to simulate a crash);
+   [on_page_write] runs after, so the log can refresh its durable image of
+   the page. *)
+type wal_hooks = {
+  on_page_dirty : int -> unit;
+  before_page_write : int -> unit;
+  on_page_write : int -> unit;
+  on_page_alloc : int -> unit;
+  on_page_free : int -> unit;
+}
+
 type t = {
   sim : Sim.t;
   store : Page_store.t;
@@ -53,31 +68,58 @@ type t = {
   prefetch_request_busy : int;  (* cycles to enqueue a prefetch request *)
   mutable hand : int;
   mutable readahead : int;  (* sequential readahead depth (0 = off) *)
+  mutable wal : wal_hooks option;
   stats : stats;
 }
 
 exception Pool_exhausted
 
+(* Drop every trace of [page] from the pool without writing it back: frame,
+   ref bit, dirty bit, in-flight entry, CPU-cache lines.  Runs on every
+   [Page_store.free] (the pool registers itself as an observer), so a
+   free + realloc cycle can never resurrect stale frame state no matter
+   which layer initiated the free. *)
+let invalidate_page t page =
+  match Hashtbl.find_opt t.table page with
+  | None -> Hashtbl.remove t.inflight page
+  | Some frame ->
+      if t.pin.(frame) > 0 then
+        invalid_arg "Buffer_pool: freeing a pinned page";
+      Hashtbl.remove t.table page;
+      Hashtbl.remove t.inflight page;
+      t.frames.(frame) <- Page_store.nil;
+      t.ref_bit.(frame) <- false;
+      t.dirty.(frame) <- false;
+      let page_size = Page_store.page_size t.store in
+      Cache.invalidate_range t.sim.Sim.cache (frame * page_size) page_size
+
 let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
     store disks =
   if capacity <= 0 then invalid_arg "Buffer_pool.create";
-  {
-    sim;
-    store;
-    disks;
-    capacity;
-    frames = Array.make capacity Page_store.nil;
-    ref_bit = Array.make capacity false;
-    pin = Array.make capacity 0;
-    dirty = Array.make capacity false;
-    table = Hashtbl.create (2 * capacity);
-    inflight = Hashtbl.create 64;
-    prefetcher_free = Array.make (max 1 n_prefetchers) 0;
-    prefetch_request_busy;
-    hand = 0;
-    readahead = 0;
-    stats = make_stats ();
-  }
+  let t =
+    {
+      sim;
+      store;
+      disks;
+      capacity;
+      frames = Array.make capacity Page_store.nil;
+      ref_bit = Array.make capacity false;
+      pin = Array.make capacity 0;
+      dirty = Array.make capacity false;
+      table = Hashtbl.create (2 * capacity);
+      inflight = Hashtbl.create 64;
+      prefetcher_free = Array.make (max 1 n_prefetchers) 0;
+      prefetch_request_busy;
+      hand = 0;
+      readahead = 0;
+      wal = None;
+      stats = make_stats ();
+    }
+  in
+  Page_store.add_on_free store (invalidate_page t);
+  t
+
+let set_wal_hooks t hooks = t.wal <- hooks
 
 let stats t = t.stats
 let sim t = t.sim
@@ -100,6 +142,21 @@ let evictable t frame =
       match Hashtbl.find_opt t.inflight p with
       | Some c -> c <= Clock.now t.sim.Sim.clock
       | None -> true)
+
+let wait_until t when_ =
+  let now = Clock.now t.sim.Sim.clock in
+  if when_ > now then begin
+    Counter.add t.stats.io_wait_ns (when_ - now);
+    Clock.advance_to t.sim.Sim.clock when_
+  end
+
+(* Write back the dirty page [p], bracketed by the WAL hooks that enforce
+   log-before-data and refresh the durable page image. *)
+let write_back t p =
+  (match t.wal with Some h -> h.before_page_write p | None -> ());
+  let disk, phys = Page_store.location t.store p in
+  Disk_model.write t.disks ~disk ~phys;
+  match t.wal with Some h -> h.on_page_write p | None -> ()
 
 (* CLOCK sweep: find a frame, evicting its current page if needed. *)
 let victim_frame t =
@@ -124,20 +181,33 @@ let victim_frame t =
       Hashtbl.remove t.inflight p;
       if t.dirty.(f) then begin
         t.dirty.(f) <- false;
-        let disk, phys = Page_store.location t.store p in
-        Disk_model.write t.disks ~disk ~phys
+        write_back t p
       end;
       Cache.invalidate_range t.sim.Sim.cache (f * page_size) page_size);
   t.frames.(f) <- Page_store.nil;
   t.ref_bit.(f) <- false;
   f
 
-let wait_until t when_ =
-  let now = Clock.now t.sim.Sim.clock in
-  if when_ > now then begin
-    Counter.add t.stats.io_wait_ns (when_ - now);
-    Clock.advance_to t.sim.Sim.clock when_
-  end
+(* Like [victim_frame], but when the sweep fails because every unpinned
+   frame holds a prefetch still in flight, wait for the earliest completion
+   and retry instead of giving up: an in-flight read about to land is not
+   pool exhaustion.  Raises only when every frame is genuinely pinned. *)
+let victim_frame_waiting t =
+  try victim_frame t
+  with Pool_exhausted ->
+    let earliest = ref max_int in
+    Hashtbl.iter
+      (fun page c ->
+        match Hashtbl.find_opt t.table page with
+        | Some frame when t.pin.(frame) = 0 ->
+            if c < !earliest then earliest := c
+        | _ -> ())
+      t.inflight;
+    if !earliest = max_int then raise Pool_exhausted
+    else begin
+      wait_until t !earliest;
+      victim_frame t
+    end
 
 (* Request an asynchronous read of [page].  No-op if already resident or in
    flight.  The request is served by the earliest-available prefetcher. *)
@@ -187,7 +257,7 @@ let get t page =
       t.pin.(frame) <- t.pin.(frame) + 1;
       region_of_frame t frame page
   | None ->
-      let frame = victim_frame t in
+      let frame = victim_frame_waiting t in
       let disk, phys = Page_store.location t.store page in
       let completion = Disk_model.read t.disks ~disk ~phys () in
       Counter.incr t.stats.misses;
@@ -209,7 +279,9 @@ let unpin t page =
 
 let mark_dirty t page =
   match frame_of_page t page with
-  | Some frame -> t.dirty.(frame) <- true
+  | Some frame ->
+      t.dirty.(frame) <- true;
+      (match t.wal with Some h -> h.on_page_dirty page | None -> ())
   | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
 
 let with_page t page f =
@@ -229,28 +301,29 @@ let set_sequential_readahead t depth = t.readahead <- max 0 depth
    memory) with one pin.  Returns the page id and its region. *)
 let create_page t =
   let page = Page_store.alloc t.store in
-  let frame = victim_frame t in
+  let frame = victim_frame_waiting t in
   t.frames.(frame) <- page;
   Hashtbl.replace t.table page frame;
   t.ref_bit.(frame) <- true;
   t.pin.(frame) <- 1;
   t.dirty.(frame) <- true;
+  (match t.wal with
+  | Some h ->
+      h.on_page_alloc page;
+      h.on_page_dirty page
+  | None -> ());
   Sim.busy_bufcall t.sim;
   (page, region_of_frame t frame page)
 
-(* Release a page back to the store.  It must be unpinned. *)
+(* Release a page back to the store.  It must be unpinned.  The pool's
+   stale state (frame, dirty bit, in-flight entry) is invalidated by the
+   [Page_store] free observer registered at [create]. *)
 let free_page t page =
   (match frame_of_page t page with
-  | Some frame ->
-      if t.pin.(frame) > 0 then invalid_arg "Buffer_pool.free_page: pinned";
-      Hashtbl.remove t.table page;
-      Hashtbl.remove t.inflight page;
-      t.frames.(frame) <- Page_store.nil;
-      t.ref_bit.(frame) <- false;
-      t.dirty.(frame) <- false;
-      let page_size = Page_store.page_size t.store in
-      Cache.invalidate_range t.sim.Sim.cache (frame * page_size) page_size
-  | None -> ());
+  | Some frame when t.pin.(frame) > 0 ->
+      invalid_arg "Buffer_pool.free_page: pinned"
+  | _ -> ());
+  (match t.wal with Some h -> h.on_page_free page | None -> ());
   Page_store.free t.store page
 
 (* Evict every unpinned page (writing back dirty ones): a cold pool, as in
@@ -267,13 +340,44 @@ let clear t =
         Hashtbl.remove t.inflight p;
         if t.dirty.(f) then begin
           t.dirty.(f) <- false;
-          let disk, phys = Page_store.location t.store p in
-          Disk_model.write t.disks ~disk ~phys
+          write_back t p
         end;
         t.frames.(f) <- Page_store.nil;
         t.ref_bit.(f) <- false;
         Cache.invalidate_range t.sim.Sim.cache (f * page_size) page_size
   done;
+  Array.fill t.prefetcher_free 0 (Array.length t.prefetcher_free) 0
+
+(* Write back every dirty page without evicting anything: the data half of
+   a sharp checkpoint. *)
+let flush_dirty t =
+  for f = 0 to t.capacity - 1 do
+    match t.frames.(f) with
+    | p when p = Page_store.nil -> ()
+    | p ->
+        if t.dirty.(f) then begin
+          t.dirty.(f) <- false;
+          write_back t p
+        end
+  done
+
+(* Crash semantics: discard every frame WITHOUT writing anything back and
+   reset pins, in-flight reads and prefetcher state.  Dirty page contents
+   that never reached disk die here — exactly what recovery must repair. *)
+let drop_all t =
+  let page_size = Page_store.page_size t.store in
+  for f = 0 to t.capacity - 1 do
+    (match t.frames.(f) with
+    | p when p = Page_store.nil -> ()
+    | p ->
+        Hashtbl.remove t.table p;
+        Cache.invalidate_range t.sim.Sim.cache (f * page_size) page_size);
+    t.frames.(f) <- Page_store.nil;
+    t.ref_bit.(f) <- false;
+    t.dirty.(f) <- false;
+    t.pin.(f) <- 0
+  done;
+  Hashtbl.reset t.inflight;
   Array.fill t.prefetcher_free 0 (Array.length t.prefetcher_free) 0
 
 let resident_pages t = Hashtbl.length t.table

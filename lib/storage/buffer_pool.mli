@@ -22,9 +22,24 @@ type stats = {
       (** [pool.io_wait_ns]: time the caller waited on I/O *)
 }
 
+(** Durability hooks installed by the write-ahead log.  The pool announces
+    page lifecycle events; the log implements the WAL protocol over them.
+    [before_page_write] runs before a dirty page's write-back is submitted
+    (log-before-data; it may raise to simulate a crash), [on_page_write]
+    after it, so the log can refresh its durable image of the page. *)
+type wal_hooks = {
+  on_page_dirty : int -> unit;
+  before_page_write : int -> unit;
+  on_page_write : int -> unit;
+  on_page_alloc : int -> unit;
+  on_page_free : int -> unit;
+}
+
 type t
 
-(** Raised when every frame is pinned. *)
+(** Raised when every frame is pinned.  A [get] or [create_page] that finds
+    only in-flight prefetches first waits for the earliest completion and
+    retries; the exception means genuine exhaustion. *)
 exception Pool_exhausted
 
 val create :
@@ -75,6 +90,17 @@ val free_page : t -> int -> unit
 
 (** Evict every unpinned page (writing back dirty ones): a cold pool. *)
 val clear : t -> unit
+
+(** Write back every dirty page without evicting anything: the data half
+    of a sharp checkpoint. *)
+val flush_dirty : t -> unit
+
+(** Discard every frame WITHOUT write-back and reset pins, in-flight reads
+    and prefetcher state: the pool's contents after a machine crash. *)
+val drop_all : t -> unit
+
+(** Install (or with [None] remove) the write-ahead-log hooks. *)
+val set_wal_hooks : t -> wal_hooks option -> unit
 
 val resident_pages : t -> int
 

@@ -70,6 +70,15 @@ let write t ~disk ~phys =
   Counter.incr t.c_writes;
   ignore (service t ~earliest:(Clock.now t.clock) ~disk ~phys)
 
+(* Submit a write whose completion time the caller cares about (e.g. a log
+   flush that must be durable before the committer proceeds). *)
+let write_sync t ?earliest ~disk ~phys () =
+  let earliest =
+    match earliest with Some e -> e | None -> Clock.now t.clock
+  in
+  Counter.incr t.c_writes;
+  service t ~earliest ~disk ~phys
+
 let counters t = [ t.c_reads; t.c_writes; t.c_busy_ns ]
 let kv t = List.map Counter.kv (counters t)
 let reads t = Counter.value t.c_reads

@@ -27,6 +27,10 @@ val read : t -> ?earliest:int -> disk:int -> phys:int -> unit -> int
 (** Submit an asynchronous write-back; never waited on. *)
 val write : t -> disk:int -> phys:int -> unit
 
+(** Submit a write and return its completion time (absolute ns), for
+    callers that must wait for durability (e.g. a WAL group flush). *)
+val write_sync : t -> ?earliest:int -> disk:int -> phys:int -> unit -> int
+
 val reads : t -> int
 val writes : t -> int
 

@@ -20,6 +20,7 @@ type t = {
   mutable free : int list;
   mutable allocated : int;  (* live pages *)
   next_phys : int array;  (* per disk *)
+  mutable on_free : (int -> unit) list;  (* freed-page observers *)
 }
 
 let nil = 0
@@ -29,7 +30,8 @@ let create ~page_size ~n_disks =
   let location = Vec.create ~dummy:(-1, -1) in
   Vec.push pages Bytes.empty;
   Vec.push location (-1, -1);
-  { page_size; n_disks; pages; location; free = []; allocated = 0; next_phys = Array.make n_disks 0 }
+  { page_size; n_disks; pages; location; free = []; allocated = 0;
+    next_phys = Array.make n_disks 0; on_free = [] }
 
 let page_size t = t.page_size
 
@@ -49,10 +51,17 @@ let alloc t =
       Vec.push t.location (disk, phys);
       id
 
+(* Freed-page observers: the buffer pool registers one to drop any stale
+   resident/dirty/in-flight state for the ID, so a free + realloc cycle can
+   never resurrect old frame contents regardless of which layer initiated
+   the free. *)
+let add_on_free t f = t.on_free <- f :: t.on_free
+
 let free t id =
   if id = nil then invalid_arg "Page_store.free: nil";
   t.allocated <- t.allocated - 1;
-  t.free <- id :: t.free
+  t.free <- id :: t.free;
+  List.iter (fun f -> f id) t.on_free
 
 let bytes t id =
   if id = nil then invalid_arg "Page_store.bytes: nil";

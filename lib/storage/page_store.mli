@@ -17,7 +17,14 @@ val page_size : t -> int
 (** Allocate a zeroed page (reuses freed IDs first). *)
 val alloc : t -> int
 
+(** Return a page to the free list.  Registered {!add_on_free} observers
+    run after the store forgets the page. *)
 val free : t -> int -> unit
+
+(** Register an observer called with every freed page ID; the buffer pool
+    uses this to invalidate stale resident/dirty state so a free + realloc
+    cycle can never resurrect old frame contents. *)
+val add_on_free : t -> (int -> unit) -> unit
 
 (** Backing bytes of a page (shared, not copied). *)
 val bytes : t -> int -> Bytes.t

@@ -1,0 +1,44 @@
+(* Crash-point enumeration over a golden run's log layout. *)
+
+type point = { at_byte : int; tear : bool; label : string }
+
+let kind_name = function
+  | `Image -> "image"
+  | `Delta -> "delta"
+  | `Commit -> "commit"
+  | `Checkpoint -> "ckpt"
+
+(* Thin [l] to at most [n] elements, evenly, keeping first and last. *)
+let thin n l =
+  let len = List.length l in
+  if len <= n then l
+  else
+    let arr = Array.of_list l in
+    List.init n (fun i -> arr.(i * (len - 1) / (n - 1)))
+
+let points ?(mid_record = true) ?(tear_every = 5) ?max_points layout =
+  let pts =
+    List.concat_map
+      (fun (b : Wal.boundary) ->
+        let k = kind_name b.Wal.kind in
+        let at_end =
+          { at_byte = b.Wal.end_off; tear = false;
+            label = Printf.sprintf "%s-end@%d" k b.Wal.end_off }
+        in
+        if mid_record && b.Wal.size > 2 then
+          let mid = b.Wal.end_off - (b.Wal.size / 2) in
+          [ { at_byte = mid; tear = false;
+              label = Printf.sprintf "%s-mid@%d" k mid };
+            at_end ]
+        else [ at_end ])
+      layout
+  in
+  let pts = match max_points with Some n when n > 1 -> thin n pts | _ -> pts in
+  if tear_every <= 0 then pts
+  else
+    List.mapi
+      (fun i p ->
+        if (i + 1) mod tear_every = 0 then
+          { p with tear = true; label = p.label ^ "+tear" }
+        else p)
+      pts

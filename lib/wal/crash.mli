@@ -1,0 +1,28 @@
+(** Crash-point controller for the fault-injection harness.
+
+    A golden (crash-free) run of a deterministic scenario yields the log
+    {!Wal.layout}; this module turns it into a set of injection points.
+    The harness then re-runs the scenario once per point with
+    {!Wal.set_crash_at_byte} armed: cutting at a record's end offset
+    loses everything after it cleanly, cutting mid-record leaves a torn
+    log tail that recovery must detect and discard, and points flagged
+    [tear] additionally corrupt the last written-back data page
+    ({!Wal.tear_last_writeback}). *)
+
+type point = {
+  at_byte : int;  (** durable log truncated exactly here *)
+  tear : bool;  (** also tear the last data-page write-back *)
+  label : string;  (** e.g. ["commit-end@1234"], ["image-mid@88+tear"] *)
+}
+
+(** [points layout] enumerates injection points: one at every record
+    boundary and (with [mid_record], default on) one in the middle of
+    every record.  Every [tear_every]-th point (default 5; 0 disables)
+    is flagged [tear].  [max_points] (default unlimited) thins the list
+    evenly while keeping first and last. *)
+val points :
+  ?mid_record:bool ->
+  ?tear_every:int ->
+  ?max_points:int ->
+  Wal.boundary list ->
+  point list

@@ -1,0 +1,677 @@
+(* Physiological write-ahead log with redo-only (ARIES-lite) recovery.
+
+   The log sits between the buffer pool and the page store and maintains
+   the fiction of a durable disk: a byte stream of framed log records plus
+   a per-page durable image (what the page's sectors would hold after a
+   power cut).  The in-memory page store always holds the current bytes;
+   durability is exactly {durable stream + durable images}, and recovery
+   reconstructs the committed prefix from those two alone.
+
+   Invariant that makes redo-only recovery sound: a page's durable image
+   is only ever updated from state covered by a *successful* log flush,
+   and sealed log content always consists of whole committed operations
+   (pages are diffed and sealed at commit time, never mid-operation).  So
+   no durable image can run ahead of the last durable commit record, and
+   nothing ever needs undoing.  The price is the "deferred write-back":
+   evicting a page with uncommitted changes writes the *store* bytes to
+   the simulated disk but leaves the durable image stale; the next
+   checkpoint re-writes such pages. *)
+
+open Fpb_simmem
+open Fpb_storage
+module Counter = Fpb_obs.Counter
+module Histogram = Fpb_obs.Histogram
+
+exception Crashed
+
+type record =
+  | Image of { lsn : int; page : int; img : Bytes.t }
+  | Delta of { lsn : int; page : int; off : int; bytes : Bytes.t }
+  | Commit of { lsn : int; op : int; meta : int list }
+  | Checkpoint of { lsn : int; op : int; meta : int list }
+
+(* -------------------------------------------------------------------- *)
+(* Record framing: [len | body | fnv1a32(body)], 32-bit little-endian.  *)
+
+module Codec = struct
+  let kind_image = 1
+  let kind_delta = 2
+  let kind_commit = 3
+  let kind_checkpoint = 4
+  let max_body = 1 lsl 24 (* sanity bound when parsing *)
+
+  let fnv1a32 s off len =
+    let h = ref 0x811c9dc5 in
+    for i = off to off + len - 1 do
+      h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193;
+      h := !h land 0xffffffff
+    done;
+    !h
+
+  let add_i32 b v = Buffer.add_int32_le b (Int32.of_int v)
+
+  let add_meta b meta =
+    add_i32 b (List.length meta);
+    List.iter (add_i32 b) meta
+
+  let encode r =
+    let body = Buffer.create 64 in
+    (match r with
+    | Image { lsn; page; img } ->
+        Buffer.add_uint8 body kind_image;
+        add_i32 body lsn;
+        add_i32 body page;
+        Buffer.add_bytes body img
+    | Delta { lsn; page; off; bytes } ->
+        Buffer.add_uint8 body kind_delta;
+        add_i32 body lsn;
+        add_i32 body page;
+        add_i32 body off;
+        Buffer.add_bytes body bytes
+    | Commit { lsn; op; meta } ->
+        Buffer.add_uint8 body kind_commit;
+        add_i32 body lsn;
+        add_i32 body op;
+        add_meta body meta
+    | Checkpoint { lsn; op; meta } ->
+        Buffer.add_uint8 body kind_checkpoint;
+        add_i32 body lsn;
+        add_i32 body op;
+        add_meta body meta);
+    let body = Buffer.contents body in
+    let framed = Buffer.create (String.length body + 8) in
+    add_i32 framed (String.length body);
+    Buffer.add_string framed body;
+    add_i32 framed (fnv1a32 body 0 (String.length body));
+    Buffer.contents framed
+
+  let get_i32 s pos = Int32.to_int (String.get_int32_le s pos)
+
+  (* Parse the framed record at [pos]; [None] on a torn or corrupt tail. *)
+  let decode s pos =
+    let n = String.length s in
+    if pos + 4 > n then None
+    else
+      let len = get_i32 s pos in
+      if len < 9 || len > max_body || pos + 4 + len + 4 > n then None
+      else
+        let body = pos + 4 in
+        (* mask: i32 round-trip sign-extends checksums >= 2^31 *)
+        let sum = get_i32 s (body + len) land 0xffffffff in
+        if sum <> fnv1a32 s body len then None
+        else
+          let kind = Char.code s.[body] in
+          let lsn = get_i32 s (body + 1) in
+          let payload = body + 5 in
+          let payload_len = len - 5 in
+          let meta_at off =
+            let count = get_i32 s off in
+            if count < 0 || off + 4 + (4 * count) > body + len then None
+            else
+              Some (List.init count (fun i -> get_i32 s (off + 4 + (4 * i))))
+          in
+          let next = body + len + 4 in
+          match kind with
+          | k when k = kind_image ->
+              let page = get_i32 s payload in
+              let img = Bytes.of_string (String.sub s (payload + 4) (payload_len - 4)) in
+              Some (Image { lsn; page; img }, next)
+          | k when k = kind_delta ->
+              if payload_len < 8 then None
+              else
+                let page = get_i32 s payload in
+                let off = get_i32 s (payload + 4) in
+                let bytes =
+                  Bytes.of_string (String.sub s (payload + 8) (payload_len - 8))
+                in
+                Some (Delta { lsn; page; off; bytes }, next)
+          | k when k = kind_commit -> (
+              let op = get_i32 s payload in
+              match meta_at (payload + 4) with
+              | Some meta -> Some (Commit { lsn; op; meta }, next)
+              | None -> None)
+          | k when k = kind_checkpoint -> (
+              let op = get_i32 s payload in
+              match meta_at (payload + 4) with
+              | Some meta -> Some (Checkpoint { lsn; op; meta }, next)
+              | None -> None)
+          | _ -> None
+end
+
+(* -------------------------------------------------------------------- *)
+
+type boundary = {
+  end_off : int;
+  size : int;
+  kind : [ `Image | `Delta | `Commit | `Checkpoint ];
+}
+
+type recovery = {
+  committed_ops : int;
+  meta : int list;
+  scanned_records : int;
+  redo_records : int;
+  redo_pages : int;
+  torn_tail_bytes : int;
+  recovery_ns : int;
+}
+
+type stats = {
+  records : Counter.t;
+  images : Counter.t;
+  deltas : Counter.t;
+  commits : Counter.t;
+  checkpoints : Counter.t;
+  c_log_bytes : Counter.t;
+  flushes : Counter.t;
+  flush_wait_ns : Counter.t;
+  deferred_writebacks : Counter.t;
+  crashes : Counter.t;
+  torn_pages : Counter.t;
+  recoveries : Counter.t;
+  c_redo_records : Counter.t;
+  c_redo_pages : Counter.t;
+  c_recovery_ns : Counter.t;
+}
+
+let make_stats () =
+  {
+    records = Counter.make "wal.records";
+    images = Counter.make "wal.images";
+    deltas = Counter.make "wal.deltas";
+    commits = Counter.make "wal.commits";
+    checkpoints = Counter.make "wal.checkpoints";
+    c_log_bytes = Counter.make "wal.log_bytes";
+    flushes = Counter.make "wal.flushes";
+    flush_wait_ns = Counter.make "wal.flush_wait_ns";
+    deferred_writebacks = Counter.make "wal.deferred_writebacks";
+    crashes = Counter.make "wal.crashes";
+    torn_pages = Counter.make "wal.torn_pages";
+    recoveries = Counter.make "wal.recoveries";
+    c_redo_records = Counter.make "wal.redo_records";
+    c_redo_pages = Counter.make "wal.redo_pages";
+    c_recovery_ns = Counter.make "wal.recovery_ns";
+  }
+
+let stats_counters s =
+  [
+    s.records; s.images; s.deltas; s.commits; s.checkpoints; s.c_log_bytes;
+    s.flushes; s.flush_wait_ns; s.deferred_writebacks; s.crashes;
+    s.torn_pages; s.recoveries; s.c_redo_records; s.c_redo_pages;
+    s.c_recovery_ns;
+  ]
+
+type t = {
+  pool : Buffer_pool.t;
+  store : Page_store.t;
+  clock : Clock.t;
+  sim : Sim.t;
+  data_disks : Disk_model.t;
+  log_disk : Disk_model.t;
+  page_size : int;
+  group_commit_bytes : int;
+  (* log stream *)
+  buf : Buffer.t;  (* sealed, not yet durable *)
+  durable : Buffer.t;  (* the durable byte stream, from offset 0 *)
+  mutable sealed_bytes : int;  (* end offset of the sealed stream *)
+  mutable next_lsn : int;
+  mutable last_op : int;  (* last committed operation number *)
+  mutable ckpt_offset : int;  (* start of the last durable checkpoint *)
+  mutable boundaries : boundary list;  (* newest first *)
+  (* per-page durability state; index = page id *)
+  shadow : Bytes.t option Vec.t;  (* last-logged content, for deltas *)
+  mem_lsn : int Vec.t;  (* LSN of the page's newest log record *)
+  disk_img : Bytes.t option Vec.t;  (* durable image, None = never written *)
+  disk_lsn : int Vec.t;  (* LSN the durable image reflects *)
+  logged_since_ckpt : (int, unit) Hashtbl.t;
+  touched : (int, unit) Hashtbl.t;  (* dirtied by the in-flight operation *)
+  mutable last_writeback : int;  (* page of the newest image update *)
+  (* crash injection *)
+  mutable crash_at : int option;
+  mutable crashed : bool;
+  stats : stats;
+  commit_latency : Histogram.t;
+}
+
+let ensure t page =
+  while Vec.length t.shadow <= page do
+    Vec.push t.shadow None;
+    Vec.push t.mem_lsn 0;
+    Vec.push t.disk_img None;
+    Vec.push t.disk_lsn 0
+  done
+
+let fresh_lsn t =
+  let l = t.next_lsn in
+  t.next_lsn <- l + 1;
+  l
+
+let kind_of = function
+  | Image _ -> `Image
+  | Delta _ -> `Delta
+  | Commit _ -> `Commit
+  | Checkpoint _ -> `Checkpoint
+
+(* Seal a record into the log buffer. *)
+let append t r =
+  let framed = Codec.encode r in
+  Buffer.add_string t.buf framed;
+  let size = String.length framed in
+  t.sealed_bytes <- t.sealed_bytes + size;
+  t.boundaries <-
+    { end_off = t.sealed_bytes; size; kind = kind_of r } :: t.boundaries;
+  Counter.incr t.stats.records;
+  Counter.add t.stats.c_log_bytes size;
+  match r with
+  | Image _ -> Counter.incr t.stats.images
+  | Delta _ -> Counter.incr t.stats.deltas
+  | Commit _ -> Counter.incr t.stats.commits
+  | Checkpoint _ -> Counter.incr t.stats.checkpoints
+
+(* Make the sealed stream durable.  An armed crash boundary inside the
+   flushed extent truncates the durable stream exactly there.  On
+   success, charge the flush as sequential writes to the dedicated log
+   disk and wait for completion (this wait IS the commit latency). *)
+let flush t =
+  if t.crashed then raise Crashed;
+  let n = Buffer.length t.buf in
+  if n > 0 then begin
+    let data = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    let start_off = Buffer.length t.durable in
+    let end_off = start_off + n in
+    (match t.crash_at with
+    | Some b when end_off > b ->
+        let keep = max 0 (b - start_off) in
+        Buffer.add_substring t.durable data 0 keep;
+        t.crashed <- true;
+        Counter.incr t.stats.crashes;
+        raise Crashed
+    | _ -> ());
+    Buffer.add_string t.durable data;
+    Counter.incr t.stats.flushes;
+    let now0 = Clock.now t.clock in
+    let completion = ref now0 in
+    for phys = start_off / t.page_size to (end_off - 1) / t.page_size do
+      completion := Disk_model.write_sync t.log_disk ~disk:0 ~phys ()
+    done;
+    Clock.advance_to t.clock !completion;
+    Counter.add t.stats.flush_wait_ns (!completion - now0)
+  end
+
+(* ----------------------------- hooks -------------------------------- *)
+
+let on_page_dirty t page =
+  if not t.crashed then begin
+    ensure t page;
+    Hashtbl.replace t.touched page ()
+  end
+
+(* A page id reincarnated by alloc starts a fresh logging history; its
+   previous incarnation's durable image stays (it may still back the
+   rollback of an uncommitted free + realloc). *)
+let on_page_alloc t page =
+  if not t.crashed then begin
+    ensure t page;
+    Vec.set t.shadow page None;
+    Hashtbl.remove t.logged_since_ckpt page;
+    Hashtbl.remove t.touched page
+  end
+
+let on_page_free t page = if not t.crashed then Hashtbl.remove t.touched page
+
+(* WAL-before-data: force the log before any page write-back. *)
+let before_page_write t _page = if not t.crashed then flush t
+
+(* A write-back updates the durable image — unless the page carries
+   uncommitted (not yet sealed) changes, in which case the image is left
+   stale rather than exposing bytes a redo-only log could never undo. *)
+let on_page_write t page =
+  if not t.crashed then begin
+    ensure t page;
+    if Hashtbl.mem t.touched page then
+      Counter.incr t.stats.deferred_writebacks
+    else begin
+      Vec.set t.disk_img page (Some (Bytes.copy (Page_store.bytes t.store page)));
+      Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
+      t.last_writeback <- page
+    end
+  end
+
+(* ----------------------------- logging ------------------------------ *)
+
+(* Smallest byte span on which two page-sized buffers differ. *)
+let diff_span a b =
+  let n = Bytes.length a in
+  let lo = ref 0 in
+  while !lo < n && Bytes.get a !lo = Bytes.get b !lo do
+    incr lo
+  done;
+  if !lo = n then None
+  else begin
+    let hi = ref (n - 1) in
+    while Bytes.get a !hi = Bytes.get b !hi do
+      decr hi
+    done;
+    Some (!lo, !hi - !lo + 1)
+  end
+
+(* Log one dirtied page: a full image on first touch since the last
+   checkpoint (torn-page repair depends on this), a shadow diff after. *)
+let log_page t page =
+  let cur = Page_store.bytes t.store page in
+  let first = not (Hashtbl.mem t.logged_since_ckpt page) in
+  (match (if first then None else Vec.get t.shadow page) with
+  | None ->
+      let lsn = fresh_lsn t in
+      append t (Image { lsn; page; img = Bytes.copy cur });
+      Vec.set t.shadow page (Some (Bytes.copy cur));
+      Vec.set t.mem_lsn page lsn
+  | Some sh -> (
+      match diff_span sh cur with
+      | None -> () (* dirtied but byte-identical: nothing to log *)
+      | Some (off, len) ->
+          let lsn = fresh_lsn t in
+          append t (Delta { lsn; page; off; bytes = Bytes.sub cur off len });
+          Bytes.blit cur off sh off len;
+          Vec.set t.mem_lsn page lsn));
+  Hashtbl.replace t.logged_since_ckpt page ()
+
+let commit t ~op ~meta =
+  if t.crashed then raise Crashed;
+  let t0 = Clock.now t.clock in
+  let pages = Hashtbl.fold (fun p () acc -> p :: acc) t.touched [] in
+  List.iter (log_page t) (List.sort compare pages);
+  Hashtbl.reset t.touched;
+  append t (Commit { lsn = fresh_lsn t; op; meta });
+  t.last_op <- op;
+  if t.group_commit_bytes = 0 || Buffer.length t.buf >= t.group_commit_bytes
+  then flush t;
+  Histogram.record t.commit_latency (Clock.now t.clock - t0)
+
+let checkpoint t ~meta =
+  if t.crashed then raise Crashed;
+  if Hashtbl.length t.touched > 0 then
+    invalid_arg "Wal.checkpoint: called mid-operation";
+  (* Commits must be durable before any durable image moves forward. *)
+  flush t;
+  Buffer_pool.flush_dirty t.pool;
+  (* Re-write pages whose image a deferred write-back left stale. *)
+  Hashtbl.iter
+    (fun page () ->
+      if Vec.get t.disk_lsn page < Vec.get t.mem_lsn page then begin
+        Vec.set t.disk_img page
+          (Some (Bytes.copy (Page_store.bytes t.store page)));
+        Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
+        let disk, phys = Page_store.location t.store page in
+        Disk_model.write t.data_disks ~disk ~phys
+      end)
+    t.logged_since_ckpt;
+  let ckpt_start = t.sealed_bytes in
+  append t (Checkpoint { lsn = fresh_lsn t; op = t.last_op; meta });
+  flush t;
+  (* Only a durable checkpoint record moves the recovery start point. *)
+  t.ckpt_offset <- ckpt_start;
+  Hashtbl.reset t.logged_since_ckpt
+
+(* ------------------------- crash injection -------------------------- *)
+
+let set_crash_at_byte t b = t.crash_at <- b
+
+let crash_now t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    Buffer.clear t.buf; (* sealed-but-unflushed records die with the power *)
+    Counter.incr t.stats.crashes
+  end
+
+let is_crashed t = t.crashed
+
+(* Parse the durable stream from the last durable checkpoint, stopping
+   at a torn record, then truncate at the last commit/checkpoint: later
+   image/delta records belong to an operation that never committed. *)
+let parse_durable t =
+  let s = Buffer.contents t.durable in
+  let n = String.length s in
+  let rec scan pos acc =
+    if pos >= n then (List.rev acc, 0)
+    else
+      match Codec.decode s pos with
+      | None -> (List.rev acc, n - pos)
+      | Some (r, next) -> scan next (r :: acc)
+  in
+  let records, torn = scan t.ckpt_offset [] in
+  let keep = ref 0 in
+  List.iteri
+    (fun i r ->
+      match r with Commit _ | Checkpoint _ -> keep := i + 1 | _ -> ())
+    records;
+  (List.filteri (fun i _ -> i < !keep) records, List.length records, torn)
+
+let tear_last_writeback t =
+  if not t.crashed then
+    invalid_arg "Wal.tear_last_writeback: machine still running";
+  let page = t.last_writeback in
+  if page = Page_store.nil then false
+  else
+    match Vec.get t.disk_img page with
+    | None -> false
+    | Some img ->
+        (* Only sound if redo can rebuild the page from a full image in
+           the replayable durable log; otherwise the write was already
+           covered (fsynced) by a completed checkpoint. *)
+        let records, _, _ = parse_durable t in
+        let repairable =
+          List.exists
+            (function Image { page = p; _ } -> p = page | _ -> false)
+            records
+        in
+        if not repairable then false
+        else begin
+          let half = t.page_size / 2 in
+          Bytes.fill img half (t.page_size - half) '\000';
+          Vec.set t.disk_lsn page (-1);
+          Counter.incr t.stats.torn_pages;
+          true
+        end
+
+(* ----------------------------- recovery ----------------------------- *)
+
+let recover t =
+  let t0 = Clock.now t.clock in
+  Counter.incr t.stats.recoveries;
+  Buffer_pool.drop_all t.pool;
+  Sim.flush_cache t.sim;
+  (* The machine reboots with exactly the durable disk contents. *)
+  let total = Page_store.total_pages t.store in
+  ensure t total;
+  for id = 1 to total do
+    let b = Page_store.bytes t.store id in
+    (match Vec.get t.disk_img id with
+    | Some img -> Bytes.blit img 0 b 0 t.page_size
+    | None -> Bytes.fill b 0 t.page_size '\000');
+    Vec.set t.mem_lsn id (Vec.get t.disk_lsn id)
+  done;
+  (* Sequential scan of the durable log from the last checkpoint. *)
+  let log_len = Buffer.length t.durable - t.ckpt_offset in
+  let read_pages = (log_len + t.page_size - 1) / t.page_size in
+  let completion = ref (Clock.now t.clock) in
+  let phys0 = t.ckpt_offset / t.page_size in
+  for i = 0 to read_pages - 1 do
+    completion := Disk_model.read t.log_disk ~disk:0 ~phys:(phys0 + i) ()
+  done;
+  Clock.advance_to t.clock !completion;
+  let records, scanned, torn = parse_durable t in
+  (* Redo: re-apply records newer than the page's durable image. *)
+  let committed = ref 0 and meta = ref [] in
+  let redone = Hashtbl.create 64 in
+  let nredo = ref 0 in
+  List.iter
+    (fun r ->
+      match r with
+      | Image { lsn; page; img } ->
+          ensure t page;
+          if lsn > Vec.get t.mem_lsn page then begin
+            Bytes.blit img 0 (Page_store.bytes t.store page) 0 t.page_size;
+            Vec.set t.mem_lsn page lsn;
+            Hashtbl.replace redone page ();
+            incr nredo
+          end
+      | Delta { lsn; page; off; bytes } ->
+          ensure t page;
+          if lsn > Vec.get t.mem_lsn page then begin
+            Bytes.blit bytes 0
+              (Page_store.bytes t.store page)
+              off (Bytes.length bytes);
+            Vec.set t.mem_lsn page lsn;
+            Hashtbl.replace redone page ();
+            incr nredo
+          end
+      | Commit { op; meta = m; _ } ->
+          committed := op;
+          meta := m
+      | Checkpoint { op; meta = m; _ } ->
+          committed := op;
+          meta := m)
+    records;
+  (* Write redone pages back and refresh their durable images. *)
+  Hashtbl.iter
+    (fun page () ->
+      Vec.set t.disk_img page (Some (Bytes.copy (Page_store.bytes t.store page)));
+      Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
+      let disk, phys = Page_store.location t.store page in
+      Disk_model.write t.data_disks ~disk ~phys)
+    redone;
+  Counter.add t.stats.c_redo_records !nredo;
+  Counter.add t.stats.c_redo_pages (Hashtbl.length redone);
+  (* Restart logging from a clean slate + fresh checkpoint. *)
+  for id = 1 to total do
+    Vec.set t.shadow id None
+  done;
+  Hashtbl.reset t.touched;
+  Hashtbl.reset t.logged_since_ckpt;
+  Buffer.clear t.buf;
+  t.sealed_bytes <- Buffer.length t.durable;
+  t.crashed <- false;
+  t.crash_at <- None;
+  t.last_writeback <- Page_store.nil;
+  t.last_op <- !committed;
+  let ckpt_start = t.sealed_bytes in
+  append t (Checkpoint { lsn = fresh_lsn t; op = !committed; meta = !meta });
+  flush t;
+  t.ckpt_offset <- ckpt_start;
+  let dt = Clock.now t.clock - t0 in
+  Counter.add t.stats.c_recovery_ns dt;
+  {
+    committed_ops = !committed;
+    meta = !meta;
+    scanned_records = scanned;
+    redo_records = !nredo;
+    redo_pages = Hashtbl.length redone;
+    torn_tail_bytes = torn;
+    recovery_ns = dt;
+  }
+
+(* ----------------------------- lifecycle ---------------------------- *)
+
+let attach ?(group_commit_bytes = 0) ~meta pool =
+  let sim = Buffer_pool.sim pool in
+  let store = Buffer_pool.store pool in
+  let page_size = Page_store.page_size store in
+  let t =
+    {
+      pool;
+      store;
+      clock = sim.Sim.clock;
+      sim;
+      data_disks = Buffer_pool.disks pool;
+      log_disk =
+        Disk_model.create
+          ~transfer_ns:(Disk_model.transfer_ns_of_page_size page_size)
+          ~n_disks:1 sim.Sim.clock;
+      page_size;
+      group_commit_bytes;
+      buf = Buffer.create 4096;
+      durable = Buffer.create 65536;
+      sealed_bytes = 0;
+      next_lsn = 1;
+      last_op = 0;
+      ckpt_offset = 0;
+      boundaries = [];
+      shadow = Vec.create ~dummy:None;
+      mem_lsn = Vec.create ~dummy:0;
+      disk_img = Vec.create ~dummy:None;
+      disk_lsn = Vec.create ~dummy:0;
+      logged_since_ckpt = Hashtbl.create 256;
+      touched = Hashtbl.create 64;
+      last_writeback = Page_store.nil;
+      crash_at = None;
+      crashed = false;
+      stats = make_stats ();
+      commit_latency = Histogram.make "wal.commit_latency_ns";
+    }
+  in
+  (* Everything that exists at attach time is the durable base. *)
+  Buffer_pool.flush_dirty pool;
+  let total = Page_store.total_pages store in
+  ensure t total;
+  for id = 1 to total do
+    Vec.set t.disk_img id (Some (Bytes.copy (Page_store.bytes store id)))
+  done;
+  Buffer_pool.set_wal_hooks pool
+    (Some
+       {
+         Buffer_pool.on_page_dirty = on_page_dirty t;
+         before_page_write = before_page_write t;
+         on_page_write = on_page_write t;
+         on_page_alloc = on_page_alloc t;
+         on_page_free = on_page_free t;
+       });
+  append t (Checkpoint { lsn = fresh_lsn t; op = 0; meta });
+  flush t;
+  t
+
+let detach t = Buffer_pool.set_wal_hooks t.pool None
+
+(* ---------------------------- inspection ---------------------------- *)
+
+let log_bytes t = t.sealed_bytes
+let durable_bytes t = Buffer.length t.durable
+let layout t = List.rev t.boundaries
+
+let verify_images t =
+  let total = Page_store.total_pages t.store in
+  ensure t total;
+  let bad = ref None in
+  (try
+     for id = 1 to total do
+       let b = Page_store.bytes t.store id in
+       match Vec.get t.disk_img id with
+       | Some img ->
+           if not (Bytes.equal img b) then begin
+             bad :=
+               Some
+                 (Printf.sprintf "page %d: memory differs from durable image"
+                    id);
+             raise Exit
+           end
+       | None ->
+           let zero = ref true in
+           Bytes.iter (fun c -> if c <> '\000' then zero := false) b;
+           if not !zero then begin
+             bad :=
+               Some
+                 (Printf.sprintf
+                    "page %d: no durable image but non-zero contents" id);
+             raise Exit
+           end
+     done
+   with Exit -> ());
+  match !bad with None -> Ok () | Some m -> Error m
+
+let commit_latency t = t.commit_latency
+let kv t = List.map Counter.kv (stats_counters t.stats)
+
+let reset_stats t =
+  List.iter Counter.reset (stats_counters t.stats);
+  Histogram.reset t.commit_latency

@@ -1,0 +1,159 @@
+(** Physiological write-ahead log with redo-only (ARIES-lite) recovery.
+
+    The log attaches to a {!Fpb_storage.Buffer_pool} through its
+    [wal_hooks] and maintains, alongside the in-memory page store, a
+    model of what is actually durable: a byte stream of LSN-stamped log
+    records and a per-page "durable image" (what the page's disk sectors
+    would hold after a power cut).  Everything is driven by the same
+    simulated clock as the rest of the system, so log forces and
+    recovery replay are charged as real (sequential) disk I/O.
+
+    {2 Protocol}
+
+    - The caller brackets every index operation with a {!commit}: the
+      pages the operation dirtied are diffed against their last-logged
+      shadow copies and emitted as physiological records — a full page
+      {e image} on first touch after a checkpoint (this is what repairs
+      torn pages), a byte-range {e delta} afterwards — followed by a
+      commit record carrying the operation number and the index's root
+      metadata.
+    - Records are sealed into a log buffer; a flush appends them to the
+      durable stream and waits for the log disk (group commit batches
+      flushes until [group_commit_bytes] accumulate).
+    - Eviction write-backs run [before_page_write], which forces the log
+      first (WAL-before-data).  A write-back of a page with uncommitted
+      changes does {e not} update its durable image (a redo-only log
+      cannot undo), at the cost of re-writing the page at the next
+      checkpoint.
+    - {!checkpoint} forces the log, writes back all dirty pages,
+      refreshes stale durable images, and appends a checkpoint record
+      from which the next recovery starts.
+
+    Recovery ({!recover}) discards all volatile state, resets every page
+    to its durable image, truncates the durable log at the last complete
+    commit/checkpoint record (a torn tail parses as garbage and stops
+    the scan), and replays records whose LSN is newer than the page's
+    durable image.  The returned metadata reconstructs index handles.
+
+    Crash injection: {!set_crash_at_byte} cuts the durable log mid-flush
+    at an exact byte offset and raises {!Crashed};
+    {!tear_last_writeback} additionally corrupts the second half of the
+    most recently written-back page, simulating a torn sector write. *)
+
+(** Raised by any logging entry point once the simulated machine has
+    crashed — by the flush that crossed the armed byte boundary, and by
+    every call after {!crash_now} — until {!recover} runs. *)
+exception Crashed
+
+type record =
+  | Image of { lsn : int; page : int; img : Bytes.t }
+  | Delta of { lsn : int; page : int; off : int; bytes : Bytes.t }
+  | Commit of { lsn : int; op : int; meta : int list }
+  | Checkpoint of { lsn : int; op : int; meta : int list }
+      (** [op] is the last committed operation number, so a recovery
+          that replays no commit records still reports it. *)
+
+(** On-disk record framing: [length | body | FNV-1a-32 checksum], all
+    little-endian 32-bit.  A record that fails length or checksum
+    validation marks the end of the readable log (torn tail). *)
+module Codec : sig
+  val encode : record -> string
+
+  (** [decode s pos] parses the framed record at [pos]; [None] if the
+      bytes are truncated or corrupt.  Returns the record and the
+      position just past it. *)
+  val decode : string -> int -> (record * int) option
+end
+
+type t
+
+(** One sealed record in the durable byte stream: its end offset, its
+    framed size (so [end_off - size] is where it starts), and its kind —
+    the crash controller enumerates injection points from these. *)
+type boundary = {
+  end_off : int;
+  size : int;
+  kind : [ `Image | `Delta | `Commit | `Checkpoint ];
+}
+
+(** What a recovery pass established. *)
+type recovery = {
+  committed_ops : int;  (** highest operation number durably committed *)
+  meta : int list;  (** index metadata as of that operation *)
+  scanned_records : int;  (** records parsed from the last checkpoint *)
+  redo_records : int;  (** image/delta records actually re-applied *)
+  redo_pages : int;  (** distinct pages touched by redo *)
+  torn_tail_bytes : int;  (** unparseable bytes at the durable tail *)
+  recovery_ns : int;  (** simulated time the pass took *)
+}
+
+(** [attach pool ~meta] flushes the pool, snapshots every existing page
+    as its durable image, installs the WAL hooks, and seals an initial
+    checkpoint carrying [meta].  [group_commit_bytes = 0] (default)
+    forces the log on every commit; [> 0] lets commits accumulate until
+    that many buffered bytes before flushing (group commit — commits in
+    the buffer are lost by a crash). *)
+val attach : ?group_commit_bytes:int -> meta:int list -> Fpb_storage.Buffer_pool.t -> t
+
+(** Remove the hooks; the pool reverts to non-durable operation. *)
+val detach : t -> unit
+
+(** Seal the current operation: log the pages dirtied since the last
+    commit and a commit record numbered [op] carrying [meta]. *)
+val commit : t -> op:int -> meta:int list -> unit
+
+(** Sharp checkpoint: force the log, write back all dirty pages, refresh
+    stale durable images, and seal a checkpoint record carrying [meta].
+    Must not be called mid-operation (with undirtied commits pending). *)
+val checkpoint : t -> meta:int list -> unit
+
+(** Force all sealed records to the durable stream, waiting for the log
+    disk.  No-op on an empty buffer. *)
+val flush : t -> unit
+
+(** Total bytes ever sealed / durably flushed. *)
+val log_bytes : t -> int
+
+val durable_bytes : t -> int
+
+(** Every record sealed so far, oldest first (crash-point enumeration
+    runs over a completed golden run, so this is the full stream). *)
+val layout : t -> boundary list
+
+(** Arm ([Some b]) or disarm ([None]) the crash trigger: the flush whose
+    durable extent would cross byte offset [b] truncates the durable
+    stream exactly there and raises {!Crashed}. *)
+val set_crash_at_byte : t -> int option -> unit
+
+(** Power cut right now: sealed-but-unflushed records are lost. *)
+val crash_now : t -> unit
+
+val is_crashed : t -> bool
+
+(** After a crash, corrupt the second half of the durable image of the
+    page most recently written back (torn sector write) and mark it so
+    redo re-applies unconditionally.  Returns [false] when there is no
+    such page or when the durable log cannot repair it (its full image
+    predates the recovery start point, i.e. the write was already
+    fsynced under a completed checkpoint). *)
+val tear_last_writeback : t -> bool
+
+(** Bring the system back from a crash: drop the pool, reset pages to
+    durable images, replay the log from the last durable checkpoint, and
+    restart the log with a fresh checkpoint.  Charges log reads and
+    page write-backs as simulated I/O. *)
+val recover : t -> recovery
+
+(** Post-recovery structural check of the durability layer itself: every
+    page's memory bytes must equal its durable image (or be all-zero if
+    it never had one).  Only meaningful immediately after {!recover}. *)
+val verify_images : t -> (unit, string) result
+
+(** Commit latency distribution ([wal.commit_latency_ns]): simulated
+    time from commit start to log durability. *)
+val commit_latency : t -> Fpb_obs.Histogram.t
+
+(** Current [wal.*] counter values as [(name, value)] pairs. *)
+val kv : t -> (string * int) list
+
+val reset_stats : t -> unit

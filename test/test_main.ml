@@ -6,6 +6,7 @@ let () =
       ("obs", Test_obs.suite);
       ("simmem", Test_simmem.suite);
       ("storage", Test_storage.suite);
+      ("wal", Test_wal.suite);
       ("tuning", Test_tuning.suite);
       ("workload", Test_workload.suite);
       ("indexes", Test_indexes.suite);

@@ -196,6 +196,44 @@ let test_sequential_readahead () =
   check_int "still one miss" 1 (cv s.Buffer_pool.misses);
   check_int "prefetch hit" 1 (cv s.Buffer_pool.prefetch_hits)
 
+let test_exhaustion_drains_prefetch () =
+  (* Every frame holds an in-flight prefetch and nothing is pinned: a
+     demand get must wait for the earliest completion and reuse that
+     frame, not report pool exhaustion. *)
+  let _sim, store, _disks, pool = Util.make_system ~capacity:2 () in
+  let p1 = Page_store.alloc store in
+  let p2 = Page_store.alloc store in
+  let p3 = Page_store.alloc store in
+  Buffer_pool.prefetch pool p1;
+  Buffer_pool.prefetch pool p2;
+  ignore (Buffer_pool.get pool p3);
+  Buffer_pool.unpin pool p3;
+  Alcotest.(check bool) "demand read landed" true
+    (Buffer_pool.is_resident pool p3)
+
+let test_free_invalidates_pool_state () =
+  let sim, store, disks, pool = Util.make_system ~capacity:4 () in
+  let p, r = Buffer_pool.create_page pool in
+  Mem.write_i32 sim r 0 99;
+  Buffer_pool.unpin pool p;
+  (* free through the store directly: the pool's free observer must drop
+     the frame and dirty bit, so the dead page is never written back *)
+  let w0 = Disk_model.writes disks in
+  Page_store.free store p;
+  Alcotest.(check bool) "not resident after store free" false
+    (Buffer_pool.is_resident pool p);
+  Buffer_pool.clear pool;
+  check_int "freed page never written back" w0 (Disk_model.writes disks);
+  let p' = Page_store.alloc store in
+  check_int "id reused" p p';
+  let r' = Buffer_pool.get pool p' in
+  check_int "reused page reads zeroed" 0 (Mem.read_i32 sim r' 0);
+  (* freeing while pinned is a bug in the caller, not silent corruption *)
+  Alcotest.check_raises "freeing pinned raises"
+    (Invalid_argument "Buffer_pool: freeing a pinned page") (fun () ->
+      Page_store.free store p');
+  Buffer_pool.unpin pool p'
+
 let prop_clock_never_past_capacity =
   Util.qtest ~count:50 "resident pages never exceed capacity"
     QCheck2.Gen.(list_size (10 -- 80) (0 -- 19))
@@ -224,5 +262,9 @@ let suite =
     Alcotest.test_case "dirty writeback" `Quick test_dirty_writeback;
     Alcotest.test_case "page_at inverse" `Quick test_page_at_inverse;
     Alcotest.test_case "sequential readahead" `Quick test_sequential_readahead;
+    Alcotest.test_case "exhaustion drains in-flight prefetch" `Quick
+      test_exhaustion_drains_prefetch;
+    Alcotest.test_case "store free invalidates pool state" `Quick
+      test_free_invalidates_pool_state;
     prop_clock_never_past_capacity;
   ]
