@@ -5,6 +5,7 @@
    fpb exp ID [--full]                                  run one experiment
    fpb check [--keys N] [--page N]                      build + verify all indexes
    fpb crashtest [--tiny] [--seed N]                    WAL fault-injection sweep
+   fpb chaos [--tiny] [--seed N]                        media-fault chaos harness
    fpb demo                                             quickstart walk-through *)
 
 open Cmdliner
@@ -126,6 +127,44 @@ let crashtest_cmd =
           and verify every index structure")
     Term.(ret (const run $ tiny $ full $ seed))
 
+let chaos_cmd =
+  let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test-sized scenario") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Large scenario") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload and fault-schedule seed") in
+  let run tiny full seed =
+    let open Fpb_experiments in
+    let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
+    let cells, table = Chaos.run_all ~seed scale in
+    Table.print Format.std_formatter table;
+    let failures =
+      List.concat_map
+        (fun c ->
+          List.map
+            (fun m ->
+              Printf.sprintf "%s/%s: %s" (Setup.kind_name c.Chaos.kind)
+                c.Chaos.label m)
+            c.Chaos.failures)
+        cells
+    in
+    List.iter (fun m -> Fmt.epr "FAIL %s@." m) failures;
+    if failures = [] then begin
+      let repaired = List.fold_left (fun a c -> a + c.Chaos.repaired) 0 cells in
+      let detected = List.fold_left (fun a c -> a + c.Chaos.detected) 0 cells in
+      Fmt.pr "chaos OK: %d cells, %d pages repaired, %d errors detected, 0 oracle failures@."
+        (List.length cells) repaired detected;
+      `Ok ()
+    end
+    else `Error (false, Printf.sprintf "%d oracle failures" (List.length failures))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Media-fault chaos harness: run search/update workloads against \
+          disks injecting transient errors, latent sectors and silent \
+          corruption; verify checksums detect all damage, the WAL repairs \
+          covered pages, and scrub finds nothing unrecoverable")
+    Term.(ret (const run $ tiny $ full $ seed))
+
 let demo_cmd =
   let run () =
     let open Fpb_simmem in
@@ -157,4 +196,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "fpb" ~doc)
-          [ tune_cmd; list_cmd; exp_cmd; check_cmd; crashtest_cmd; demo_cmd ]))
+          [ tune_cmd; list_cmd; exp_cmd; check_cmd; crashtest_cmd; chaos_cmd; demo_cmd ]))

@@ -335,9 +335,11 @@ module Make (F : PAGE_FORMAT) = struct
           Mem.write_u16 t.sim r off_n cnt;
           F.entries_updated t.sim t.cfg r ~n:cnt ~from:0;
           Mem.write_i32 t.sim r off_prev !prev;
-          if !prev <> nil then
+          if !prev <> nil then begin
             Buffer_pool.with_page t.pool !prev (fun pr ->
                 Mem.write_i32 t.sim pr off_next page);
+            Buffer_pool.mark_dirty t.pool !prev
+          end;
           Buffer_pool.unpin t.pool page;
           prev := page;
           ups.(p) <- (fst entries.(lo), page)
@@ -632,4 +634,11 @@ module Make (F : PAGE_FORMAT) = struct
     | first :: _ ->
         let chained = chain first [] in
         if chained <> expected then fail "leaf chain disagrees with tree order"
+
+  (* amcheck-style entry point: the structural check as data, for the
+     scrub and chaos harnesses that must keep counting past a failure. *)
+  let check_invariants t =
+    match check t with
+    | () -> Ok (page_count t)
+    | exception Failure msg -> Error msg
 end

@@ -703,7 +703,8 @@ let bulkload t pairs ~fill =
             Hashtbl.replace page_used parent.pg (used + 1);
             place.(lvl - 1).(ci) <- { pg = parent.pg; ln = 1 + (used * c.w) };
             Buffer_pool.with_page t.pool parent.pg (fun r ->
-                Mem.write_u16 t.sim r h_bump (used + 1))
+                Mem.write_u16 t.sim r h_bump (used + 1));
+            Buffer_pool.mark_dirty t.pool parent.pg
           end
           else if lvl - 1 = 1 then
             (* leaf parent: overflow pages *)
@@ -1038,3 +1039,10 @@ let check t =
   | [] -> ()
   | first :: _ ->
       if page_chain first [] <> expected then fail "leaf page chain disagrees"
+
+(* amcheck-style entry point: the structural check as data, for the scrub
+   and chaos harnesses that must keep counting past a failure. *)
+let check_invariants t =
+  match check t with
+  | () -> Ok (page_count t)
+  | exception Failure msg -> Error msg

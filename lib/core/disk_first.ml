@@ -693,9 +693,11 @@ let bulkload t pairs ~fill =
         in
         build_in_page t r (Array.sub entries lo cnt) ~n_leaves;
         Mem.write_i32 t.sim r h_prev !prev;
-        if !prev <> nil then
+        if !prev <> nil then begin
           Buffer_pool.with_page t.pool !prev (fun pr ->
               Mem.write_i32 t.sim pr h_next page);
+          Buffer_pool.mark_dirty t.pool !prev
+        end;
         Buffer_pool.unpin t.pool page;
         prev := page;
         ups.(p) <- (fst entries.(lo), page)
@@ -1155,3 +1157,10 @@ let check t =
   | [] -> ()
   | first :: _ ->
       if chain first [] <> expected then fail "leaf page chain disagrees"
+
+(* amcheck-style entry point: the structural check as data, for the scrub
+   and chaos harnesses that must keep counting past a failure. *)
+let check_invariants t =
+  match check t with
+  | () -> Ok (page_count t)
+  | exception Failure msg -> Error msg

@@ -1,0 +1,267 @@
+(* Media-fault chaos harness.
+
+   Each cell runs a deterministic search/insert/delete workload against a
+   freshly built index while its data disks misbehave according to a
+   seeded {!Fpb_storage.Fault.profile}: transient read/write errors,
+   latent sector errors, and silent corruption (bit rot and torn
+   sectors).  Fault schedules are pure functions of (seed, disk, page,
+   access count), so every cell is reproducible and a zero-fault "golden"
+   run of the same workload is a sound oracle.
+
+   Two legs per index structure:
+
+   - WAL-attached (with [log_base_images], so every page has full log
+     coverage): checksum failures and latent sectors must be repaired
+     transparently from the log.  The oracle demands zero operations see
+     an {!Fpb_storage.Buffer_pool.Io_error}, the final key set equal the
+     golden model, structural invariants hold, and periodic scrub passes
+     find nothing unrecoverable.  The extra simulated time over the
+     golden run is the price of retries, repairs and scrubbing.
+
+   - Uncovered (no WAL): detection without repair.  The workload is
+     search-only so a failed operation cannot half-apply.  Injected
+     corruption is persistent media damage (bit rot stays on the platter
+     until something rewrites it), so with no repair source the damaged
+     pages stay damaged; the oracle is that every operation either raises
+     a typed [Io_error] or returns exactly the model's answer — damage is
+     detected, never silently served. *)
+
+open Fpb_simmem
+open Fpb_btree_common
+open Fpb_storage
+open Fpb_wal
+
+type op = Search of int | Ins of int * int | Del of int
+
+(* bulk entries, operations, scrub interval, escalating fault rates *)
+let params = function
+  | Scale.Tiny -> (50_000, 400, 100, [ 0.01; 0.05 ])
+  | Scale.Quick -> (120_000, 1_200, 300, [ 0.005; 0.02; 0.05 ])
+  | Scale.Full -> (400_000, 3_000, 500, [ 0.001; 0.01; 0.05; 0.1 ])
+
+(* Small pages and a pool far smaller than the tree, so the workload
+   constantly re-reads pages from the faulty disks instead of running
+   memory-resident. *)
+let page_size = 4096
+let pool_pages = 32
+
+let gen_ops rng pairs n =
+  let existing () = fst pairs.(Fpb_workload.Prng.int rng (Array.length pairs)) in
+  List.init n (fun _ ->
+      let r = Fpb_workload.Prng.int rng 100 in
+      if r < 50 then Search (existing ())
+      else if r < 70 then
+        Ins (1 + Fpb_workload.Prng.int rng 0x3FFFFFFE, Fpb_workload.Prng.int rng 0xFFFF)
+      else if r < 85 then Ins (existing (), Fpb_workload.Prng.int rng 0xFFFF)
+      else Del (existing ()))
+
+let key_set idx =
+  let got = ref [] in
+  Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
+  List.sort compare !got
+
+type cell = {
+  kind : Setup.kind;
+  label : string;  (* "golden", "r=0.0100", "no-wal r=0.0100" *)
+  covered : bool;  (* WAL attached with full page coverage *)
+  rate : float;
+  ops_run : int;
+  detected : int;  (* Io_error surfaced to the workload *)
+  checksum_fails : int;  (* io.error.checksum *)
+  latent_fails : int;  (* io.error.latent *)
+  repaired : int;  (* repair.repaired *)
+  retries : int;  (* io.retry.read *)
+  retry_wait_ns : int;
+  scrub : Scrub.report;
+  elapsed_ns : int;  (* simulated time of the workload + scrub passes *)
+  failures : string list;  (* oracle violations; must be empty *)
+}
+
+(* One cell: build, arm, run, scrub, disarm, verify. *)
+let run_cell kind pairs ops ~scrub_every ~rate ~covered ~seed =
+  let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal =
+    if covered then
+      Some (Wal.attach ~log_base_images:true ~meta:(Index_sig.meta idx) sys.Setup.pool)
+    else begin
+      (* No log: write everything back so each page is durably stamped,
+         making later damage detectable by checksum. *)
+      Buffer_pool.flush_dirty sys.Setup.pool;
+      None
+    end
+  in
+  Buffer_pool.clear sys.Setup.pool;
+  Buffer_pool.reset_stats sys.Setup.pool;
+  let profile = if rate > 0.0 then Some (Fault.scaled ~seed rate) else None in
+  Disk_model.set_faults sys.Setup.disks profile;
+  let st = Buffer_pool.stats sys.Setup.pool in
+  let c field = Fpb_obs.Counter.value field in
+  let detected = ref 0 in
+  let scrub = ref Scrub.empty in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (* Running model: what every search must answer.  A successful read
+     always went through checksum verification, so a successful operation
+     returning anything but the model's answer means corrupt bytes were
+     silently served — the one thing this harness exists to rule out. *)
+  let m = Hashtbl.create 1024 in
+  Array.iter (fun (k, v) -> Hashtbl.replace m k v) pairs;
+  let wrong = ref 0 in
+  let t0 = Clock.now sys.Setup.sim.Sim.clock in
+  List.iteri
+    (fun i op ->
+      let opn = i + 1 in
+      (try
+         (match op with
+         | Search k ->
+             if Index_sig.search idx k <> Hashtbl.find_opt m k then incr wrong
+         | Ins (k, v) ->
+             ignore (Index_sig.insert idx k v);
+             Hashtbl.replace m k v
+         | Del k ->
+             ignore (Index_sig.delete idx k);
+             Hashtbl.remove m k);
+         match wal with
+         | Some w -> Wal.commit w ~op:opn ~meta:(Index_sig.meta idx)
+         | None -> ()
+       with Buffer_pool.Io_error _ -> incr detected);
+      if scrub_every > 0 && opn mod scrub_every = 0 then
+        scrub := Scrub.merge !scrub (Scrub.run sys.Setup.pool))
+    ops;
+  scrub := Scrub.merge !scrub (Scrub.run sys.Setup.pool);
+  let elapsed_ns = Clock.now sys.Setup.sim.Sim.clock - t0 in
+  (* Disarm (clears latent sectors and stops fresh draws) before the
+     final oracle reads. *)
+  Disk_model.set_faults sys.Setup.disks None;
+  if !wrong > 0 then
+    fail "%d operations silently returned wrong answers" !wrong;
+  if covered then begin
+    (* Full coverage: every fault must have been absorbed by retry or
+       repair (the final scrub pass above heals any lingering media
+       damage), so nothing may have surfaced and the final state must
+       match the model exactly. *)
+    if !detected > 0 then
+      fail "%d operations saw Io_error despite full WAL coverage" !detected;
+    if (!scrub).Scrub.unrecoverable <> [] then
+      fail "scrub reported %d unrecoverable pages despite full WAL coverage"
+        (List.length (!scrub).Scrub.unrecoverable);
+    (match Index_sig.check_invariants idx with
+    | Ok _ -> ()
+    | Error m -> fail "invariant check: %s" m);
+    let want =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] |> List.sort compare
+    in
+    if key_set idx <> want then fail "key set differs from model"
+  end
+  else if rate > 0.0 && !detected = 0 && c st.Buffer_pool.err_checksum = 0
+          && c st.Buffer_pool.err_latent = 0 then
+    (* Detection-only: the damaged pages stay damaged (no repair source),
+       so no end-state check — but the leg is vacuous unless the checksum
+       layer actually caught something. *)
+    fail "uncovered leg detected no faults (rate too low to exercise it)";
+  (match wal with Some w -> Wal.detach w | None -> ());
+  let label =
+    if rate = 0.0 then "golden"
+    else Printf.sprintf "%sr=%.4f" (if covered then "" else "no-wal ") rate
+  in
+  Telemetry.add_kv (Buffer_pool.kv sys.Setup.pool);
+  Telemetry.add_kv (Disk_model.kv sys.Setup.disks);
+  Telemetry.add_kv (Scrub.kv !scrub);
+  {
+    kind;
+    label;
+    covered;
+    rate;
+    ops_run = List.length ops;
+    detected = !detected;
+    checksum_fails = c st.Buffer_pool.err_checksum;
+    latent_fails = c st.Buffer_pool.err_latent;
+    repaired = c st.Buffer_pool.repair_repaired;
+    retries = c st.Buffer_pool.retry_read;
+    retry_wait_ns = c st.Buffer_pool.retry_wait_ns;
+    scrub = !scrub;
+    elapsed_ns;
+    failures = List.rev !failures;
+  }
+
+let run_kind ?(seed = 42) scale kind =
+  let n_bulk, n_ops, scrub_every, rates = params scale in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  let searches = List.filter (function Search _ -> true | _ -> false) ops in
+  let golden =
+    run_cell kind pairs ops ~scrub_every ~rate:0.0 ~covered:true ~seed
+  in
+  let covered =
+    List.map
+      (fun rate -> run_cell kind pairs ops ~scrub_every ~rate ~covered:true ~seed)
+      rates
+  in
+  (* Uncovered leg at the highest rate: detection is the whole defence. *)
+  let top_rate = List.fold_left max 0.0 rates in
+  let uncovered =
+    run_cell kind pairs searches ~scrub_every ~rate:top_rate ~covered:false ~seed
+  in
+  (golden, covered @ [ uncovered ])
+
+let overhead_pct golden cell =
+  if golden.elapsed_ns = 0 then 0.0
+  else
+    100.0
+    *. float_of_int (cell.elapsed_ns - golden.elapsed_ns)
+    /. float_of_int golden.elapsed_ns
+
+(* Run every index structure; returns all cells and a summary table. *)
+let run_all ?seed scale =
+  let per_kind = List.map (fun k -> (k, run_kind ?seed scale k)) Setup.all_kinds in
+  let cells =
+    List.concat_map (fun (_, (golden, rest)) -> golden :: rest) per_kind
+  in
+  let rows =
+    List.concat_map
+      (fun (kind, (golden, rest)) ->
+        List.map
+          (fun c ->
+            [
+              Setup.kind_name kind;
+              c.label;
+              Table.cell_i c.detected;
+              Table.cell_i c.checksum_fails;
+              Table.cell_i c.latent_fails;
+              Table.cell_i c.repaired;
+              Table.cell_i c.retries;
+              Table.cell_i c.scrub.Scrub.clean;
+              Table.cell_i c.scrub.Scrub.repaired;
+              Table.cell_i (List.length c.scrub.Scrub.unrecoverable);
+              (* The uncovered leg runs a different (search-only) workload,
+                 so its time is not comparable to the golden run. *)
+              (if c.rate = 0.0 || not c.covered then "-"
+               else Table.cell_f (overhead_pct golden c));
+              Table.cell_i (List.length c.failures);
+            ])
+          (golden :: rest))
+      per_kind
+  in
+  let table =
+    Table.make ~id:"chaos"
+      ~title:
+        "Media-fault chaos harness (oracle failures must be 0; covered legs \
+         repair, the no-wal leg detects)"
+      ~header:
+        [
+          "index"; "leg"; "io_err"; "cksum"; "latent"; "repaired"; "retries";
+          "scrub_ok"; "scrub_fix"; "scrub_bad"; "overhead%"; "failures";
+        ]
+      rows
+  in
+  (cells, table)
+
+(* Registry entry: the harness as an experiment, so `fpb exp faults`
+   lands detection/repair counters in BENCH_results.json. *)
+let run scale =
+  let cells, table = run_all scale in
+  let fails = List.fold_left (fun a c -> a + List.length c.failures) 0 cells in
+  if fails > 0 then Telemetry.add "chaos.oracle_failures" fails;
+  [ table ]

@@ -116,10 +116,35 @@ let check_point kind pairs ops ~ckpt_every ~expect point =
   let got = ref [] in
   Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
   let got = List.sort compare !got in
-  let want = model_after pairs ops (expect point.Crash.at_byte) in
+  let committed = expect point.Crash.at_byte in
+  let want = model_after pairs ops committed in
   if got <> want then
     err "key set mismatch: %d entries recovered, %d expected"
       (List.length got) (List.length want);
+  (* Continue the workload past the crash: the committed Alloc/Free
+     records restored the allocation map, so the recovered system must be
+     able to keep running — re-apply the lost suffix of operations and
+     require the final state to match the full model.  This is what makes
+     recovery an availability property, not just a consistency one. *)
+  (try
+     List.iteri
+       (fun i op ->
+         let opn = i + 1 in
+         if opn > committed then begin
+           apply idx op;
+           Wal.commit wal ~op:opn ~meta:(Index_sig.meta idx)
+         end)
+       ops;
+     (try Index_sig.check idx
+      with Failure m -> err "post-continuation structural check: %s" m);
+     let got = ref [] in
+     Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
+     let got = List.sort compare !got in
+     let want = model_after pairs ops (List.length ops) in
+     if got <> want then
+       err "post-continuation key set mismatch: %d entries, %d expected"
+         (List.length got) (List.length want)
+   with e -> err "workload continuation raised: %s" (Printexc.to_string e));
   (torn, List.rev_map (fun m -> (point.Crash.label, m)) !errors)
 
 let run_kind ?(seed = 42) scale kind =

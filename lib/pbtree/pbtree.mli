@@ -34,4 +34,9 @@ val allocated_bytes : t -> int
 (** {1 Uncharged introspection (tests)} *)
 
 val check : t -> unit
+
+(** amcheck-style verification: [check] as data — [Ok node_count] or
+    [Error description]. *)
+val check_invariants : t -> (int, string) result
+
 val iter : t -> (int -> int -> unit) -> unit

@@ -1,4 +1,5 @@
-(* Buffer pool with CLOCK replacement, pinning, and asynchronous prefetch.
+(* Buffer pool with CLOCK replacement, pinning, asynchronous prefetch,
+   and media-failure handling.
 
    Page contents always live in the page store; the pool tracks which pages
    are memory-resident, charges simulated disk time for the rest, and
@@ -11,7 +12,14 @@
    threads (the paper's DB2 experiment varies exactly this): each request is
    picked up by the earliest-available prefetcher, which then stays busy
    until the disk read completes.  A demand [get] of an in-flight page waits
-   only for the remaining latency. *)
+   only for the remaining latency.
+
+   Every read that crosses the disk boundary is checked against the page's
+   checksum header (see [Page_store]).  Transient I/O errors are retried
+   with exponential backoff charged to simulated time; persistent damage
+   (latent sectors, corrupted bytes) escalates to a repair hook installed
+   by the write-ahead log, and only when that fails does the caller see a
+   typed [Io_error]. *)
 
 open Fpb_simmem
 module Counter = Fpb_obs.Counter
@@ -21,7 +29,17 @@ type stats = {
   misses : Counter.t;  (* demand reads that went to disk *)
   prefetch_issued : Counter.t;
   prefetch_hits : Counter.t;  (* gets satisfied by a prefetched page *)
+  prefetch_dropped : Counter.t;  (* hints dropped: pool too hot, or I/O error *)
   io_wait_ns : Counter.t;  (* time the querying thread waited on I/O *)
+  retry_read : Counter.t;  (* read attempts beyond the first *)
+  retry_wait_ns : Counter.t;  (* simulated time spent backing off *)
+  err_transient : Counter.t;
+  err_latent : Counter.t;
+  err_checksum : Counter.t;
+  err_unrecoverable : Counter.t;  (* errors surfaced as [Io_error] *)
+  repair_attempts : Counter.t;
+  repair_repaired : Counter.t;
+  repair_failed : Counter.t;
 }
 
 let make_stats () =
@@ -30,11 +48,26 @@ let make_stats () =
     misses = Counter.make "pool.misses";
     prefetch_issued = Counter.make "pool.prefetch_issued";
     prefetch_hits = Counter.make "pool.prefetch_hits";
+    prefetch_dropped = Counter.make "pool.prefetch_dropped";
     io_wait_ns = Counter.make "pool.io_wait_ns";
+    retry_read = Counter.make "io.retry.read";
+    retry_wait_ns = Counter.make "io.retry.wait_ns";
+    err_transient = Counter.make "io.error.transient";
+    err_latent = Counter.make "io.error.latent";
+    err_checksum = Counter.make "io.error.checksum";
+    err_unrecoverable = Counter.make "io.error.unrecoverable";
+    repair_attempts = Counter.make "repair.attempts";
+    repair_repaired = Counter.make "repair.repaired";
+    repair_failed = Counter.make "repair.failed";
   }
 
 let stats_counters s =
-  [ s.hits; s.misses; s.prefetch_issued; s.prefetch_hits; s.io_wait_ns ]
+  [
+    s.hits; s.misses; s.prefetch_issued; s.prefetch_hits; s.prefetch_dropped;
+    s.io_wait_ns; s.retry_read; s.retry_wait_ns; s.err_transient;
+    s.err_latent; s.err_checksum; s.err_unrecoverable; s.repair_attempts;
+    s.repair_repaired; s.repair_failed;
+  ]
 
 let stats_kv s = List.map Counter.kv (stats_counters s)
 
@@ -44,14 +77,56 @@ let stats_kv s = List.map Counter.kv (stats_counters s)
    dirty page's write-back is submitted (WAL-before-data: the log forces
    itself durable up to the page's LSN, and may raise to simulate a crash);
    [on_page_write] runs after, so the log can refresh its durable image of
-   the page. *)
+   the page.  [page_lsn] reports the LSN of the newest logged change to a
+   page, which the pool stamps into the page's checksum header on every
+   write-back. *)
 type wal_hooks = {
   on_page_dirty : int -> unit;
   before_page_write : int -> unit;
   on_page_write : int -> unit;
   on_page_alloc : int -> unit;
   on_page_free : int -> unit;
+  page_lsn : int -> int;
 }
+
+(* How hard a demand read fights transient errors before giving up.  The
+   backoff is charged to the simulated clock (and to [io.retry.wait_ns]),
+   so retry storms show up in latency results, not just counters. *)
+type retry_policy = {
+  max_retries : int;  (* attempts beyond the first *)
+  backoff_ns : int;  (* wait before the first retry *)
+  backoff_mult : int;  (* multiplier per subsequent retry *)
+}
+
+let default_retry_policy =
+  { max_retries = 4; backoff_ns = 500_000; backoff_mult = 2 }
+
+type io_cause = [ `Transient | `Latent | `Checksum ]
+
+let io_cause_name = function
+  | `Transient -> "transient"
+  | `Latent -> "latent"
+  | `Checksum -> "checksum"
+
+exception
+  Io_error of {
+    page : int;
+    attempts : int;
+    cause : io_cause;
+    repair : [ `Not_attempted | `Failed of string ];
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Io_error { page; attempts; cause; repair } ->
+        Some
+          (Printf.sprintf "Io_error(page %d, %s, %d attempt%s%s)" page
+             (io_cause_name cause) attempts
+             (if attempts = 1 then "" else "s")
+             (match repair with
+             | `Not_attempted -> ""
+             | `Failed msg -> ", repair failed: " ^ msg))
+    | _ -> None)
 
 type t = {
   sim : Sim.t;
@@ -69,6 +144,8 @@ type t = {
   mutable hand : int;
   mutable readahead : int;  (* sequential readahead depth (0 = off) *)
   mutable wal : wal_hooks option;
+  mutable retry : retry_policy;
+  mutable repair : (int -> [ `Repaired | `Unrecoverable of string ]) option;
   stats : stats;
 }
 
@@ -113,6 +190,8 @@ let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
       hand = 0;
       readahead = 0;
       wal = None;
+      retry = default_retry_policy;
+      repair = None;
       stats = make_stats ();
     }
   in
@@ -120,6 +199,14 @@ let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
   t
 
 let set_wal_hooks t hooks = t.wal <- hooks
+let set_repair t hook = t.repair <- hook
+
+let set_retry_policy t policy =
+  if policy.max_retries < 0 || policy.backoff_ns < 0 || policy.backoff_mult < 1
+  then invalid_arg "Buffer_pool.set_retry_policy";
+  t.retry <- policy
+
+let retry_policy t = t.retry
 
 let stats t = t.stats
 let sim t = t.sim
@@ -151,12 +238,95 @@ let wait_until t when_ =
   end
 
 (* Write back the dirty page [p], bracketed by the WAL hooks that enforce
-   log-before-data and refresh the durable page image. *)
+   log-before-data and refresh the durable page image.  The write re-stamps
+   the page's checksum header (a disk write always lays down fresh,
+   consistent sector checksums) with the newest logged LSN. *)
 let write_back t p =
   (match t.wal with Some h -> h.before_page_write p | None -> ());
   let disk, phys = Page_store.location t.store p in
   Disk_model.write t.disks ~disk ~phys;
+  let lsn = match t.wal with Some h -> h.page_lsn p | None -> 0 in
+  Page_store.stamp ~lsn t.store p;
   match t.wal with Some h -> h.on_page_write p | None -> ()
+
+(* ------------------------- media read path -------------------------- *)
+
+(* Apply a corruption spec drawn by the disk model to the page's backing
+   bytes.  Raw offsets are reduced mod the page size; a torn sector zeroes
+   the 512-byte-aligned span containing the offset. *)
+let apply_corruption t page spec =
+  let b = Page_store.bytes t.store page in
+  let ps = Bytes.length b in
+  match spec with
+  | Disk_model.Bit_flips flips ->
+      List.iter
+        (fun (off, mask) ->
+          let off = off mod ps in
+          Bytes.set b off
+            (Char.chr (Char.code (Bytes.get b off) lxor mask land 0xff)))
+        flips
+  | Disk_model.Torn_sector off ->
+      let start = off mod ps land lnot 511 in
+      Bytes.fill b start (min 512 (ps - start)) '\000'
+
+(* Read [page]'s media into its backing bytes.  Transient errors are
+   retried up to the policy with exponential backoff charged to simulated
+   time; persistent damage (latent sector, checksum mismatch) escalates to
+   the repair hook.  Returns whether the bytes came back clean or had to
+   be repaired; raises [Io_error] when the page cannot be produced. *)
+let media_read t page ~disk ~phys =
+  let fail ~attempts ~cause ~repair =
+    Counter.incr t.stats.err_unrecoverable;
+    raise (Io_error { page; attempts; cause; repair })
+  in
+  let repair_or ~attempts ~cause =
+    match t.repair with
+    | None -> fail ~attempts ~cause ~repair:`Not_attempted
+    | Some r -> (
+        Counter.incr t.stats.repair_attempts;
+        match r page with
+        | `Repaired ->
+            Counter.incr t.stats.repair_repaired;
+            `Repaired
+        | `Unrecoverable msg ->
+            Counter.incr t.stats.repair_failed;
+            fail ~attempts ~cause ~repair:(`Failed msg))
+  in
+  let verify ~attempts =
+    match Page_store.verify t.store page with
+    | Page_store.Ok -> `Ok
+    | Page_store.Bad_crc _ ->
+        Counter.incr t.stats.err_checksum;
+        repair_or ~attempts ~cause:`Checksum
+  in
+  let rec attempt n backoff =
+    match Disk_model.read_result t.disks ~disk ~phys () with
+    | Disk_model.Read_ok c ->
+        wait_until t c;
+        verify ~attempts:n
+    | Disk_model.Read_corrupt (c, spec) ->
+        wait_until t c;
+        apply_corruption t page spec;
+        verify ~attempts:n
+    | Disk_model.Read_error (c, kind) -> (
+        wait_until t c;
+        match kind with
+        | `Transient ->
+            Counter.incr t.stats.err_transient;
+            if n <= t.retry.max_retries then begin
+              Counter.incr t.stats.retry_read;
+              Counter.add t.stats.retry_wait_ns backoff;
+              wait_until t (Clock.now t.sim.Sim.clock + backoff);
+              attempt (n + 1) (backoff * t.retry.backoff_mult)
+            end
+            else fail ~attempts:n ~cause:`Transient ~repair:`Not_attempted
+        | `Latent ->
+            Counter.incr t.stats.err_latent;
+            repair_or ~attempts:n ~cause:`Latent)
+  in
+  attempt 1 t.retry.backoff_ns
+
+(* ----------------------------- replacement --------------------------- *)
 
 (* CLOCK sweep: find a frame, evicting its current page if needed. *)
 let victim_frame t =
@@ -209,28 +379,57 @@ let victim_frame_waiting t =
       victim_frame t
     end
 
+(* Drop an unpinned frame whose page turned out unusable (failed
+   verification on arrival): forget the mapping without write-back. *)
+let drop_frame t frame page =
+  Hashtbl.remove t.table page;
+  Hashtbl.remove t.inflight page;
+  t.frames.(frame) <- Page_store.nil;
+  t.ref_bit.(frame) <- false;
+  t.dirty.(frame) <- false;
+  let page_size = Page_store.page_size t.store in
+  Cache.invalidate_range t.sim.Sim.cache (frame * page_size) page_size
+
 (* Request an asynchronous read of [page].  No-op if already resident or in
-   flight.  The request is served by the earliest-available prefetcher. *)
+   flight.  The request is served by the earliest-available prefetcher.  A
+   prefetcher does not retry or repair: on any I/O error it drops the hint
+   (counted) and lets the eventual demand read do the fighting. *)
 let prefetch t page =
   if not (Hashtbl.mem t.table page) then begin
     Sim.charge_busy t.sim t.prefetch_request_busy;
-    (try
-       let frame = victim_frame t in
-       let worker = ref 0 in
-       for i = 1 to Array.length t.prefetcher_free - 1 do
-         if t.prefetcher_free.(i) < t.prefetcher_free.(!worker) then worker := i
-       done;
-       let earliest =
-         max (Clock.now t.sim.Sim.clock) t.prefetcher_free.(!worker)
-       in
-       let disk, phys = Page_store.location t.store page in
-       let completion = Disk_model.read t.disks ~earliest ~disk ~phys () in
-       t.prefetcher_free.(!worker) <- completion;
-       t.frames.(frame) <- page;
-       Hashtbl.replace t.table page frame;
-       Hashtbl.replace t.inflight page completion;
-       Counter.incr t.stats.prefetch_issued
-     with Pool_exhausted -> () (* drop the hint: pool too hot to prefetch *))
+    try
+      let frame = victim_frame t in
+      let worker = ref 0 in
+      for i = 1 to Array.length t.prefetcher_free - 1 do
+        if t.prefetcher_free.(i) < t.prefetcher_free.(!worker) then worker := i
+      done;
+      let earliest =
+        max (Clock.now t.sim.Sim.clock) t.prefetcher_free.(!worker)
+      in
+      let disk, phys = Page_store.location t.store page in
+      let install completion =
+        t.prefetcher_free.(!worker) <- completion;
+        t.frames.(frame) <- page;
+        Hashtbl.replace t.table page frame;
+        Hashtbl.replace t.inflight page completion;
+        Counter.incr t.stats.prefetch_issued
+      in
+      match Disk_model.read_result t.disks ~earliest ~disk ~phys () with
+      | Disk_model.Read_ok c -> install c
+      | Disk_model.Read_corrupt (c, spec) ->
+          (* the bad bytes land in the frame; verification at first [get]
+             catches them *)
+          apply_corruption t page spec;
+          install c
+      | Disk_model.Read_error (c, kind) ->
+          t.prefetcher_free.(!worker) <- c;
+          (match kind with
+          | `Transient -> Counter.incr t.stats.err_transient
+          | `Latent -> Counter.incr t.stats.err_latent);
+          Counter.incr t.stats.prefetch_dropped
+    with Pool_exhausted ->
+      (* pool too hot to prefetch: drop the hint *)
+      Counter.incr t.stats.prefetch_dropped
   end
 
 (* Sequential readahead after a demand miss at (disk, phys): asynchronously
@@ -240,6 +439,30 @@ let issue_readahead t ~disk ~phys =
     let nxt = Page_store.page_at t.store ~disk ~phys:(phys + k) in
     if nxt <> Page_store.nil then prefetch t nxt
   done
+
+(* A prefetched page just landed in [frame]: verify it like any other disk
+   read.  On checksum failure, escalate to repair; if that cannot produce
+   the page, evict the frame before raising so the pool never serves bytes
+   it knows are bad. *)
+let verify_arrival t page frame =
+  match Page_store.verify t.store page with
+  | Page_store.Ok -> ()
+  | Page_store.Bad_crc _ -> (
+      Counter.incr t.stats.err_checksum;
+      let fail repair =
+        drop_frame t frame page;
+        Counter.incr t.stats.err_unrecoverable;
+        raise (Io_error { page; attempts = 1; cause = `Checksum; repair })
+      in
+      match t.repair with
+      | None -> fail `Not_attempted
+      | Some r -> (
+          Counter.incr t.stats.repair_attempts;
+          match r page with
+          | `Repaired -> Counter.incr t.stats.repair_repaired
+          | `Unrecoverable msg ->
+              Counter.incr t.stats.repair_failed;
+              fail (`Failed msg)))
 
 (* Pin a page, reading it from disk if not resident.  Returns the region to
    access its contents through.  Must be balanced by [unpin]. *)
@@ -251,7 +474,8 @@ let get t page =
       | Some c ->
           Hashtbl.remove t.inflight page;
           Counter.incr t.stats.prefetch_hits;
-          wait_until t c
+          wait_until t c;
+          verify_arrival t page frame
       | None -> Counter.incr t.stats.hits);
       t.ref_bit.(frame) <- true;
       t.pin.(frame) <- t.pin.(frame) + 1;
@@ -259,9 +483,8 @@ let get t page =
   | None ->
       let frame = victim_frame_waiting t in
       let disk, phys = Page_store.location t.store page in
-      let completion = Disk_model.read t.disks ~disk ~phys () in
       Counter.incr t.stats.misses;
-      wait_until t completion;
+      ignore (media_read t page ~disk ~phys : [ `Ok | `Repaired ]);
       t.frames.(frame) <- page;
       Hashtbl.replace t.table page frame;
       t.ref_bit.(frame) <- true;
@@ -289,6 +512,26 @@ let with_page t page f =
   Fun.protect ~finally:(fun () -> unpin t page) (fun () -> f region)
 
 let is_resident t page = Hashtbl.mem t.table page
+
+(* Media check for the scrubber: read a non-resident page through the full
+   retry/verify/repair path without installing it in a frame.  Resident
+   pages are skipped — the in-memory copy is authoritative and will lay
+   down a fresh checksum when written back. *)
+let check_media t page =
+  if Hashtbl.mem t.table page then `Resident
+  else
+    let disk, phys = Page_store.location t.store page in
+    match media_read t page ~disk ~phys with
+    | `Ok -> `Ok
+    | `Repaired -> `Repaired
+    | exception Io_error { attempts; cause; repair; _ } ->
+        `Unrecoverable
+          (Printf.sprintf "%s error after %d attempt%s%s"
+             (io_cause_name cause) attempts
+             (if attempts = 1 then "" else "s")
+             (match repair with
+             | `Not_attempted -> ""
+             | `Failed msg -> "; repair failed: " ^ msg))
 
 (* Classic sequential I/O prefetching (the paper's Section 2 contrast to
    jump-pointer arrays): after a demand miss, asynchronously read the next

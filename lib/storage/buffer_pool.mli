@@ -1,5 +1,5 @@
-(** Buffer pool with CLOCK replacement, pinning, and asynchronous
-    prefetch.
+(** Buffer pool with CLOCK replacement, pinning, asynchronous prefetch,
+    and media-failure handling.
 
     Frames give resident pages their simulated physical addresses (frame
     index x page size), so the CPU-cache simulator sees a
@@ -7,10 +7,19 @@
     CPU-cache lines.  Prefetch requests are served by a configurable pool
     of prefetcher threads (the paper's DB2 experiment varies exactly
     this); a demand [get] of an in-flight page waits only for the
-    remaining latency. *)
+    remaining latency.
 
-(** Named counters under the [pool.*] namespace; [pool.io_wait_ns] is in
-    simulated nanoseconds, the rest are event counts. *)
+    Every read that crosses the disk boundary is verified against the
+    page's checksum header ({!Page_store.verify}).  Transient I/O errors
+    are retried with exponential backoff charged to simulated time;
+    persistent damage (latent sectors, corruption) escalates to the
+    repair hook installed by the write-ahead log, and only when that
+    fails does the caller see a typed {!Io_error}. *)
+
+(** Named counters; [*_ns] counters are in simulated nanoseconds, the
+    rest event counts.  Namespaces: [pool.*] for caching behaviour,
+    [io.retry.*]/[io.error.*] for the media-read path, [repair.*] for
+    WAL-based page repair. *)
 type stats = {
   hits : Fpb_obs.Counter.t;  (** [pool.hits] *)
   misses : Fpb_obs.Counter.t;
@@ -18,22 +27,68 @@ type stats = {
   prefetch_issued : Fpb_obs.Counter.t;  (** [pool.prefetch_issued] *)
   prefetch_hits : Fpb_obs.Counter.t;
       (** [pool.prefetch_hits]: gets satisfied by a prefetched page *)
+  prefetch_dropped : Fpb_obs.Counter.t;
+      (** [pool.prefetch_dropped]: hints dropped because the pool was too
+          hot to find a frame or the prefetch read erred *)
   io_wait_ns : Fpb_obs.Counter.t;
-      (** [pool.io_wait_ns]: time the caller waited on I/O *)
+      (** [pool.io_wait_ns]: time the caller waited on I/O (includes
+          retry backoff) *)
+  retry_read : Fpb_obs.Counter.t;
+      (** [io.retry.read]: demand-read attempts beyond the first *)
+  retry_wait_ns : Fpb_obs.Counter.t;
+      (** [io.retry.wait_ns]: simulated time spent backing off *)
+  err_transient : Fpb_obs.Counter.t;  (** [io.error.transient] *)
+  err_latent : Fpb_obs.Counter.t;  (** [io.error.latent] *)
+  err_checksum : Fpb_obs.Counter.t;  (** [io.error.checksum] *)
+  err_unrecoverable : Fpb_obs.Counter.t;
+      (** [io.error.unrecoverable]: errors surfaced as {!Io_error} *)
+  repair_attempts : Fpb_obs.Counter.t;  (** [repair.attempts] *)
+  repair_repaired : Fpb_obs.Counter.t;  (** [repair.repaired] *)
+  repair_failed : Fpb_obs.Counter.t;  (** [repair.failed] *)
 }
 
 (** Durability hooks installed by the write-ahead log.  The pool announces
     page lifecycle events; the log implements the WAL protocol over them.
     [before_page_write] runs before a dirty page's write-back is submitted
     (log-before-data; it may raise to simulate a crash), [on_page_write]
-    after it, so the log can refresh its durable image of the page. *)
+    after it, so the log can refresh its durable image of the page.
+    [page_lsn] reports the LSN of the newest logged change to a page; the
+    pool stamps it into the page's checksum header on write-back. *)
 type wal_hooks = {
   on_page_dirty : int -> unit;
   before_page_write : int -> unit;
   on_page_write : int -> unit;
   on_page_alloc : int -> unit;
   on_page_free : int -> unit;
+  page_lsn : int -> int;
 }
+
+(** How hard a demand read fights transient errors before giving up.
+    Backoff doubles (by [backoff_mult]) per retry and is charged to the
+    simulated clock, so retry storms show up in latency results. *)
+type retry_policy = {
+  max_retries : int;  (** attempts beyond the first *)
+  backoff_ns : int;  (** wait before the first retry *)
+  backoff_mult : int;  (** multiplier per subsequent retry *)
+}
+
+(** 4 retries, 0.5 ms initial backoff, doubling. *)
+val default_retry_policy : retry_policy
+
+type io_cause = [ `Transient | `Latent | `Checksum ]
+
+val io_cause_name : io_cause -> string
+
+(** A page could not be produced intact: retries exhausted (transient), a
+    latent sector with no repair source, or a checksum mismatch the WAL
+    could not repair.  Counted under [io.error.unrecoverable]. *)
+exception
+  Io_error of {
+    page : int;
+    attempts : int;
+    cause : io_cause;
+    repair : [ `Not_attempted | `Failed of string ];
+  }
 
 type t
 
@@ -61,8 +116,9 @@ val store : t -> Page_store.t
 val disks : t -> Disk_model.t
 val capacity : t -> int
 
-(** Pin a page, reading it from disk if not resident; returns the region
-    to access its contents through.  Balance with [unpin]. *)
+(** Pin a page, reading (and verifying) it from disk if not resident;
+    returns the region to access its contents through.  Balance with
+    [unpin].  May raise {!Io_error} under fault injection. *)
 val get : t -> int -> Fpb_simmem.Mem.region
 
 val unpin : t -> int -> unit
@@ -74,12 +130,20 @@ val mark_dirty : t -> int -> unit
 val with_page : t -> int -> (Fpb_simmem.Mem.region -> 'a) -> 'a
 
 (** Request an asynchronous read; no-op if resident or in flight.  Served
-    by the earliest-available prefetcher.  Dropped if the pool is too hot
-    to find a frame. *)
+    by the earliest-available prefetcher.  Dropped (counted under
+    [pool.prefetch_dropped]) if the pool is too hot to find a frame or
+    the read errs; verification of prefetched bytes happens at the first
+    [get]. *)
 val prefetch : t -> int -> unit
 
 val is_resident : t -> int -> bool
 val frame_of_page : t -> int -> int option
+
+(** Media check for the scrubber: read a non-resident page through the
+    full retry/verify/repair path without installing it in a frame.
+    Never raises; unrecoverable damage is reported in the result. *)
+val check_media :
+  t -> int -> [ `Resident | `Ok | `Repaired | `Unrecoverable of string ]
 
 (** Allocate a fresh page and make it resident with one pin (no disk
     read: it is born in memory).  Returns the page ID and its region. *)
@@ -101,6 +165,15 @@ val drop_all : t -> unit
 
 (** Install (or with [None] remove) the write-ahead-log hooks. *)
 val set_wal_hooks : t -> wal_hooks option -> unit
+
+(** Install (or with [None] remove) the page-repair hook the media-read
+    path escalates to; the WAL installs one that replays the page from
+    its last durable image ({!Fpb_wal.Wal.attach}). *)
+val set_repair :
+  t -> (int -> [ `Repaired | `Unrecoverable of string ]) option -> unit
+
+val set_retry_policy : t -> retry_policy -> unit
+val retry_policy : t -> retry_policy
 
 val resident_pages : t -> int
 

@@ -1,0 +1,24 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+   disks and filesystems conventionally stamp on sectors.  Table-driven;
+   host-side only (checksum computation models disk firmware and is never
+   charged to the simulated machine). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b off len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let bytes b = update 0 b 0 (Bytes.length b)
+let string s = bytes (Bytes.unsafe_of_string s)

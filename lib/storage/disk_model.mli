@@ -4,9 +4,30 @@
     request costs a positioning overhead (seek + rotational latency) plus
     the page transfer time; a request for the physical page immediately
     following the previous one served by the same disk pays only the
-    transfer (sequential access). *)
+    transfer (sequential access).
+
+    A disk may carry a {!Fault.profile}: reads and writes then draw from
+    a deterministic seeded schedule and can fail transiently, fail
+    persistently (latent sector errors, cleared by the next write to the
+    location), or silently return corrupted bytes.  The model only
+    decides {e what happened}; the caller owns the page bytes and applies
+    any corruption spec itself. *)
 
 type t
+
+(** How a corrupt read mangled the returned bytes.  Offsets are raw
+    hashes; callers reduce them mod their page size.  [Torn_sector off]
+    zeroes the 512-byte span starting at [off]. *)
+type corruption = Bit_flips of (int * int) list | Torn_sector of int
+
+type read_outcome =
+  | Read_ok of int  (** completion time (absolute ns) *)
+  | Read_corrupt of int * corruption
+      (** transfer "succeeded" but the bytes are wrong — detectable only
+          by checksum *)
+  | Read_error of int * [ `Transient | `Latent ]
+      (** the error is discovered at the completion time: the disk spent
+          the service time before failing *)
 
 (** 8 ms positioning: the paper's Seagate Cheetah 4LP-class disks. *)
 val default_seek_ns : int
@@ -19,12 +40,31 @@ val create :
 
 val n_disks : t -> int
 
+(** Arm (or with [None] disarm) fault injection on one disk or, without
+    [disk], on the whole farm.  Arming resets the disk's fault history
+    (access counts, pending transients, latent sectors). *)
+val set_faults : t -> ?disk:int -> Fault.profile option -> unit
+
+val faults_armed : t -> bool
+
+(** Latent sector errors currently outstanding across the farm. *)
+val latent_sectors : t -> int
+
 (** Submit a read starting no earlier than [earliest] (default: now);
     returns its completion time (absolute ns).  The caller decides whether
-    to wait. *)
+    to wait.  Never draws faults — the WAL's log disk uses this; demand
+    reads go through {!read_result}. *)
 val read : t -> ?earliest:int -> disk:int -> phys:int -> unit -> int
 
-(** Submit an asynchronous write-back; never waited on. *)
+(** Submit a read through the fault schedule.  The disk charges its busy
+    time whether or not the request then fails. *)
+val read_result :
+  t -> ?earliest:int -> disk:int -> phys:int -> unit -> read_outcome
+
+(** Submit an asynchronous write-back; never waited on.  A write repairs
+    the location's media state (latent sectors are remapped); a transient
+    write failure is absorbed by a controller retry, charged as a second
+    service. *)
 val write : t -> disk:int -> phys:int -> unit
 
 (** Submit a write and return its completion time (absolute ns), for
@@ -38,7 +78,9 @@ val writes : t -> int
 val busy_ns : t -> int
 
 (** The underlying named counters ([disk.reads], [disk.writes],
-    [disk.busy_ns] — the latter in simulated nanoseconds). *)
+    [disk.busy_ns] in simulated nanoseconds, and the injection tallies
+    [disk.fault.transient_read], [disk.fault.transient_write],
+    [disk.fault.latent], [disk.fault.corrupt]). *)
 val counters : t -> Fpb_obs.Counter.t list
 
 (** Current values as [(name, value)] pairs. *)
@@ -46,5 +88,7 @@ val kv : t -> (string * int) list
 
 val reset_stats : t -> unit
 
-(** Forget positioning state and pending work (between experiments). *)
+(** Forget positioning state and pending work (between experiments).
+    Media fault state persists: damage does not heal because an
+    experiment ended. *)
 val quiesce : t -> unit

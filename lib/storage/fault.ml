@@ -1,0 +1,72 @@
+(* Media-failure profiles and their deterministic schedules.
+
+   A profile describes how often a disk misbehaves; the schedule is a pure
+   function of (profile seed, disk, physical page, per-location access
+   count), so two runs with the same seed observe byte-identical fault
+   sequences no matter how the simulated clock interleaves — the property
+   the chaos harness's golden-run oracle depends on.
+
+   Three failure classes, mirroring the field studies the robustness
+   literature is built on:
+   - transient errors: a read or write fails, then succeeds when retried
+     (cabling, vibration, controller hiccups);
+   - latent sector errors: a location becomes persistently unreadable
+     until it is next written (which remaps the sector);
+   - silent corruption: the read "succeeds" but the returned bytes differ
+     from what was written (bit rot, torn sector writes), detectable only
+     by checksum. *)
+
+type profile = {
+  seed : int;
+  transient_read : float;  (* per-read probability of a transient failure *)
+  transient_write : float;  (* per-write probability of a transient failure *)
+  transient_fail_len : int;  (* consecutive attempts a transient fault eats *)
+  latent : float;  (* per-read probability the location develops an LSE *)
+  corrupt : float;  (* per-read probability of silent corruption *)
+  torn_frac : float;  (* fraction of corruption events that tear a sector *)
+  corrupt_bits : int;  (* byte flips per bit-rot event *)
+}
+
+let none =
+  {
+    seed = 0;
+    transient_read = 0.;
+    transient_write = 0.;
+    transient_fail_len = 1;
+    latent = 0.;
+    corrupt = 0.;
+    torn_frac = 0.25;
+    corrupt_bits = 3;
+  }
+
+(* A standard mix at an overall per-read fault [rate]: mostly transient,
+   some rot, a little persistent damage — the shape of the LSE/corruption
+   field studies, compressed so tiny runs still see every class. *)
+let scaled ?(seed = 1) rate =
+  {
+    none with
+    seed;
+    transient_read = rate *. 0.5;
+    transient_write = rate *. 0.25;
+    transient_fail_len = 2;
+    latent = rate *. 0.15;
+    corrupt = rate *. 0.35;
+  }
+
+(* 32-bit avalanche (Murmur3 finalizer variant): the schedule's PRF core. *)
+let mix32 h =
+  let h = h land 0xffffffff in
+  let h = (h lxor (h lsr 16)) * 0x7feb352d land 0xffffffff in
+  let h = (h lxor (h lsr 15)) * 0x846ca68b land 0xffffffff in
+  h lxor (h lsr 16)
+
+(* Deterministic per-event hash: seed, disk, location and the location's
+   access count, folded pairwise so each argument avalanches fully. *)
+let draw ~seed ~disk ~phys ~n =
+  let h = mix32 (seed lxor 0x811c9dc5) in
+  let h = mix32 (h lxor (disk + 0x9e3779b9)) in
+  let h = mix32 (h lxor (phys * 0x85ebca6b)) in
+  mix32 (h lxor (n * 0xc2b2ae35))
+
+(* Map a hash to [0, 1). *)
+let uniform h = float_of_int (h land 0xffffff) /. 16777216.

@@ -1,0 +1,45 @@
+(** Media-failure profiles and their deterministic schedules.
+
+    A profile describes how often a disk misbehaves; the schedule is a
+    pure function of (seed, disk, physical page, per-location access
+    count), so equal seeds observe identical fault sequences regardless
+    of simulated-clock interleaving — the property the chaos harness's
+    golden-run oracle depends on.  See {!Disk_model.set_faults}. *)
+
+type profile = {
+  seed : int;
+  transient_read : float;
+      (** per-read probability of a transient failure (fails, then
+          succeeds when retried) *)
+  transient_write : float;  (** per-write probability of the same *)
+  transient_fail_len : int;
+      (** consecutive attempts a transient fault eats before the retry
+          succeeds *)
+  latent : float;
+      (** per-read probability the location develops a latent sector
+          error: persistently unreadable until next written *)
+  corrupt : float;
+      (** per-read probability of silent corruption, detectable only by
+          checksum *)
+  torn_frac : float;
+      (** fraction of corruption events that tear a whole sector rather
+          than flip bits *)
+  corrupt_bits : int;  (** byte flips per bit-rot event *)
+}
+
+(** All rates zero. *)
+val none : profile
+
+(** A standard mix at an overall per-read fault [rate]: half transient
+    reads, the rest split between silent corruption, latent sectors and
+    transient writes. *)
+val scaled : ?seed:int -> float -> profile
+
+(** 32-bit avalanche hash (Murmur3-finalizer variant). *)
+val mix32 : int -> int
+
+(** Deterministic per-event hash of (seed, disk, phys, access count). *)
+val draw : seed:int -> disk:int -> phys:int -> n:int -> int
+
+(** Map a hash to [0, 1). *)
+val uniform : int -> float

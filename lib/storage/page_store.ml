@@ -10,12 +10,27 @@
    at the end of the physical space — exactly the layout drift the paper
    relies on for its range-scan experiments.
 
+   Every page carries an out-of-band header — a CRC-32 of the page bytes
+   plus the LSN of the newest change the stamped bytes reflect.  It models
+   the per-sector header a checksumming disk (or a DIF-capable controller)
+   would hold: it is (re)stamped whenever the page is written to disk and
+   verified whenever the page is read back, so media corruption between a
+   write and the next read is detected rather than silently served.  It is
+   held out of band so in-page layouts need no reserved bytes.
+
    Page ID 0 is reserved as nil. *)
+
+type header = { mutable crc : int; mutable lsn : int }
+
+type verdict =
+  | Ok
+  | Bad_crc of { stored : int; actual : int; lsn : int }
 
 type t = {
   page_size : int;
   n_disks : int;
   pages : Bytes.t Vec.t;  (* index = page id; slot 0 unused *)
+  headers : header Vec.t;  (* index = page id; out-of-band sector header *)
   location : (int * int) Vec.t;  (* page id -> (disk, phys) *)
   mutable free : int list;
   mutable allocated : int;  (* live pages *)
@@ -27,13 +42,35 @@ let nil = 0
 
 let create ~page_size ~n_disks =
   let pages = Vec.create ~dummy:Bytes.empty in
+  let headers = Vec.create ~dummy:{ crc = 0; lsn = 0 } in
   let location = Vec.create ~dummy:(-1, -1) in
   Vec.push pages Bytes.empty;
+  Vec.push headers { crc = 0; lsn = 0 };
   Vec.push location (-1, -1);
-  { page_size; n_disks; pages; location; free = []; allocated = 0;
+  { page_size; n_disks; pages; headers; location; free = []; allocated = 0;
     next_phys = Array.make n_disks 0; on_free = [] }
 
 let page_size t = t.page_size
+
+(* Stamp the header with a checksum of the page's current bytes: called
+   on allocation (a zeroed page is born consistent) and on every write to
+   disk, exactly when real sector headers are written. *)
+let stamp ?(lsn = 0) t id =
+  if id = nil then invalid_arg "Page_store.stamp: nil";
+  let h = Vec.get t.headers id in
+  h.crc <- Checksum.bytes (Vec.get t.pages id);
+  h.lsn <- lsn
+
+(* Recompute the checksum of the current bytes and compare with the
+   stamped header: the read-path (and scrubber) corruption detector. *)
+let verify t id =
+  if id = nil then invalid_arg "Page_store.verify: nil";
+  let h = Vec.get t.headers id in
+  let actual = Checksum.bytes (Vec.get t.pages id) in
+  if actual = h.crc then Ok
+  else Bad_crc { stored = h.crc; actual; lsn = h.lsn }
+
+let header_lsn t id = (Vec.get t.headers id).lsn
 
 let alloc t =
   t.allocated <- t.allocated + 1;
@@ -41,6 +78,7 @@ let alloc t =
   | id :: rest ->
       t.free <- rest;
       Bytes.fill (Vec.get t.pages id) 0 t.page_size '\000';
+      stamp t id;
       id
   | [] ->
       let id = Vec.length t.pages in
@@ -48,7 +86,9 @@ let alloc t =
       let phys = t.next_phys.(disk) in
       t.next_phys.(disk) <- phys + 1;
       Vec.push t.pages (Bytes.create t.page_size |> fun b -> Bytes.fill b 0 t.page_size '\000'; b);
+      Vec.push t.headers { crc = 0; lsn = 0 };
       Vec.push t.location (disk, phys);
+      stamp t id;
       id
 
 (* Freed-page observers: the buffer pool registers one to drop any stale
@@ -62,6 +102,35 @@ let free t id =
   t.allocated <- t.allocated - 1;
   t.free <- id :: t.free;
   List.iter (fun f -> f id) t.on_free
+
+let free_list t = t.free
+
+(* Force the allocator to an externally reconstructed state (crash
+   recovery restoring the committed allocation map).  Pages on the new
+   free list are zeroed and re-stamped like any freed-then-reused page;
+   observers run so the buffer pool drops stale frames. *)
+let set_free_list t ids =
+  List.iter
+    (fun id ->
+      if id <= 0 || id >= Vec.length t.pages then
+        invalid_arg "Page_store.set_free_list: unknown page")
+    ids;
+  t.free <- ids;
+  t.allocated <- Vec.length t.pages - 1 - List.length ids;
+  List.iter
+    (fun id ->
+      Bytes.fill (Vec.get t.pages id) 0 t.page_size '\000';
+      stamp t id;
+      List.iter (fun f -> f id) t.on_free)
+    ids
+
+(* Live (allocated) pages in id order: the scrubber's walk order. *)
+let iter_live t f =
+  let free = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace free id ()) t.free;
+  for id = 1 to Vec.length t.pages - 1 do
+    if not (Hashtbl.mem free id) then f id
+  done
 
 let bytes t id =
   if id = nil then invalid_arg "Page_store.bytes: nil";

@@ -4,17 +4,31 @@
     leaves are sequential per disk while later splits land at the end of
     the physical space — the layout drift the paper's range-scan
     experiments rely on.  Page contents live in host memory; the buffer
-    pool decides what counts as resident. *)
+    pool decides what counts as resident.
+
+    Every page carries an out-of-band header — a CRC-32 of the page
+    bytes plus the LSN the stamped bytes reflect — modelling the
+    per-sector header a checksumming disk would hold.  {!stamp} rewrites
+    it on every disk write; {!verify} recomputes and compares on every
+    disk read, so media corruption between a write and the next read is
+    detected rather than silently served. *)
 
 type t
 
 (** The reserved nil page ID (0). *)
 val nil : int
 
+(** Result of a {!verify}: [Bad_crc] carries the stamped header checksum,
+    the checksum of the bytes actually present, and the stamped LSN. *)
+type verdict =
+  | Ok
+  | Bad_crc of { stored : int; actual : int; lsn : int }
+
 val create : page_size:int -> n_disks:int -> t
 val page_size : t -> int
 
-(** Allocate a zeroed page (reuses freed IDs first). *)
+(** Allocate a zeroed page (reuses freed IDs first); its header is
+    stamped so a fresh page always verifies. *)
 val alloc : t -> int
 
 (** Return a page to the free list.  Registered {!add_on_free} observers
@@ -25,6 +39,30 @@ val free : t -> int -> unit
     uses this to invalidate stale resident/dirty state so a free + realloc
     cycle can never resurrect old frame contents. *)
 val add_on_free : t -> (int -> unit) -> unit
+
+(** Re-stamp the page's header from its current bytes, recording [lsn]
+    (default 0) as the newest change they reflect.  Called by whoever
+    writes the page to disk. *)
+val stamp : ?lsn:int -> t -> int -> unit
+
+(** Recompute the checksum of the page's current bytes against the
+    stamped header. *)
+val verify : t -> int -> verdict
+
+(** LSN recorded by the last {!stamp}. *)
+val header_lsn : t -> int -> int
+
+(** Current free list (most recently freed first). *)
+val free_list : t -> int list
+
+(** Force the allocator to an externally reconstructed state (crash
+    recovery restoring the committed allocation map).  Pages on the new
+    free list are zeroed and re-stamped; free observers run for each. *)
+val set_free_list : t -> int list -> unit
+
+(** Iterate over live (allocated, unfreed) page IDs in increasing order:
+    the scrubber's walk. *)
+val iter_live : t -> (int -> unit) -> unit
 
 (** Backing bytes of a page (shared, not copied). *)
 val bytes : t -> int -> Bytes.t

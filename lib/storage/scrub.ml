@@ -1,0 +1,67 @@
+(* Background media scrubber.
+
+   Walks every live (allocated) page in the store in ID order and checks
+   the ones that are not memory-resident through the buffer pool's full
+   media-read path ([Buffer_pool.check_media]): retry transient errors,
+   verify the checksum header, repair persistent damage from the WAL when
+   a repair hook is installed.  Resident pages are skipped — the
+   in-memory copy is authoritative and lays down a fresh checksum when
+   written back.
+
+   Production systems run this continuously at low priority precisely so
+   latent sector errors and bit rot are found while the redundancy needed
+   to repair them still exists; here a pass is synchronous and its disk
+   time is charged to the simulated clock like any other I/O.
+
+   A pass returns a pure report rather than bumping persistent counters:
+   the chaos harness runs many passes against one pool and wants
+   per-pass, not cumulative, numbers.  (The underlying [io.*]/[repair.*]
+   pool counters still advance as a side effect of the reads.) *)
+
+type report = {
+  scanned : int;  (* live pages visited *)
+  resident : int;  (* skipped: authoritative copy in memory *)
+  clean : int;  (* read back and verified *)
+  repaired : int;  (* damage found and repaired from the WAL *)
+  unrecoverable : (int * string) list;  (* page, diagnosis *)
+}
+
+let empty =
+  { scanned = 0; resident = 0; clean = 0; repaired = 0; unrecoverable = [] }
+
+let run pool =
+  let store = Buffer_pool.store pool in
+  let r = ref empty in
+  Page_store.iter_live store (fun page ->
+      let t = !r in
+      r :=
+        match Buffer_pool.check_media pool page with
+        | `Resident -> { t with scanned = t.scanned + 1; resident = t.resident + 1 }
+        | `Ok -> { t with scanned = t.scanned + 1; clean = t.clean + 1 }
+        | `Repaired ->
+            { t with scanned = t.scanned + 1; repaired = t.repaired + 1 }
+        | `Unrecoverable msg ->
+            {
+              t with
+              scanned = t.scanned + 1;
+              unrecoverable = (page, msg) :: t.unrecoverable;
+            });
+  { !r with unrecoverable = List.rev !r.unrecoverable }
+
+let kv r =
+  [
+    ("scrub.scanned", r.scanned);
+    ("scrub.resident", r.resident);
+    ("scrub.clean", r.clean);
+    ("scrub.repaired", r.repaired);
+    ("scrub.unrecoverable", List.length r.unrecoverable);
+  ]
+
+let merge a b =
+  {
+    scanned = a.scanned + b.scanned;
+    resident = a.resident + b.resident;
+    clean = a.clean + b.clean;
+    repaired = a.repaired + b.repaired;
+    unrecoverable = a.unrecoverable @ b.unrecoverable;
+  }

@@ -1,0 +1,26 @@
+(** Background media scrubber.
+
+    A pass walks every live page in ID order and checks the non-resident
+    ones through the buffer pool's media-read path
+    ({!Buffer_pool.check_media}): retries, checksum verification, and
+    WAL-based repair when a repair hook is installed.  Disk time is
+    charged to the simulated clock.  Reports are per-pass and pure; the
+    pool's [io.*]/[repair.*] counters advance as a side effect of the
+    reads. *)
+
+type report = {
+  scanned : int;  (** live pages visited *)
+  resident : int;  (** skipped: authoritative copy in memory *)
+  clean : int;  (** read back and verified *)
+  repaired : int;  (** damage found and repaired from the WAL *)
+  unrecoverable : (int * string) list;  (** page, diagnosis *)
+}
+
+val empty : report
+val run : Buffer_pool.t -> report
+
+(** Report as [(name, value)] pairs under the [scrub.*] namespace. *)
+val kv : report -> (string * int) list
+
+(** Pointwise sum (unrecoverable lists concatenated). *)
+val merge : report -> report -> report

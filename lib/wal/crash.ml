@@ -7,6 +7,8 @@ let kind_name = function
   | `Delta -> "delta"
   | `Commit -> "commit"
   | `Checkpoint -> "ckpt"
+  | `Alloc -> "alloc"
+  | `Free -> "free"
 
 (* Thin [l] to at most [n] elements, evenly, keeping first and last. *)
 let thin n l =

@@ -29,6 +29,8 @@ type record =
   | Delta of { lsn : int; page : int; off : int; bytes : Bytes.t }
   | Commit of { lsn : int; op : int; meta : int list }
   | Checkpoint of { lsn : int; op : int; meta : int list }
+  | Alloc of { lsn : int; page : int }
+  | Free of { lsn : int; page : int }
 
 (* -------------------------------------------------------------------- *)
 (* Record framing: [len | body | fnv1a32(body)], 32-bit little-endian.  *)
@@ -38,6 +40,8 @@ module Codec = struct
   let kind_delta = 2
   let kind_commit = 3
   let kind_checkpoint = 4
+  let kind_alloc = 5
+  let kind_free = 6
   let max_body = 1 lsl 24 (* sanity bound when parsing *)
 
   let fnv1a32 s off len =
@@ -77,7 +81,15 @@ module Codec = struct
         Buffer.add_uint8 body kind_checkpoint;
         add_i32 body lsn;
         add_i32 body op;
-        add_meta body meta);
+        add_meta body meta
+    | Alloc { lsn; page } ->
+        Buffer.add_uint8 body kind_alloc;
+        add_i32 body lsn;
+        add_i32 body page
+    | Free { lsn; page } ->
+        Buffer.add_uint8 body kind_free;
+        add_i32 body lsn;
+        add_i32 body page);
     let body = Buffer.contents body in
     let framed = Buffer.create (String.length body + 8) in
     add_i32 framed (String.length body);
@@ -135,6 +147,10 @@ module Codec = struct
               match meta_at (payload + 4) with
               | Some meta -> Some (Checkpoint { lsn; op; meta }, next)
               | None -> None)
+          | k when k = kind_alloc ->
+              Some (Alloc { lsn; page = get_i32 s payload }, next)
+          | k when k = kind_free ->
+              Some (Free { lsn; page = get_i32 s payload }, next)
           | _ -> None
 end
 
@@ -143,7 +159,7 @@ end
 type boundary = {
   end_off : int;
   size : int;
-  kind : [ `Image | `Delta | `Commit | `Checkpoint ];
+  kind : [ `Image | `Delta | `Commit | `Checkpoint | `Alloc | `Free ];
 }
 
 type recovery = {
@@ -152,6 +168,7 @@ type recovery = {
   scanned_records : int;
   redo_records : int;
   redo_pages : int;
+  free_pages : int;
   torn_tail_bytes : int;
   recovery_ns : int;
 }
@@ -162,6 +179,8 @@ type stats = {
   deltas : Counter.t;
   commits : Counter.t;
   checkpoints : Counter.t;
+  allocs : Counter.t;
+  frees : Counter.t;
   c_log_bytes : Counter.t;
   flushes : Counter.t;
   flush_wait_ns : Counter.t;
@@ -181,6 +200,8 @@ let make_stats () =
     deltas = Counter.make "wal.deltas";
     commits = Counter.make "wal.commits";
     checkpoints = Counter.make "wal.checkpoints";
+    allocs = Counter.make "wal.alloc_records";
+    frees = Counter.make "wal.free_records";
     c_log_bytes = Counter.make "wal.log_bytes";
     flushes = Counter.make "wal.flushes";
     flush_wait_ns = Counter.make "wal.flush_wait_ns";
@@ -195,7 +216,8 @@ let make_stats () =
 
 let stats_counters s =
   [
-    s.records; s.images; s.deltas; s.commits; s.checkpoints; s.c_log_bytes;
+    s.records; s.images; s.deltas; s.commits; s.checkpoints; s.allocs;
+    s.frees; s.c_log_bytes;
     s.flushes; s.flush_wait_ns; s.deferred_writebacks; s.crashes;
     s.torn_pages; s.recoveries; s.c_redo_records; s.c_redo_pages;
     s.c_recovery_ns;
@@ -223,6 +245,10 @@ type t = {
   mem_lsn : int Vec.t;  (* LSN of the page's newest log record *)
   disk_img : Bytes.t option Vec.t;  (* durable image, None = never written *)
   disk_lsn : int Vec.t;  (* LSN the durable image reflects *)
+  image_off : int Vec.t;  (* stream offset of the last full image, -1 = none *)
+  mutable alloc_snapshot : int * int list;
+      (* (total pages, free list) at the last durable checkpoint: the
+         base state Alloc/Free record replay advances during recovery *)
   logged_since_ckpt : (int, unit) Hashtbl.t;
   touched : (int, unit) Hashtbl.t;  (* dirtied by the in-flight operation *)
   mutable last_writeback : int;  (* page of the newest image update *)
@@ -238,7 +264,8 @@ let ensure t page =
     Vec.push t.shadow None;
     Vec.push t.mem_lsn 0;
     Vec.push t.disk_img None;
-    Vec.push t.disk_lsn 0
+    Vec.push t.disk_lsn 0;
+    Vec.push t.image_off (-1)
   done
 
 let fresh_lsn t =
@@ -251,6 +278,8 @@ let kind_of = function
   | Delta _ -> `Delta
   | Commit _ -> `Commit
   | Checkpoint _ -> `Checkpoint
+  | Alloc _ -> `Alloc
+  | Free _ -> `Free
 
 (* Seal a record into the log buffer. *)
 let append t r =
@@ -267,6 +296,8 @@ let append t r =
   | Delta _ -> Counter.incr t.stats.deltas
   | Commit _ -> Counter.incr t.stats.commits
   | Checkpoint _ -> Counter.incr t.stats.checkpoints
+  | Alloc _ -> Counter.incr t.stats.allocs
+  | Free _ -> Counter.incr t.stats.frees
 
 (* Make the sealed stream durable.  An armed crash boundary inside the
    flushed extent truncates the durable stream exactly there.  On
@@ -309,16 +340,31 @@ let on_page_dirty t page =
 
 (* A page id reincarnated by alloc starts a fresh logging history; its
    previous incarnation's durable image stays (it may still back the
-   rollback of an uncommitted free + realloc). *)
+   rollback of an uncommitted free + realloc).  The allocation itself is
+   logged so recovery can rebuild the committed allocation map — an Alloc
+   sealed without its commit record is truncated away with the rest of
+   the uncommitted tail. *)
 let on_page_alloc t page =
   if not t.crashed then begin
     ensure t page;
     Vec.set t.shadow page None;
+    Vec.set t.image_off page (-1);
     Hashtbl.remove t.logged_since_ckpt page;
-    Hashtbl.remove t.touched page
+    Hashtbl.remove t.touched page;
+    append t (Alloc { lsn = fresh_lsn t; page })
   end
 
-let on_page_free t page = if not t.crashed then Hashtbl.remove t.touched page
+let on_page_free t page =
+  if not t.crashed then begin
+    Hashtbl.remove t.touched page;
+    append t (Free { lsn = fresh_lsn t; page })
+  end
+
+(* LSN of the page's newest logged change; the pool stamps it into the
+   page's checksum header on write-back. *)
+let page_lsn t page =
+  ensure t page;
+  Vec.get t.mem_lsn page
 
 (* WAL-before-data: force the log before any page write-back. *)
 let before_page_write t _page = if not t.crashed then flush t
@@ -364,6 +410,7 @@ let log_page t page =
   (match (if first then None else Vec.get t.shadow page) with
   | None ->
       let lsn = fresh_lsn t in
+      Vec.set t.image_off page t.sealed_bytes;
       append t (Image { lsn; page; img = Bytes.copy cur });
       Vec.set t.shadow page (Some (Bytes.copy cur));
       Vec.set t.mem_lsn page lsn
@@ -404,14 +451,19 @@ let checkpoint t ~meta =
           (Some (Bytes.copy (Page_store.bytes t.store page)));
         Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
         let disk, phys = Page_store.location t.store page in
-        Disk_model.write t.data_disks ~disk ~phys
+        Disk_model.write t.data_disks ~disk ~phys;
+        Page_store.stamp ~lsn:(Vec.get t.mem_lsn page) t.store page
       end)
     t.logged_since_ckpt;
   let ckpt_start = t.sealed_bytes in
   append t (Checkpoint { lsn = fresh_lsn t; op = t.last_op; meta });
   flush t;
-  (* Only a durable checkpoint record moves the recovery start point. *)
+  (* Only a durable checkpoint record moves the recovery start point; the
+     allocator snapshot moves with it, to the state Alloc/Free replay
+     from this checkpoint must start at. *)
   t.ckpt_offset <- ckpt_start;
+  t.alloc_snapshot <-
+    (Page_store.total_pages t.store, Page_store.free_list t.store);
   Hashtbl.reset t.logged_since_ckpt
 
 (* ------------------------- crash injection -------------------------- *)
@@ -427,10 +479,10 @@ let crash_now t =
 
 let is_crashed t = t.crashed
 
-(* Parse the durable stream from the last durable checkpoint, stopping
-   at a torn record, then truncate at the last commit/checkpoint: later
-   image/delta records belong to an operation that never committed. *)
-let parse_durable t =
+(* Parse the durable stream from [from], stopping at a torn record, then
+   truncate at the last commit/checkpoint: later records belong to an
+   operation that never committed. *)
+let scan_committed t ~from =
   let s = Buffer.contents t.durable in
   let n = String.length s in
   let rec scan pos acc =
@@ -440,13 +492,87 @@ let parse_durable t =
       | None -> (List.rev acc, n - pos)
       | Some (r, next) -> scan next (r :: acc)
   in
-  let records, torn = scan t.ckpt_offset [] in
+  let records, torn = scan from [] in
   let keep = ref 0 in
   List.iteri
     (fun i r ->
       match r with Commit _ | Checkpoint _ -> keep := i + 1 | _ -> ())
     records;
   (List.filteri (fun i _ -> i < !keep) records, List.length records, torn)
+
+let parse_durable t = scan_committed t ~from:t.ckpt_offset
+
+(* ------------------------------ repair ------------------------------- *)
+
+(* Charge a sequential read of the durable stream from byte [from] to its
+   end against the log disk, waiting for completion. *)
+let charge_log_scan t ~from =
+  let stop = Buffer.length t.durable in
+  if stop > from then begin
+    let completion = ref (Clock.now t.clock) in
+    for phys = from / t.page_size to (stop - 1) / t.page_size do
+      completion := Disk_model.read t.log_disk ~disk:0 ~phys ()
+    done;
+    Clock.advance_to t.clock !completion
+  end
+
+(* Rebuild one page's committed bytes after media damage: replay the
+   page's last full image record and the deltas that follow it from the
+   committed durable stream (with [log_base_images], every bulkloaded
+   page has one); a page never logged falls back to its durable image
+   from the attach/checkpoint snapshot — the model's equivalent of the
+   last full-page backup.  The rebuilt bytes are written back to the
+   data disk (which remaps any latent sector) and freshly stamped.
+
+   Refuses pages carrying uncommitted changes: the bytes the caller lost
+   were never logged, and serving their committed ancestor silently
+   would corrupt the operation in flight. *)
+let repair_page t page =
+  if t.crashed then `Unrecoverable "machine crashed"
+  else if Hashtbl.mem t.touched page then
+    `Unrecoverable "page has uncommitted changes"
+  else begin
+    ensure t page;
+    (* Committed records may still sit in the group-commit buffer; a
+       repair source must be durable. *)
+    flush t;
+    let from = Vec.get t.image_off page in
+    let buf = ref None and lsn = ref 0 in
+    (match Vec.get t.disk_img page with
+    | Some img ->
+        buf := Some (Bytes.copy img);
+        lsn := Vec.get t.disk_lsn page
+    | None -> ());
+    if from >= 0 then begin
+      charge_log_scan t ~from;
+      let records, _, _ = scan_committed t ~from in
+      List.iter
+        (function
+          | Image { lsn = l; page = p; img } when p = page ->
+              buf := Some (Bytes.copy img);
+              lsn := l
+          | Delta { lsn = l; page = p; off; bytes } when p = page -> (
+              match !buf with
+              | Some b ->
+                  Bytes.blit bytes 0 b off (Bytes.length bytes);
+                  lsn := l
+              | None -> ())
+          | _ -> ())
+        records
+    end;
+    match !buf with
+    | None -> `Unrecoverable "no durable coverage"
+    | Some b ->
+        let dst = Page_store.bytes t.store page in
+        Bytes.blit b 0 dst 0 t.page_size;
+        Vec.set t.disk_img page (Some (Bytes.copy dst));
+        Vec.set t.disk_lsn page !lsn;
+        Vec.set t.mem_lsn page !lsn;
+        let disk, phys = Page_store.location t.store page in
+        Disk_model.write t.data_disks ~disk ~phys;
+        Page_store.stamp ~lsn:!lsn t.store page;
+        `Repaired
+  end
 
 let tear_last_writeback t =
   if not t.crashed then
@@ -532,7 +658,8 @@ let recover t =
           meta := m
       | Checkpoint { op; meta = m; _ } ->
           committed := op;
-          meta := m)
+          meta := m
+      | Alloc _ | Free _ -> ())
     records;
   (* Write redone pages back and refresh their durable images. *)
   Hashtbl.iter
@@ -544,9 +671,44 @@ let recover t =
     redone;
   Counter.add t.stats.c_redo_records !nredo;
   Counter.add t.stats.c_redo_pages (Hashtbl.length redone);
+  (* Restore the committed allocation map: the snapshot taken at the last
+     durable checkpoint, advanced by the committed Alloc/Free records.
+     Pages allocated by uncommitted operations (beyond the committed
+     high-water mark, or allocated without a following commit) return to
+     the free list zeroed, so a continued workload can reuse them. *)
+  let snap_total, snap_free = t.alloc_snapshot in
+  let free_set = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace free_set id ()) snap_free;
+  let committed_total = ref snap_total in
+  List.iter
+    (function
+      | Alloc { page; _ } ->
+          Hashtbl.remove free_set page;
+          if page > !committed_total then committed_total := page
+      | Free { page; _ } -> Hashtbl.replace free_set page ()
+      | _ -> ())
+    records;
+  let free_ids = ref [] in
+  for id = total downto 1 do
+    if id > !committed_total || Hashtbl.mem free_set id then
+      free_ids := id :: !free_ids
+  done;
+  Page_store.set_free_list t.store !free_ids;
+  List.iter
+    (fun id ->
+      Vec.set t.disk_img id (Some (Bytes.copy (Page_store.bytes t.store id)));
+      Vec.set t.disk_lsn id 0;
+      Vec.set t.mem_lsn id 0)
+    !free_ids;
+  (* Every page's bytes were rewritten without going through a pool
+     write-back: re-stamp all checksum headers so later reads verify. *)
+  for id = 1 to total do
+    Page_store.stamp ~lsn:(Vec.get t.mem_lsn id) t.store id
+  done;
   (* Restart logging from a clean slate + fresh checkpoint. *)
   for id = 1 to total do
-    Vec.set t.shadow id None
+    Vec.set t.shadow id None;
+    Vec.set t.image_off id (-1)
   done;
   Hashtbl.reset t.touched;
   Hashtbl.reset t.logged_since_ckpt;
@@ -560,6 +722,8 @@ let recover t =
   append t (Checkpoint { lsn = fresh_lsn t; op = !committed; meta = !meta });
   flush t;
   t.ckpt_offset <- ckpt_start;
+  t.alloc_snapshot <-
+    (Page_store.total_pages t.store, Page_store.free_list t.store);
   let dt = Clock.now t.clock - t0 in
   Counter.add t.stats.c_recovery_ns dt;
   {
@@ -568,13 +732,14 @@ let recover t =
     scanned_records = scanned;
     redo_records = !nredo;
     redo_pages = Hashtbl.length redone;
+    free_pages = List.length !free_ids;
     torn_tail_bytes = torn;
     recovery_ns = dt;
   }
 
 (* ----------------------------- lifecycle ---------------------------- *)
 
-let attach ?(group_commit_bytes = 0) ~meta pool =
+let attach ?(group_commit_bytes = 0) ?(log_base_images = false) ~meta pool =
   let sim = Buffer_pool.sim pool in
   let store = Buffer_pool.store pool in
   let page_size = Page_store.page_size store in
@@ -602,6 +767,8 @@ let attach ?(group_commit_bytes = 0) ~meta pool =
       mem_lsn = Vec.create ~dummy:0;
       disk_img = Vec.create ~dummy:None;
       disk_lsn = Vec.create ~dummy:0;
+      image_off = Vec.create ~dummy:(-1);
+      alloc_snapshot = (0, []);
       logged_since_ckpt = Hashtbl.create 256;
       touched = Hashtbl.create 64;
       last_writeback = Page_store.nil;
@@ -618,6 +785,7 @@ let attach ?(group_commit_bytes = 0) ~meta pool =
   for id = 1 to total do
     Vec.set t.disk_img id (Some (Bytes.copy (Page_store.bytes store id)))
   done;
+  t.alloc_snapshot <- (total, Page_store.free_list store);
   Buffer_pool.set_wal_hooks pool
     (Some
        {
@@ -626,12 +794,26 @@ let attach ?(group_commit_bytes = 0) ~meta pool =
          on_page_write = on_page_write t;
          on_page_alloc = on_page_alloc t;
          on_page_free = on_page_free t;
+         page_lsn = page_lsn t;
        });
+  Buffer_pool.set_repair pool (Some (repair_page t));
+  if log_base_images then
+    (* Give the log full-image coverage of the pages that predate it
+       (e.g. a bulkloaded tree), so media repair never depends on state
+       older than the log itself. *)
+    Page_store.iter_live store (fun id ->
+        Vec.set t.image_off id t.sealed_bytes;
+        let lsn = fresh_lsn t in
+        append t
+          (Image { lsn; page = id; img = Bytes.copy (Page_store.bytes store id) });
+        Vec.set t.mem_lsn id lsn);
   append t (Checkpoint { lsn = fresh_lsn t; op = 0; meta });
   flush t;
   t
 
-let detach t = Buffer_pool.set_wal_hooks t.pool None
+let detach t =
+  Buffer_pool.set_wal_hooks t.pool None;
+  Buffer_pool.set_repair t.pool None
 
 (* ---------------------------- inspection ---------------------------- *)
 

@@ -52,6 +52,11 @@ type record =
   | Checkpoint of { lsn : int; op : int; meta : int list }
       (** [op] is the last committed operation number, so a recovery
           that replays no commit records still reports it. *)
+  | Alloc of { lsn : int; page : int }
+      (** page allocation, sealed at event time; recovery replays
+          committed Alloc/Free records over the checkpoint's allocator
+          snapshot to restore the committed allocation map *)
+  | Free of { lsn : int; page : int }
 
 (** On-disk record framing: [length | body | FNV-1a-32 checksum], all
     little-endian 32-bit.  A record that fails length or checksum
@@ -73,7 +78,7 @@ type t
 type boundary = {
   end_off : int;
   size : int;
-  kind : [ `Image | `Delta | `Commit | `Checkpoint ];
+  kind : [ `Image | `Delta | `Commit | `Checkpoint | `Alloc | `Free ];
 }
 
 (** What a recovery pass established. *)
@@ -83,20 +88,41 @@ type recovery = {
   scanned_records : int;  (** records parsed from the last checkpoint *)
   redo_records : int;  (** image/delta records actually re-applied *)
   redo_pages : int;  (** distinct pages touched by redo *)
+  free_pages : int;  (** pages on the restored (committed) free list *)
   torn_tail_bytes : int;  (** unparseable bytes at the durable tail *)
   recovery_ns : int;  (** simulated time the pass took *)
 }
 
 (** [attach pool ~meta] flushes the pool, snapshots every existing page
-    as its durable image, installs the WAL hooks, and seals an initial
+    as its durable image (and the allocator state as the recovery base),
+    installs the WAL hooks and the media-repair hook
+    ({!Fpb_storage.Buffer_pool.set_repair}), and seals an initial
     checkpoint carrying [meta].  [group_commit_bytes = 0] (default)
     forces the log on every commit; [> 0] lets commits accumulate until
     that many buffered bytes before flushing (group commit — commits in
-    the buffer are lost by a crash). *)
-val attach : ?group_commit_bytes:int -> meta:int list -> Fpb_storage.Buffer_pool.t -> t
+    the buffer are lost by a crash).  [log_base_images] additionally
+    seals a full image record for every live page before the initial
+    checkpoint, so media repair of pre-existing (bulkloaded) pages can
+    replay from the log itself rather than the snapshot. *)
+val attach :
+  ?group_commit_bytes:int ->
+  ?log_base_images:bool ->
+  meta:int list ->
+  Fpb_storage.Buffer_pool.t ->
+  t
 
-(** Remove the hooks; the pool reverts to non-durable operation. *)
+(** Remove the hooks (including the repair hook); the pool reverts to
+    non-durable operation. *)
 val detach : t -> unit
+
+(** Rebuild one page's committed bytes after media damage: replay the
+    page's last full image record plus following deltas from the
+    committed durable stream, falling back to its durable image when it
+    was never logged.  The rebuilt bytes are written back to the data
+    disk (remapping any latent sector) and freshly stamped.  Refuses
+    pages with uncommitted changes and pages with no durable coverage.
+    Installed on the pool as its repair hook by {!attach}. *)
+val repair_page : t -> int -> [ `Repaired | `Unrecoverable of string ]
 
 (** Seal the current operation: log the pages dirtied since the last
     commit and a commit record numbered [op] carrying [meta]. *)

@@ -1,0 +1,252 @@
+(* Media-failure resilience: CRC-32 codec, page checksum headers,
+   retry/backoff accounting on the demand-read path, detection without a
+   repair source, and the scrub + WAL-repair property (random byte flips
+   in committed pages are healed and the key set survives) over all four
+   index structures. *)
+
+open Fpb_simmem
+open Fpb_storage
+open Fpb_btree_common
+module X = Fpb_experiments
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- CRC-32 codec --- *)
+
+let test_crc_vectors () =
+  (* The standard check value for the reflected CRC-32 polynomial. *)
+  check_int "123456789" 0xCBF43926 (Checksum.string "123456789");
+  check_int "empty" 0 (Checksum.string "");
+  check_bool "bytes = string" true
+    (Checksum.bytes (Bytes.of_string "fractal") = Checksum.string "fractal")
+
+let test_crc_incremental () =
+  let b = Bytes.init 300 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let whole = Checksum.bytes b in
+  (* Seeding [update] with a previous digest must equal one digest of the
+     concatenation, for every split point. *)
+  List.iter
+    (fun cut ->
+      let h = Checksum.update 0 b 0 cut in
+      let h = Checksum.update h b cut (Bytes.length b - cut) in
+      check_int (Printf.sprintf "split at %d" cut) whole h)
+    [ 0; 1; 17; 299; 300 ]
+
+let test_crc_sensitivity () =
+  let b = Bytes.make 64 'a' in
+  let h0 = Checksum.bytes b in
+  Bytes.set b 63 'b';
+  check_bool "single byte changes digest" true (Checksum.bytes b <> h0)
+
+(* --- page checksum headers --- *)
+
+let test_stamp_verify () =
+  let store = Page_store.create ~page_size:512 ~n_disks:2 in
+  let p = Page_store.alloc store in
+  check_bool "fresh page verifies" true (Page_store.verify store p = Page_store.Ok);
+  let b = Page_store.bytes store p in
+  Bytes.set b 100 '\x55';
+  (match Page_store.verify store p with
+  | Page_store.Bad_crc { stored; actual; _ } ->
+      check_bool "stored <> actual" true (stored <> actual)
+  | Page_store.Ok -> Alcotest.fail "corruption not detected");
+  Page_store.stamp ~lsn:42 store p;
+  check_bool "re-stamp heals" true (Page_store.verify store p = Page_store.Ok);
+  check_int "header lsn" 42 (Page_store.header_lsn store p)
+
+(* --- retry/backoff accounting --- *)
+
+let counter pool f = Fpb_obs.Counter.value (f (Buffer_pool.stats pool))
+
+(* The schedule is a pure function of (seed, disk, phys, access count), so
+   a test can pick a seed whose draws do exactly what it wants to
+   exercise: [want s] sees the location's first two scheduled draws. *)
+let find_seed store p want =
+  let disk, phys = Page_store.location store p in
+  let u s n = Fault.uniform (Fault.draw ~seed:s ~disk ~phys ~n) in
+  let rec go s =
+    if s > 10_000 then Alcotest.fail "no suitable fault seed"
+    else if want (u s 1) (u s 2) then s
+    else go (s + 1)
+  in
+  go 0
+
+(* A page whose reads transiently fail [fail_len] times must come back
+   after exactly [fail_len] retries, with the exponential backoff charged
+   to the simulated clock. *)
+let test_retry_recovers () =
+  let _, store, disks, pool = Util.make_system ~page_size:512 ~capacity:8 () in
+  let p = Page_store.alloc store in
+  Page_store.stamp store p;
+  (* First scheduled draw fails, second succeeds: with fail_len = 2 the
+     read goes fault, fault (the tail of the first event), then clean. *)
+  let seed = find_seed store p (fun u1 u2 -> u1 < 0.5 && u2 >= 0.5) in
+  Disk_model.set_faults disks
+    (Some
+       { Fault.none with Fault.seed; transient_read = 0.5; transient_fail_len = 2 });
+  let t0 = Clock.now (Buffer_pool.sim pool).Sim.clock in
+  ignore (Buffer_pool.get pool p);
+  Buffer_pool.unpin pool p;
+  check_int "retries" 2 (counter pool (fun s -> s.Buffer_pool.retry_read));
+  check_int "transient errors" 2
+    (counter pool (fun s -> s.Buffer_pool.err_transient));
+  let policy = Buffer_pool.retry_policy pool in
+  let backoff =
+    policy.Buffer_pool.backoff_ns
+    + (policy.Buffer_pool.backoff_ns * policy.Buffer_pool.backoff_mult)
+  in
+  check_int "backoff charged" backoff
+    (counter pool (fun s -> s.Buffer_pool.retry_wait_ns));
+  check_bool "clock advanced past backoff" true
+    (Clock.now (Buffer_pool.sim pool).Sim.clock - t0 >= backoff)
+
+(* More consecutive failures than the policy allows must surface as a
+   typed, counted Io_error. *)
+let test_retry_exhausted () =
+  let _, store, disks, pool = Util.make_system ~page_size:512 ~capacity:8 () in
+  let p = Page_store.alloc store in
+  Page_store.stamp store p;
+  Buffer_pool.set_retry_policy pool
+    { Buffer_pool.max_retries = 1; backoff_ns = 1000; backoff_mult = 2 };
+  (* One scheduled failure eating 5 attempts outlasts a 1-retry budget. *)
+  let seed = find_seed store p (fun u1 _ -> u1 < 0.5) in
+  Disk_model.set_faults disks
+    (Some
+       { Fault.none with Fault.seed; transient_read = 0.5; transient_fail_len = 5 });
+  (match Buffer_pool.get pool p with
+  | _ -> Alcotest.fail "expected Io_error"
+  | exception Buffer_pool.Io_error { page; attempts; cause; repair } ->
+      check_int "page" p page;
+      check_int "attempts" 2 attempts;
+      check_bool "cause" true (cause = `Transient);
+      check_bool "no repair tried" true (repair = `Not_attempted));
+  check_int "unrecoverable counted" 1
+    (counter pool (fun s -> s.Buffer_pool.err_unrecoverable));
+  (* The fault history survives; once the schedule clears, the page is
+     readable again. *)
+  Disk_model.set_faults disks None;
+  ignore (Buffer_pool.get pool p);
+  Buffer_pool.unpin pool p
+
+(* Without a repair hook, corruption must be detected — reads raise, the
+   scrubber reports, nothing is silently served. *)
+let test_detect_without_repair () =
+  let _, store, _, pool = Util.make_system ~page_size:512 ~capacity:8 () in
+  let p = Page_store.alloc store in
+  Page_store.stamp store p;
+  let b = Page_store.bytes store p in
+  Bytes.set b 17 '\xff';
+  (match Buffer_pool.check_media pool p with
+  | `Unrecoverable _ -> ()
+  | _ -> Alcotest.fail "scrub should report unrecoverable damage");
+  (match Buffer_pool.get pool p with
+  | _ -> Alcotest.fail "expected Io_error"
+  | exception Buffer_pool.Io_error { cause; _ } ->
+      check_bool "checksum cause" true (cause = `Checksum));
+  check_int "checksum errors counted" 2
+    (counter pool (fun s -> s.Buffer_pool.err_checksum))
+
+(* A hint against a fully-pinned pool is dropped and counted, not
+   silently swallowed. *)
+let test_prefetch_dropped () =
+  let _, store, _, pool = Util.make_system ~page_size:512 ~capacity:2 () in
+  let p1 = Page_store.alloc store in
+  let p2 = Page_store.alloc store in
+  let p3 = Page_store.alloc store in
+  List.iter (fun p -> Page_store.stamp store p) [ p1; p2; p3 ];
+  ignore (Buffer_pool.get pool p1);
+  ignore (Buffer_pool.get pool p2);
+  Buffer_pool.prefetch pool p3;
+  check_int "dropped" 1
+    (counter pool (fun s -> s.Buffer_pool.prefetch_dropped));
+  Buffer_pool.unpin pool p1;
+  Buffer_pool.unpin pool p2
+
+(* --- scrub + WAL repair property, all four index structures --- *)
+
+(* Build a committed index under a WAL with full-image coverage, flip
+   random bytes in random non-resident pages, and require: the scrubber
+   repairs every damaged page, structural invariants hold, and the key
+   set still equals the model.  Golden-run equality comes free: the
+   model is the run with zero flips. *)
+let scrub_repair_roundtrip kind seed =
+  let sys = X.Setup.make ~n_disks:2 ~pool_pages:32 ~page_size:4096 () in
+  let rng = Fpb_workload.Prng.create 11 in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng 1_500 in
+  let idx = X.Run.build sys kind pairs ~fill:0.8 in
+  let wal =
+    Fpb_wal.Wal.attach ~log_base_images:true ~meta:(Index_sig.meta idx)
+      sys.X.Setup.pool
+  in
+  (* A few committed updates so some pages carry post-image deltas. *)
+  let m = Hashtbl.create 1024 in
+  Array.iter (fun (k, v) -> Hashtbl.replace m k v) pairs;
+  for i = 1 to 20 do
+    let k, _ = pairs.(Fpb_workload.Prng.int rng (Array.length pairs)) in
+    ignore (Index_sig.insert idx k (i * 7));
+    Hashtbl.replace m k (i * 7);
+    Fpb_wal.Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+  done;
+  Buffer_pool.clear sys.X.Setup.pool;
+  (* Flip bytes in a few live, non-resident pages. *)
+  let live = ref [] in
+  Page_store.iter_live sys.X.Setup.store (fun p -> live := p :: !live);
+  let live = Array.of_list !live in
+  let prng = Fpb_workload.Prng.create seed in
+  let damaged = Hashtbl.create 8 in
+  for _ = 1 to 1 + Fpb_workload.Prng.int prng 5 do
+    let p = live.(Fpb_workload.Prng.int prng (Array.length live)) in
+    if not (Buffer_pool.is_resident sys.X.Setup.pool p) then begin
+      let b = Page_store.bytes sys.X.Setup.store p in
+      let off = Fpb_workload.Prng.int prng (Bytes.length b) in
+      let mask = 1 + Fpb_workload.Prng.int prng 254 in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor mask));
+      Hashtbl.replace damaged p ()
+    end
+  done;
+  let report = Scrub.run sys.X.Setup.pool in
+  if report.Scrub.unrecoverable <> [] then
+    Alcotest.failf "scrub could not repair: %s"
+      (String.concat ", "
+         (List.map
+            (fun (p, m) -> Printf.sprintf "page %d (%s)" p m)
+            report.Scrub.unrecoverable));
+  if report.Scrub.repaired < Hashtbl.length damaged then
+    Alcotest.failf "flipped %d pages but scrub repaired only %d"
+      (Hashtbl.length damaged) report.Scrub.repaired;
+  (match Index_sig.check_invariants idx with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "invariants after repair: %s" msg);
+  let got = ref [] in
+  Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
+  let want = Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] in
+  if List.sort compare !got <> List.sort compare want then
+    Alcotest.fail "key set differs from golden model after repair";
+  Fpb_wal.Wal.detach wal;
+  true
+
+let scrub_qtest kind name =
+  Util.qtest ~count:8 ("scrub repairs byte flips: " ^ name)
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (scrub_repair_roundtrip kind)
+
+let suite =
+  [
+    Alcotest.test_case "crc32 known vectors" `Quick test_crc_vectors;
+    Alcotest.test_case "crc32 incremental update" `Quick test_crc_incremental;
+    Alcotest.test_case "crc32 bit sensitivity" `Quick test_crc_sensitivity;
+    Alcotest.test_case "page stamp/verify/heal" `Quick test_stamp_verify;
+    Alcotest.test_case "transient reads retried with backoff" `Quick
+      test_retry_recovers;
+    Alcotest.test_case "retry budget exhausted raises Io_error" `Quick
+      test_retry_exhausted;
+    Alcotest.test_case "corruption detected without repair hook" `Quick
+      test_detect_without_repair;
+    Alcotest.test_case "prefetch against pinned pool is counted" `Quick
+      test_prefetch_dropped;
+    scrub_qtest X.Setup.Disk_opt "disk-optimized B+tree";
+    scrub_qtest X.Setup.Micro "micro-indexing";
+    scrub_qtest X.Setup.Disk_first "disk-first fpB+tree";
+    scrub_qtest X.Setup.Cache_first "cache-first fpB+tree";
+  ]
