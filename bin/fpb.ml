@@ -5,7 +5,8 @@
    fpb exp ID [--full]                                  run one experiment
    fpb check [--keys N] [--page N]                      build + verify all indexes
    fpb crashtest [--tiny] [--seed N]                    WAL fault-injection sweep
-   fpb chaos [--tiny] [--seed N]                        media-fault chaos harness
+   fpb chaos [--tiny] [--seed N] [--log-mirrors K]
+             [--log-rate R] [--scrub-bw N]              media-fault chaos harness
    fpb demo                                             quickstart walk-through *)
 
 open Cmdliner
@@ -131,10 +132,32 @@ let chaos_cmd =
   let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test-sized scenario") in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Large scenario") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload and fault-schedule seed") in
-  let run tiny full seed =
+  let log_mirrors =
+    Arg.(
+      value & opt int 2
+      & info [ "log-mirrors" ]
+          ~doc:"Mirrored log disks in the log-fault leg (clamped to >= 2)")
+  in
+  let log_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "log-rate" ]
+          ~doc:"Fault rate armed on log mirror 0 (default: the top data rate)")
+  in
+  let scrub_bw =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scrub-bw" ]
+          ~doc:"Scrub bandwidth in pages per tick; 0 pauses the scrubber")
+  in
+  let run tiny full seed log_mirrors log_rate scrub_bw =
     let open Fpb_experiments in
     let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
-    let cells, table = Chaos.run_all ~seed scale in
+    let cells, table =
+      Chaos.run_all ~seed ~log_mirrors ?log_rate ?scrub_bw scale
+    in
     Table.print Format.std_formatter table;
     let failures =
       List.concat_map
@@ -162,8 +185,9 @@ let chaos_cmd =
          "Media-fault chaos harness: run search/update workloads against \
           disks injecting transient errors, latent sectors and silent \
           corruption; verify checksums detect all damage, the WAL repairs \
-          covered pages, and scrub finds nothing unrecoverable")
-    Term.(ret (const run $ tiny $ full $ seed))
+          covered pages (including from a mirrored log under log-disk \
+          faults), and scrub finds nothing unrecoverable")
+    Term.(ret (const run $ tiny $ full $ seed $ log_mirrors $ log_rate $ scrub_bw))
 
 let demo_cmd =
   let run () =

@@ -8,15 +8,22 @@
    access count), so every cell is reproducible and a zero-fault "golden"
    run of the same workload is a sound oracle.
 
-   Two legs per index structure:
+   Scrubbing is paced, not stop-the-world: a {!Fpb_storage.Scrub.sched}
+   ticks after every operation at a configurable bandwidth (pages per
+   tick), so scrub I/O competes with foreground reads on the simulated
+   disks and its latency cost shows up in the cell's elapsed time.  A
+   final synchronous pass heals whatever the paced laps had not reached
+   yet before the end-state oracle runs.
+
+   Legs per index structure:
 
    - WAL-attached (with [log_base_images], so every page has full log
      coverage): checksum failures and latent sectors must be repaired
      transparently from the log.  The oracle demands zero operations see
      an {!Fpb_storage.Buffer_pool.Io_error}, the final key set equal the
-     golden model, structural invariants hold, and periodic scrub passes
-     find nothing unrecoverable.  The extra simulated time over the
-     golden run is the price of retries, repairs and scrubbing.
+     golden model, structural invariants hold, and scrub finds nothing
+     unrecoverable.  The extra simulated time over the golden run is the
+     price of retries, repairs and scrubbing.
 
    - Uncovered (no WAL): detection without repair.  The workload is
      search-only so a failed operation cannot half-apply.  Injected
@@ -24,7 +31,21 @@
      until something rewrites it), so with no repair source the damaged
      pages stay damaged; the oracle is that every operation either raises
      a typed [Io_error] or returns exactly the model's answer — damage is
-     detected, never silently served. *)
+     detected, never silently served.
+
+   - Log-fault (K>=2 mirrors): data faults as above, plus a fault
+     schedule armed on log mirror 0 via {!Fpb_wal.Wal.set_log_faults}.
+     Every repair scan and the final crash-recovery must fall back to
+     the clean mirror; the leg power-cuts at the end, recovers, and the
+     oracle additionally demands every committed operation survived
+     ([damaged_records = 0], [committed_ops] = ops run).
+
+   - Detection (K=1): a single log disk with an interior span of the
+     committed stream deterministically zeroed
+     ({!Fpb_wal.Wal.inject_mirror_damage}).  There is no second copy, so
+     recovery cannot restore the lost records — the oracle is that it
+     reports them ([damaged_records > 0]) instead of silently serving a
+     truncated history. *)
 
 open Fpb_simmem
 open Fpb_btree_common
@@ -33,11 +54,11 @@ open Fpb_wal
 
 type op = Search of int | Ins of int * int | Del of int
 
-(* bulk entries, operations, scrub interval, escalating fault rates *)
+(* bulk entries, operations, scrub bandwidth (pages/tick), fault rates *)
 let params = function
-  | Scale.Tiny -> (50_000, 400, 100, [ 0.01; 0.05 ])
-  | Scale.Quick -> (120_000, 1_200, 300, [ 0.005; 0.02; 0.05 ])
-  | Scale.Full -> (400_000, 3_000, 500, [ 0.001; 0.01; 0.05; 0.1 ])
+  | Scale.Tiny -> (50_000, 400, 2, [ 0.01; 0.05 ])
+  | Scale.Quick -> (120_000, 1_200, 2, [ 0.005; 0.02; 0.05 ])
+  | Scale.Full -> (400_000, 3_000, 4, [ 0.001; 0.01; 0.05; 0.1 ])
 
 (* Small pages and a pool far smaller than the tree, so the workload
    constantly re-reads pages from the faulty disks instead of running
@@ -60,9 +81,15 @@ let key_set idx =
   Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
   List.sort compare !got
 
+(* What happens to the log at the end of the workload. *)
+type log_leg =
+  [ `None  (* detach quietly *)
+  | `Survive  (* K>=2, mirror 0 faulty: crash, recover, demand no loss *)
+  | `Detect (* K=1, interior span zeroed: crash, recover, demand report *) ]
+
 type cell = {
   kind : Setup.kind;
-  label : string;  (* "golden", "r=0.0100", "no-wal r=0.0100" *)
+  label : string;  (* "golden", "r=0.0100", "no-wal r=0.0100", "log K=2 ..." *)
   covered : bool;  (* WAL attached with full page coverage *)
   rate : float;
   ops_run : int;
@@ -72,18 +99,26 @@ type cell = {
   repaired : int;  (* repair.repaired *)
   retries : int;  (* io.retry.read *)
   retry_wait_ns : int;
+  log_mirrors : int;  (* 0 when no WAL is attached *)
+  mirror_fallbacks : int;  (* wal.mirror.fallbacks *)
+  mirror_heals : int;  (* wal.mirror.repairs *)
+  damaged_records : int;  (* from the end-of-leg recovery, if any *)
   scrub : Scrub.report;
-  elapsed_ns : int;  (* simulated time of the workload + scrub passes *)
+  elapsed_ns : int;  (* workload + paced scrub ticks (final heal pass excluded) *)
   failures : string list;  (* oracle violations; must be empty *)
 }
 
-(* One cell: build, arm, run, scrub, disarm, verify. *)
-let run_cell kind pairs ops ~scrub_every ~rate ~covered ~seed =
+(* One cell: build, arm, run (ticking the scrubber), heal, crash/recover
+   if the leg says so, disarm, verify. *)
+let run_cell kind pairs ops ~scrub_bw ~rate ~covered ~seed ~log_mirrors
+    ~log_rate ~(log_leg : log_leg) =
   let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
   let idx = Run.build sys kind pairs ~fill:0.8 in
   let wal =
     if covered then
-      Some (Wal.attach ~log_base_images:true ~meta:(Index_sig.meta idx) sys.Setup.pool)
+      Some
+        (Wal.attach ~log_base_images:true ~log_mirrors
+           ~meta:(Index_sig.meta idx) sys.Setup.pool)
     else begin
       (* No log: write everything back so each page is durably stamped,
          making later damage detectable by checksum. *)
@@ -95,10 +130,18 @@ let run_cell kind pairs ops ~scrub_every ~rate ~covered ~seed =
   Buffer_pool.reset_stats sys.Setup.pool;
   let profile = if rate > 0.0 then Some (Fault.scaled ~seed rate) else None in
   Disk_model.set_faults sys.Setup.disks profile;
+  (* The log is not exempt: the `Survive leg arms the same kind of
+     schedule on mirror 0 only, so mirror 1 stays a sound fallback (a
+     simultaneous double fault is beyond any K=2 scheme's contract). *)
+  (match (wal, log_leg) with
+  | Some w, `Survive ->
+      Wal.set_log_faults w ~mirror:0
+        (Some (Fault.scaled ~seed:(seed + 7919) log_rate))
+  | _ -> ());
   let st = Buffer_pool.stats sys.Setup.pool in
   let c field = Fpb_obs.Counter.value field in
   let detected = ref 0 in
-  let scrub = ref Scrub.empty in
+  let sched = Scrub.scheduler ~pages_per_tick:scrub_bw sys.Setup.pool in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   (* Running model: what every search must answer.  A successful read
@@ -126,33 +169,74 @@ let run_cell kind pairs ops ~scrub_every ~rate ~covered ~seed =
          | Some w -> Wal.commit w ~op:opn ~meta:(Index_sig.meta idx)
          | None -> ()
        with Buffer_pool.Io_error _ -> incr detected);
-      if scrub_every > 0 && opn mod scrub_every = 0 then
-        scrub := Scrub.merge !scrub (Scrub.run sys.Setup.pool))
+      ignore (Scrub.tick sched : Scrub.report))
     ops;
-  scrub := Scrub.merge !scrub (Scrub.run sys.Setup.pool);
   let elapsed_ns = Clock.now sys.Setup.sim.Sim.clock - t0 in
+  (* Final synchronous pass: heal anything the paced laps had not
+     reached before the end-state oracle reads. *)
+  let scrub = ref (Scrub.merge (Scrub.total sched) (Scrub.run sys.Setup.pool)) in
+  (* End-of-leg log exercise: power-cut and recover through the (faulty
+     or damaged) log before the oracle looks at the recovered state. *)
+  let n_ops = List.length ops in
+  let recovery = ref None in
+  (match (wal, log_leg) with
+  | Some w, `Survive ->
+      Wal.crash_now w;
+      let r = Wal.recover w in
+      recovery := Some r;
+      Index_sig.restore_meta idx r.Wal.meta;
+      if r.Wal.damaged_records > 0 then
+        fail "mirrored log lost %d records despite a clean mirror"
+          r.Wal.damaged_records;
+      if r.Wal.committed_ops <> n_ops then
+        fail "recovery found %d committed ops, expected %d" r.Wal.committed_ops
+          n_ops
+  | Some w, `Detect ->
+      (* Zero an interior span near the committed tail: well past the
+         initial checkpoint, with readable records beyond it, so the
+         scan must classify it as damage rather than a torn tail. *)
+      let off = max 0 (Wal.durable_bytes w - 256) in
+      Wal.inject_mirror_damage w ~mirror:0 (Wal.Zero_span { off; len = 64 });
+      Wal.crash_now w;
+      let r = Wal.recover w in
+      recovery := Some r;
+      Index_sig.restore_meta idx r.Wal.meta;
+      if r.Wal.damaged_records = 0 then
+        fail "single-mirror log damage was silently absorbed (no loss report)";
+      (* The surviving prefix must still be a structurally sound index. *)
+      (try Index_sig.check idx
+       with e -> fail "recovered prefix fails check: %s" (Printexc.to_string e))
+  | _ -> ());
   (* Disarm (clears latent sectors and stops fresh draws) before the
      final oracle reads. *)
   Disk_model.set_faults sys.Setup.disks None;
+  (match wal with Some w -> Wal.set_log_faults w None | None -> ());
   if !wrong > 0 then
     fail "%d operations silently returned wrong answers" !wrong;
   if covered then begin
     (* Full coverage: every fault must have been absorbed by retry or
        repair (the final scrub pass above heals any lingering media
-       damage), so nothing may have surfaced and the final state must
+       damage), so nothing may have surfaced — and unless the leg
+       deliberately lost log records (`Detect), the final state must
        match the model exactly. *)
     if !detected > 0 then
       fail "%d operations saw Io_error despite full WAL coverage" !detected;
     if (!scrub).Scrub.unrecoverable <> [] then
-      fail "scrub reported %d unrecoverable pages despite full WAL coverage"
-        (List.length (!scrub).Scrub.unrecoverable);
-    (match Index_sig.check_invariants idx with
-    | Ok _ -> ()
-    | Error m -> fail "invariant check: %s" m);
-    let want =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] |> List.sort compare
-    in
-    if key_set idx <> want then fail "key set differs from model"
+      fail "scrub reported %d unrecoverable pages despite full WAL coverage (%s)"
+        (List.length (!scrub).Scrub.unrecoverable)
+        (String.concat "; "
+           (List.map
+              (fun (p, m) -> Printf.sprintf "page %d: %s" p m)
+              (!scrub).Scrub.unrecoverable));
+    if log_leg <> `Detect then begin
+      (match Index_sig.check_invariants idx with
+      | Ok _ -> ()
+      | Error m -> fail "invariant check: %s" m);
+      let want =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] |> List.sort compare
+      in
+      if key_set idx <> want then fail "key set differs from model"
+    end
   end
   else if rate > 0.0 && !detected = 0 && c st.Buffer_pool.err_checksum = 0
           && c st.Buffer_pool.err_latent = 0 then
@@ -160,10 +244,20 @@ let run_cell kind pairs ops ~scrub_every ~rate ~covered ~seed =
        so no end-state check — but the leg is vacuous unless the checksum
        layer actually caught something. *)
     fail "uncovered leg detected no faults (rate too low to exercise it)";
-  (match wal with Some w -> Wal.detach w | None -> ());
+  let wkv = match wal with Some w -> Wal.kv w | None -> [] in
+  let wc name = match List.assoc_opt name wkv with Some v -> v | None -> 0 in
+  (match wal with
+  | Some w ->
+      Telemetry.add_kv wkv;
+      Wal.detach w
+  | None -> ());
   let label =
-    if rate = 0.0 then "golden"
-    else Printf.sprintf "%sr=%.4f" (if covered then "" else "no-wal ") rate
+    match log_leg with
+    | `Survive -> Printf.sprintf "log K=%d r=%.4f" log_mirrors log_rate
+    | `Detect -> "log K=1 damage"
+    | `None ->
+        if rate = 0.0 then "golden"
+        else Printf.sprintf "%sr=%.4f" (if covered then "" else "no-wal ") rate
   in
   Telemetry.add_kv (Buffer_pool.kv sys.Setup.pool);
   Telemetry.add_kv (Disk_model.kv sys.Setup.disks);
@@ -173,38 +267,53 @@ let run_cell kind pairs ops ~scrub_every ~rate ~covered ~seed =
     label;
     covered;
     rate;
-    ops_run = List.length ops;
+    ops_run = n_ops;
     detected = !detected;
     checksum_fails = c st.Buffer_pool.err_checksum;
     latent_fails = c st.Buffer_pool.err_latent;
     repaired = c st.Buffer_pool.repair_repaired;
     retries = c st.Buffer_pool.retry_read;
     retry_wait_ns = c st.Buffer_pool.retry_wait_ns;
+    log_mirrors = (match wal with Some _ -> log_mirrors | None -> 0);
+    mirror_fallbacks = wc "wal.mirror.fallbacks";
+    mirror_heals = wc "wal.mirror.repairs";
+    damaged_records =
+      (match !recovery with Some r -> r.Wal.damaged_records | None -> 0);
     scrub = !scrub;
     elapsed_ns;
     failures = List.rev !failures;
   }
 
-let run_kind ?(seed = 42) scale kind =
-  let n_bulk, n_ops, scrub_every, rates = params scale in
+let run_kind ?(seed = 42) ?(log_mirrors = 2) ?log_rate ?scrub_bw scale kind =
+  let n_bulk, n_ops, default_bw, rates = params scale in
+  let scrub_bw = match scrub_bw with Some b -> b | None -> default_bw in
   let rng = Fpb_workload.Prng.create seed in
   let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
   let ops = gen_ops rng pairs n_ops in
   let searches = List.filter (function Search _ -> true | _ -> false) ops in
-  let golden =
-    run_cell kind pairs ops ~scrub_every ~rate:0.0 ~covered:true ~seed
+  let plain rate covered ops =
+    run_cell kind pairs ops ~scrub_bw ~rate ~covered ~seed ~log_mirrors:1
+      ~log_rate:0.0 ~log_leg:`None
   in
-  let covered =
-    List.map
-      (fun rate -> run_cell kind pairs ops ~scrub_every ~rate ~covered:true ~seed)
-      rates
-  in
+  let golden = plain 0.0 true ops in
+  let covered = List.map (fun rate -> plain rate true ops) rates in
   (* Uncovered leg at the highest rate: detection is the whole defence. *)
   let top_rate = List.fold_left max 0.0 rates in
-  let uncovered =
-    run_cell kind pairs searches ~scrub_every ~rate:top_rate ~covered:false ~seed
+  let uncovered = plain top_rate false searches in
+  let log_rate = match log_rate with Some r -> r | None -> top_rate in
+  (* Log-fault leg: data faults at the top rate AND a faulty log mirror;
+     K is clamped to >= 2 so the clean-mirror contract holds. *)
+  let log_survive =
+    run_cell kind pairs ops ~scrub_bw ~rate:top_rate ~covered:true ~seed
+      ~log_mirrors:(max 2 log_mirrors) ~log_rate ~log_leg:`Survive
   in
-  (golden, covered @ [ uncovered ])
+  (* Single-mirror detection leg: no fault schedule, one deterministic
+     hole — recovery must report the loss, never paper over it. *)
+  let log_detect =
+    run_cell kind pairs ops ~scrub_bw ~rate:0.0 ~covered:true ~seed
+      ~log_mirrors:1 ~log_rate:0.0 ~log_leg:`Detect
+  in
+  (golden, covered @ [ uncovered; log_survive; log_detect ])
 
 let overhead_pct golden cell =
   if golden.elapsed_ns = 0 then 0.0
@@ -214,8 +323,12 @@ let overhead_pct golden cell =
     /. float_of_int golden.elapsed_ns
 
 (* Run every index structure; returns all cells and a summary table. *)
-let run_all ?seed scale =
-  let per_kind = List.map (fun k -> (k, run_kind ?seed scale k)) Setup.all_kinds in
+let run_all ?seed ?log_mirrors ?log_rate ?scrub_bw scale =
+  let per_kind =
+    List.map
+      (fun k -> (k, run_kind ?seed ?log_mirrors ?log_rate ?scrub_bw scale k))
+      Setup.all_kinds
+  in
   let cells =
     List.concat_map (fun (_, (golden, rest)) -> golden :: rest) per_kind
   in
@@ -234,10 +347,18 @@ let run_all ?seed scale =
               Table.cell_i c.retries;
               Table.cell_i c.scrub.Scrub.clean;
               Table.cell_i c.scrub.Scrub.repaired;
+              Table.cell_i c.scrub.Scrub.deferred;
               Table.cell_i (List.length c.scrub.Scrub.unrecoverable);
-              (* The uncovered leg runs a different (search-only) workload,
-                 so its time is not comparable to the golden run. *)
-              (if c.rate = 0.0 || not c.covered then "-"
+              (if c.log_mirrors = 0 then "-" else string_of_int c.log_mirrors);
+              Table.cell_i c.mirror_fallbacks;
+              Table.cell_i c.mirror_heals;
+              Table.cell_i c.damaged_records;
+              (* The uncovered leg runs a different (search-only) workload
+                 and the log legs end in a recovery, so only the plain
+                 covered legs are time-comparable to the golden run. *)
+              (if c.rate = 0.0 || not c.covered || c.damaged_records > 0
+                  || c.mirror_fallbacks > 0
+               then "-"
                else Table.cell_f (overhead_pct golden c));
               Table.cell_i (List.length c.failures);
             ])
@@ -248,20 +369,69 @@ let run_all ?seed scale =
     Table.make ~id:"chaos"
       ~title:
         "Media-fault chaos harness (oracle failures must be 0; covered legs \
-         repair, the no-wal leg detects)"
+         repair, the no-wal leg detects, log legs survive K=2 / report K=1)"
       ~header:
         [
           "index"; "leg"; "io_err"; "cksum"; "latent"; "repaired"; "retries";
-          "scrub_ok"; "scrub_fix"; "scrub_bad"; "overhead%"; "failures";
+          "scrub_ok"; "scrub_fix"; "defer"; "scrub_bad"; "K"; "m_fb"; "heal";
+          "dmg"; "overhead%"; "failures";
         ]
       rows
   in
   (cells, table)
 
+(* Scrub-bandwidth sweep: the same faulty foreground workload at
+   increasing scrub rates.  Foreground latency (ns/op over the workload
+   span, which the paced ticks share) rises with bandwidth; pages the
+   scrubber reaches per lap rise with it.  bw=0 is the no-scrub
+   baseline. *)
+let scrub_sweep ?(seed = 42) scale =
+  let n_bulk, n_ops, _, rates = params scale in
+  let rate = List.hd rates in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  let bws = [ 0; 2; 8; 32 ] in
+  let cells =
+    List.map
+      (fun bw ->
+        ( bw,
+          run_cell Setup.Disk_first pairs ops ~scrub_bw:bw ~rate ~covered:true
+            ~seed ~log_mirrors:1 ~log_rate:0.0 ~log_leg:`None ))
+      bws
+  in
+  let rows =
+    List.map
+      (fun (bw, c) ->
+        [
+          Table.cell_i bw;
+          Table.cell_i (c.elapsed_ns / max 1 c.ops_run);
+          Table.cell_i c.scrub.Scrub.scanned;
+          Table.cell_i c.scrub.Scrub.repaired;
+          Table.cell_i c.scrub.Scrub.deferred;
+          Table.cell_i (List.length c.failures);
+        ])
+      cells
+  in
+  let table =
+    Table.make ~id:"chaos-scrub-bw"
+      ~title:
+        (Printf.sprintf
+           "Scrub bandwidth vs. foreground latency (disk-first fpB+tree, \
+            r=%.4f, %d ops)"
+           rate n_ops)
+      ~header:[ "pages/tick"; "ns/op"; "scanned"; "scrub_fix"; "defer"; "failures" ]
+      rows
+  in
+  (List.map snd cells, table)
+
 (* Registry entry: the harness as an experiment, so `fpb exp faults`
    lands detection/repair counters in BENCH_results.json. *)
 let run scale =
   let cells, table = run_all scale in
-  let fails = List.fold_left (fun a c -> a + List.length c.failures) 0 cells in
+  let sweep_cells, sweep = scrub_sweep scale in
+  let fails =
+    List.fold_left (fun a c -> a + List.length c.failures) 0 (cells @ sweep_cells)
+  in
   if fails > 0 then Telemetry.add "chaos.oracle_failures" fails;
-  [ table ]
+  [ table; sweep ]

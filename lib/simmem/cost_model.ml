@@ -14,6 +14,7 @@ type t = {
   c_prefetch : int;  (* per software prefetch instruction *)
   move_bytes_per_cycle : int;  (* throughput of bulk copies *)
   c_op : int;  (* fixed per index operation (call overhead, key setup) *)
+  crc_bytes_per_cycle : int;  (* software CRC-32 throughput (0 = free) *)
 }
 
 let default =
@@ -25,4 +26,12 @@ let default =
     c_prefetch = 1;
     move_bytes_per_cycle = 8;
     c_op = 100;
+    crc_bytes_per_cycle = 4;
   }
+
+(* Cycles to checksum [bytes] bytes: table-driven CRC-32 at
+   [crc_bytes_per_cycle] B/cycle.  The detect/repair trade-off is only
+   honest if verification is not free in simulated time. *)
+let crc_cycles t ~bytes =
+  if t.crc_bytes_per_cycle <= 0 || bytes <= 0 then 0
+  else (bytes + t.crc_bytes_per_cycle - 1) / t.crc_bytes_per_cycle

@@ -9,6 +9,12 @@ type t = {
   c_prefetch : int;  (** per software prefetch instruction *)
   move_bytes_per_cycle : int;  (** throughput of bulk copies *)
   c_op : int;  (** fixed per index operation (call overhead, key setup) *)
+  crc_bytes_per_cycle : int;
+      (** software CRC-32 throughput in bytes per cycle; [0] makes
+          checksumming free in simulated time (the pre-PR-4 behaviour) *)
 }
 
 val default : t
+
+(** Cycles to checksum [bytes] bytes at [crc_bytes_per_cycle]. *)
+val crc_cycles : t -> bytes:int -> int

@@ -26,6 +26,10 @@ let busy_node t = charge_busy t t.cost.Cost_model.c_node
 let busy_bufcall t = charge_busy t t.cost.Cost_model.c_bufcall
 let busy_op t = charge_busy t t.cost.Cost_model.c_op
 
+(* CPU work of checksumming [bytes] bytes (CRC compute or verify): the
+   detect/repair machinery shows up in cache results, not just I/O. *)
+let busy_crc t ~bytes = charge_busy t (Cost_model.crc_cycles t.cost ~bytes)
+
 (* Clear caches and in-flight prefetches (used between experiments, like the
    paper's "all caches are cleared before the first search"). *)
 let flush_cache t = Cache.flush t.cache

@@ -20,6 +20,10 @@ val busy_node : t -> unit
 val busy_bufcall : t -> unit
 val busy_op : t -> unit
 
+(** Charge the CPU cost of checksumming [bytes] bytes
+    ({!Cost_model.crc_cycles}). *)
+val busy_crc : t -> bytes:int -> unit
+
 (** Clear caches and in-flight prefetches (the paper's "all caches are
     cleared before the first search"). *)
 val flush_cache : t -> unit

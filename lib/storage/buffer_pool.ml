@@ -145,7 +145,9 @@ type t = {
   mutable readahead : int;  (* sequential readahead depth (0 = off) *)
   mutable wal : wal_hooks option;
   mutable retry : retry_policy;
-  mutable repair : (int -> [ `Repaired | `Unrecoverable of string ]) option;
+  mutable repair :
+    (int -> bad_sectors:int list -> [ `Repaired | `Unrecoverable of string ])
+      option;
   stats : stats;
 }
 
@@ -246,6 +248,7 @@ let write_back t p =
   let disk, phys = Page_store.location t.store p in
   Disk_model.write t.disks ~disk ~phys;
   let lsn = match t.wal with Some h -> h.page_lsn p | None -> 0 in
+  Sim.busy_crc t.sim ~bytes:(Page_store.page_size t.store);
   Page_store.stamp ~lsn t.store p;
   match t.wal with Some h -> h.on_page_write p | None -> ()
 
@@ -279,12 +282,12 @@ let media_read t page ~disk ~phys =
     Counter.incr t.stats.err_unrecoverable;
     raise (Io_error { page; attempts; cause; repair })
   in
-  let repair_or ~attempts ~cause =
+  let repair_or ~attempts ~cause ~bad_sectors =
     match t.repair with
     | None -> fail ~attempts ~cause ~repair:`Not_attempted
     | Some r -> (
         Counter.incr t.stats.repair_attempts;
-        match r page with
+        match r page ~bad_sectors with
         | `Repaired ->
             Counter.incr t.stats.repair_repaired;
             `Repaired
@@ -293,11 +296,12 @@ let media_read t page ~disk ~phys =
             fail ~attempts ~cause ~repair:(`Failed msg))
   in
   let verify ~attempts =
+    Sim.busy_crc t.sim ~bytes:(Page_store.page_size t.store);
     match Page_store.verify t.store page with
     | Page_store.Ok -> `Ok
-    | Page_store.Bad_crc _ ->
+    | Page_store.Bad_crc { bad_sectors; _ } ->
         Counter.incr t.stats.err_checksum;
-        repair_or ~attempts ~cause:`Checksum
+        repair_or ~attempts ~cause:`Checksum ~bad_sectors
   in
   let rec attempt n backoff =
     match Disk_model.read_result t.disks ~disk ~phys () with
@@ -322,7 +326,8 @@ let media_read t page ~disk ~phys =
             else fail ~attempts:n ~cause:`Transient ~repair:`Not_attempted
         | `Latent ->
             Counter.incr t.stats.err_latent;
-            repair_or ~attempts:n ~cause:`Latent)
+            (* the whole page is unreadable: no sector localisation *)
+            repair_or ~attempts:n ~cause:`Latent ~bad_sectors:[])
   in
   attempt 1 t.retry.backoff_ns
 
@@ -445,9 +450,10 @@ let issue_readahead t ~disk ~phys =
    the page, evict the frame before raising so the pool never serves bytes
    it knows are bad. *)
 let verify_arrival t page frame =
+  Sim.busy_crc t.sim ~bytes:(Page_store.page_size t.store);
   match Page_store.verify t.store page with
   | Page_store.Ok -> ()
-  | Page_store.Bad_crc _ -> (
+  | Page_store.Bad_crc { bad_sectors; _ } -> (
       Counter.incr t.stats.err_checksum;
       let fail repair =
         drop_frame t frame page;
@@ -458,7 +464,7 @@ let verify_arrival t page frame =
       | None -> fail `Not_attempted
       | Some r -> (
           Counter.incr t.stats.repair_attempts;
-          match r page with
+          match r page ~bad_sectors with
           | `Repaired -> Counter.incr t.stats.repair_repaired
           | `Unrecoverable msg ->
               Counter.incr t.stats.repair_failed;
@@ -524,6 +530,11 @@ let check_media t page =
     match media_read t page ~disk ~phys with
     | `Ok -> `Ok
     | `Repaired -> `Repaired
+    (* A transient streak that exhausts the retry budget is the disk
+       refusing to answer, not media damage — the sector may be fine.
+       Report it as [`Busy] so a scrubber re-tries on a later lap
+       instead of declaring the page unrecoverable. *)
+    | exception Io_error { attempts; cause = `Transient; _ } -> `Busy attempts
     | exception Io_error { attempts; cause; repair; _ } ->
         `Unrecoverable
           (Printf.sprintf "%s error after %d attempt%s%s"

@@ -141,9 +141,14 @@ val frame_of_page : t -> int -> int option
 
 (** Media check for the scrubber: read a non-resident page through the
     full retry/verify/repair path without installing it in a frame.
-    Never raises; unrecoverable damage is reported in the result. *)
+    Never raises; unrecoverable damage is reported in the result.
+    [`Busy attempts] means a transient-error streak exhausted the retry
+    budget — the disk would not answer, but the media is not known to be
+    damaged; check again later. *)
 val check_media :
-  t -> int -> [ `Resident | `Ok | `Repaired | `Unrecoverable of string ]
+  t ->
+  int ->
+  [ `Resident | `Ok | `Repaired | `Busy of int | `Unrecoverable of string ]
 
 (** Allocate a fresh page and make it resident with one pin (no disk
     read: it is born in memory).  Returns the page ID and its region. *)
@@ -168,9 +173,15 @@ val set_wal_hooks : t -> wal_hooks option -> unit
 
 (** Install (or with [None] remove) the page-repair hook the media-read
     path escalates to; the WAL installs one that replays the page from
-    its last durable image ({!Fpb_wal.Wal.attach}). *)
+    its last durable image ({!Fpb_wal.Wal.attach}).  [bad_sectors] names
+    the sector indexes whose per-sector CRC failed ([] when the damage is
+    not localisable, e.g. a latent whole-page error), letting the hook
+    replay only the damaged spans. *)
 val set_repair :
-  t -> (int -> [ `Repaired | `Unrecoverable of string ]) option -> unit
+  t ->
+  (int -> bad_sectors:int list -> [ `Repaired | `Unrecoverable of string ])
+  option ->
+  unit
 
 val set_retry_policy : t -> retry_policy -> unit
 val retry_policy : t -> retry_policy

@@ -10,21 +10,26 @@
    at the end of the physical space — exactly the layout drift the paper
    relies on for its range-scan experiments.
 
-   Every page carries an out-of-band header — a CRC-32 of the page bytes
-   plus the LSN of the newest change the stamped bytes reflect.  It models
-   the per-sector header a checksumming disk (or a DIF-capable controller)
-   would hold: it is (re)stamped whenever the page is written to disk and
-   verified whenever the page is read back, so media corruption between a
-   write and the next read is detected rather than silently served.  It is
-   held out of band so in-page layouts need no reserved bytes.
+   Every page carries an out-of-band header — one CRC-32 per 512-byte
+   sector plus the LSN of the newest change the stamped bytes reflect.  It
+   models the per-sector header a checksumming disk (or a DIF-capable
+   controller) would hold: it is (re)stamped whenever the page is written
+   to disk and verified whenever the page is read back, so media
+   corruption between a write and the next read is detected rather than
+   silently served — and, because the CRCs are per sector, verification
+   reports *which* sectors are damaged, which is what lets the WAL repair
+   a torn sector by replaying only its span.  The header is held out of
+   band so in-page layouts need no reserved bytes.
 
    Page ID 0 is reserved as nil. *)
 
-type header = { mutable crc : int; mutable lsn : int }
+let sector_size = 512
+
+type header = { mutable crcs : int array; mutable lsn : int }
 
 type verdict =
   | Ok
-  | Bad_crc of { stored : int; actual : int; lsn : int }
+  | Bad_crc of { bad_sectors : int list; lsn : int }
 
 type t = {
   page_size : int;
@@ -42,33 +47,54 @@ let nil = 0
 
 let create ~page_size ~n_disks =
   let pages = Vec.create ~dummy:Bytes.empty in
-  let headers = Vec.create ~dummy:{ crc = 0; lsn = 0 } in
+  let headers = Vec.create ~dummy:{ crcs = [||]; lsn = 0 } in
   let location = Vec.create ~dummy:(-1, -1) in
   Vec.push pages Bytes.empty;
-  Vec.push headers { crc = 0; lsn = 0 };
+  Vec.push headers { crcs = [||]; lsn = 0 };
   Vec.push location (-1, -1);
   { page_size; n_disks; pages; headers; location; free = []; allocated = 0;
     next_phys = Array.make n_disks 0; on_free = [] }
 
 let page_size t = t.page_size
 
-(* Stamp the header with a checksum of the page's current bytes: called
-   on allocation (a zeroed page is born consistent) and on every write to
-   disk, exactly when real sector headers are written. *)
+(* Sectors per page (pages smaller than one sector are one sector). *)
+let sectors_per_page t = max 1 ((t.page_size + sector_size - 1) / sector_size)
+
+(* CRC-32 of one sector's span of the page bytes. *)
+let sector_crc t b s =
+  let off = s * sector_size in
+  Checksum.update 0 b off (min sector_size (t.page_size - off))
+
+(* Stamp the header with per-sector checksums of the page's current
+   bytes: called on allocation (a zeroed page is born consistent) and on
+   every write to disk, exactly when real sector headers are written. *)
 let stamp ?(lsn = 0) t id =
   if id = nil then invalid_arg "Page_store.stamp: nil";
   let h = Vec.get t.headers id in
-  h.crc <- Checksum.bytes (Vec.get t.pages id);
+  let b = Vec.get t.pages id in
+  let n = sectors_per_page t in
+  if Array.length h.crcs <> n then h.crcs <- Array.make n 0;
+  for s = 0 to n - 1 do
+    h.crcs.(s) <- sector_crc t b s
+  done;
   h.lsn <- lsn
 
-(* Recompute the checksum of the current bytes and compare with the
-   stamped header: the read-path (and scrubber) corruption detector. *)
+(* Recompute per-sector checksums of the current bytes and compare with
+   the stamped header: the read-path (and scrubber) corruption detector.
+   [Bad_crc] names exactly the damaged sectors, enabling span repair. *)
 let verify t id =
   if id = nil then invalid_arg "Page_store.verify: nil";
   let h = Vec.get t.headers id in
-  let actual = Checksum.bytes (Vec.get t.pages id) in
-  if actual = h.crc then Ok
-  else Bad_crc { stored = h.crc; actual; lsn = h.lsn }
+  let b = Vec.get t.pages id in
+  let n = sectors_per_page t in
+  if Array.length h.crcs <> n then Bad_crc { bad_sectors = []; lsn = h.lsn }
+  else begin
+    let bad = ref [] in
+    for s = n - 1 downto 0 do
+      if sector_crc t b s <> h.crcs.(s) then bad := s :: !bad
+    done;
+    if !bad = [] then Ok else Bad_crc { bad_sectors = !bad; lsn = h.lsn }
+  end
 
 let header_lsn t id = (Vec.get t.headers id).lsn
 
@@ -86,7 +112,7 @@ let alloc t =
       let phys = t.next_phys.(disk) in
       t.next_phys.(disk) <- phys + 1;
       Vec.push t.pages (Bytes.create t.page_size |> fun b -> Bytes.fill b 0 t.page_size '\000'; b);
-      Vec.push t.headers { crc = 0; lsn = 0 };
+      Vec.push t.headers { crcs = [||]; lsn = 0 };
       Vec.push t.location (disk, phys);
       stamp t id;
       id
@@ -123,6 +149,11 @@ let set_free_list t ids =
       stamp t id;
       List.iter (fun f -> f id) t.on_free)
     ids
+
+(* Is [id] currently allocated?  Used by the paced scrubber, which walks
+   IDs incrementally instead of snapshotting the whole live set. *)
+let is_live t id =
+  id >= 1 && id < Vec.length t.pages && not (List.mem id t.free)
 
 (* Live (allocated) pages in id order: the scrubber's walk order. *)
 let iter_live t f =

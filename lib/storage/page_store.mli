@@ -6,23 +6,28 @@
     experiments rely on.  Page contents live in host memory; the buffer
     pool decides what counts as resident.
 
-    Every page carries an out-of-band header — a CRC-32 of the page
-    bytes plus the LSN the stamped bytes reflect — modelling the
-    per-sector header a checksumming disk would hold.  {!stamp} rewrites
+    Every page carries an out-of-band header — one CRC-32 per 512-byte
+    sector plus the LSN the stamped bytes reflect — modelling the
+    per-sector headers a checksumming disk would hold.  {!stamp} rewrites
     it on every disk write; {!verify} recomputes and compares on every
     disk read, so media corruption between a write and the next read is
-    detected rather than silently served. *)
+    detected rather than silently served, and the damaged sectors are
+    named so repair can replay only their spans. *)
 
 type t
 
 (** The reserved nil page ID (0). *)
 val nil : int
 
-(** Result of a {!verify}: [Bad_crc] carries the stamped header checksum,
-    the checksum of the bytes actually present, and the stamped LSN. *)
+(** Checksum granularity in bytes (512, one disk sector). *)
+val sector_size : int
+
+(** Result of a {!verify}: [Bad_crc] names the sector indexes whose
+    stored checksum disagrees with the bytes present ([] only in the
+    degenerate never-stamped case) and the stamped LSN. *)
 type verdict =
   | Ok
-  | Bad_crc of { stored : int; actual : int; lsn : int }
+  | Bad_crc of { bad_sectors : int list; lsn : int }
 
 val create : page_size:int -> n_disks:int -> t
 val page_size : t -> int
@@ -63,6 +68,10 @@ val set_free_list : t -> int list -> unit
 (** Iterate over live (allocated, unfreed) page IDs in increasing order:
     the scrubber's walk. *)
 val iter_live : t -> (int -> unit) -> unit
+
+(** Whether [id] is currently allocated (the paced scrubber's incremental
+    liveness probe). *)
+val is_live : t -> int -> bool
 
 (** Backing bytes of a page (shared, not copied). *)
 val bytes : t -> int -> Bytes.t

@@ -10,8 +10,12 @@
 
    Production systems run this continuously at low priority precisely so
    latent sector errors and bit rot are found while the redundancy needed
-   to repair them still exists; here a pass is synchronous and its disk
-   time is charged to the simulated clock like any other I/O.
+   to repair them still exists.  Two entry points model the two shapes
+   that takes: [run] is a synchronous full pass (tests, final heal before
+   an oracle check), and a [sched] is the paced form — a cursor over the
+   page-ID space that advances at most [pages_per_tick] pages per [tick],
+   so scrub I/O interleaves with foreground work and its latency cost is
+   measurable as a function of the bandwidth knob.
 
    A pass returns a pure report rather than bumping persistent counters:
    the chaos harness runs many passes against one pool and wants
@@ -23,29 +27,45 @@ type report = {
   resident : int;  (* skipped: authoritative copy in memory *)
   clean : int;  (* read back and verified *)
   repaired : int;  (* damage found and repaired from the WAL *)
+  deferred : int;  (* skipped: pool too hot, or disk transiently mute *)
   unrecoverable : (int * string) list;  (* page, diagnosis *)
 }
 
 let empty =
-  { scanned = 0; resident = 0; clean = 0; repaired = 0; unrecoverable = [] }
+  {
+    scanned = 0;
+    resident = 0;
+    clean = 0;
+    repaired = 0;
+    deferred = 0;
+    unrecoverable = [];
+  }
+
+(* Check one page and fold the outcome into the report.  A scrub is a
+   background citizen: if the pool is momentarily too hot to lend even a
+   scratch frame ([Pool_exhausted]) or the disk transiently refuses to
+   answer within the retry budget ([`Busy]), the page is deferred —
+   counted, not fatal — and the walk moves on; the cursor wraps around
+   to it later. *)
+let check pool page t =
+  match Buffer_pool.check_media pool page with
+  | `Resident -> { t with scanned = t.scanned + 1; resident = t.resident + 1 }
+  | `Ok -> { t with scanned = t.scanned + 1; clean = t.clean + 1 }
+  | `Repaired -> { t with scanned = t.scanned + 1; repaired = t.repaired + 1 }
+  | `Busy _ -> { t with scanned = t.scanned + 1; deferred = t.deferred + 1 }
+  | `Unrecoverable msg ->
+      {
+        t with
+        scanned = t.scanned + 1;
+        unrecoverable = (page, msg) :: t.unrecoverable;
+      }
+  | exception Buffer_pool.Pool_exhausted ->
+      { t with scanned = t.scanned + 1; deferred = t.deferred + 1 }
 
 let run pool =
   let store = Buffer_pool.store pool in
   let r = ref empty in
-  Page_store.iter_live store (fun page ->
-      let t = !r in
-      r :=
-        match Buffer_pool.check_media pool page with
-        | `Resident -> { t with scanned = t.scanned + 1; resident = t.resident + 1 }
-        | `Ok -> { t with scanned = t.scanned + 1; clean = t.clean + 1 }
-        | `Repaired ->
-            { t with scanned = t.scanned + 1; repaired = t.repaired + 1 }
-        | `Unrecoverable msg ->
-            {
-              t with
-              scanned = t.scanned + 1;
-              unrecoverable = (page, msg) :: t.unrecoverable;
-            });
+  Page_store.iter_live store (fun page -> r := check pool page !r);
   { !r with unrecoverable = List.rev !r.unrecoverable }
 
 let kv r =
@@ -54,6 +74,7 @@ let kv r =
     ("scrub.resident", r.resident);
     ("scrub.clean", r.clean);
     ("scrub.repaired", r.repaired);
+    ("scrub.deferred", r.deferred);
     ("scrub.unrecoverable", List.length r.unrecoverable);
   ]
 
@@ -63,5 +84,48 @@ let merge a b =
     resident = a.resident + b.resident;
     clean = a.clean + b.clean;
     repaired = a.repaired + b.repaired;
+    deferred = a.deferred + b.deferred;
     unrecoverable = a.unrecoverable @ b.unrecoverable;
   }
+
+(* Paced scheduler: a persistent cursor over page IDs.  Each [tick]
+   checks at most [pages_per_tick] live pages starting at the cursor and
+   wraps past the high-water mark, so over enough ticks every live page
+   is visited — a continuous low-priority scrub rather than a
+   stop-the-world pass. *)
+type sched = {
+  pool : Buffer_pool.t;
+  mutable pages_per_tick : int;
+  mutable cursor : int;  (* next page ID to consider *)
+  mutable cumulative : report;
+}
+
+let scheduler ?(pages_per_tick = 1) pool =
+  { pool; pages_per_tick; cursor = 1; cumulative = empty }
+
+let set_bandwidth s n = s.pages_per_tick <- max 0 n
+
+let tick s =
+  let store = Buffer_pool.store s.pool in
+  let high = Page_store.total_pages store in
+  let r = ref empty in
+  if s.pages_per_tick > 0 && high > 0 then begin
+    (* Visit up to pages_per_tick *live* pages; bound the walk at one
+       full lap of the ID space so a mostly-free store can't spin. *)
+    let checked = ref 0 and walked = ref 0 in
+    while !checked < s.pages_per_tick && !walked < high do
+      if s.cursor > high then s.cursor <- 1;
+      let page = s.cursor in
+      s.cursor <- s.cursor + 1;
+      incr walked;
+      if Page_store.is_live store page then begin
+        incr checked;
+        r := check s.pool page !r
+      end
+    done
+  end;
+  let r = { !r with unrecoverable = List.rev !r.unrecoverable } in
+  s.cumulative <- merge s.cumulative r;
+  r
+
+let total s = s.cumulative

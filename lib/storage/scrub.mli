@@ -6,17 +6,29 @@
     WAL-based repair when a repair hook is installed.  Disk time is
     charged to the simulated clock.  Reports are per-pass and pure; the
     pool's [io.*]/[repair.*] counters advance as a side effect of the
-    reads. *)
+    reads.
+
+    {!run} is the synchronous full pass; a {!sched} paces the same walk
+    as a budgeted background job — at most [pages_per_tick] pages per
+    {!tick} — so scrub I/O interleaves with foreground work and its
+    latency cost is measurable. *)
 
 type report = {
   scanned : int;  (** live pages visited *)
   resident : int;  (** skipped: authoritative copy in memory *)
   clean : int;  (** read back and verified *)
   repaired : int;  (** damage found and repaired from the WAL *)
+  deferred : int;
+      (** skipped because the pool was too hot to lend a frame
+          ([Pool_exhausted]) or a transient-error streak exhausted the
+          read-retry budget ([`Busy]: the disk would not answer, but the
+          media is not known damaged); retried on a later lap *)
   unrecoverable : (int * string) list;  (** page, diagnosis *)
 }
 
 val empty : report
+
+(** Synchronous full pass over every live page. *)
 val run : Buffer_pool.t -> report
 
 (** Report as [(name, value)] pairs under the [scrub.*] namespace. *)
@@ -24,3 +36,23 @@ val kv : report -> (string * int) list
 
 (** Pointwise sum (unrecoverable lists concatenated). *)
 val merge : report -> report -> report
+
+(** Paced scrub: a persistent cursor over the page-ID space that advances
+    a bounded number of pages per tick and wraps, so every live page is
+    eventually visited without a stop-the-world pass. *)
+type sched
+
+(** [scheduler ?pages_per_tick pool] (default bandwidth 1 page/tick). *)
+val scheduler : ?pages_per_tick:int -> Buffer_pool.t -> sched
+
+(** Set the bandwidth knob: pages checked per {!tick}.  [0] pauses the
+    scrubber. *)
+val set_bandwidth : sched -> int -> unit
+
+(** Check up to [pages_per_tick] live pages at the cursor (wrapping past
+    the high-water mark) and return this tick's report.  Never raises:
+    pages the pool cannot currently serve are counted as [deferred]. *)
+val tick : sched -> report
+
+(** Cumulative report across every tick so far. *)
+val total : sched -> report

@@ -15,7 +15,15 @@
    nothing ever needs undoing.  The price is the "deferred write-back":
    evicting a page with uncommitted changes writes the *store* bytes to
    the simulated disk but leaves the durable image stale; the next
-   checkpoint re-writes such pages. *)
+   checkpoint re-writes such pages.
+
+   The durable stream is kept on K >= 1 mirrored log disks holding
+   position-identical byte streams.  Every flush appends to all mirrors
+   and waits for the slowest; every record carries its own CRC-32, so a
+   read that hits a torn or rotted record on one mirror is detected and
+   falls back to the next, healing the damaged span in passing.  Log
+   disks draw from the same [Fault.profile] machinery as data disks —
+   the log is not exempt from media failure, it survives it. *)
 
 open Fpb_simmem
 open Fpb_storage
@@ -33,7 +41,7 @@ type record =
   | Free of { lsn : int; page : int }
 
 (* -------------------------------------------------------------------- *)
-(* Record framing: [len | body | fnv1a32(body)], 32-bit little-endian.  *)
+(* Record framing: [len | body | crc32(body)], 32-bit little-endian.    *)
 
 module Codec = struct
   let kind_image = 1
@@ -43,14 +51,6 @@ module Codec = struct
   let kind_alloc = 5
   let kind_free = 6
   let max_body = 1 lsl 24 (* sanity bound when parsing *)
-
-  let fnv1a32 s off len =
-    let h = ref 0x811c9dc5 in
-    for i = off to off + len - 1 do
-      h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193;
-      h := !h land 0xffffffff
-    done;
-    !h
 
   let add_i32 b v = Buffer.add_int32_le b (Int32.of_int v)
 
@@ -94,63 +94,63 @@ module Codec = struct
     let framed = Buffer.create (String.length body + 8) in
     add_i32 framed (String.length body);
     Buffer.add_string framed body;
-    add_i32 framed (fnv1a32 body 0 (String.length body));
+    add_i32 framed (Checksum.string body);
     Buffer.contents framed
 
-  let get_i32 s pos = Int32.to_int (String.get_int32_le s pos)
+  let get_i32 b pos = Int32.to_int (Bytes.get_int32_le b pos)
 
-  (* Parse the framed record at [pos]; [None] on a torn or corrupt tail. *)
-  let decode s pos =
-    let n = String.length s in
+  (* Parse the framed record at [pos] in [b] (the stream occupies bytes
+     [0, len), defaulting to all of [b]); [None] on a torn or corrupt
+     record. *)
+  let decode ?len:(n = -1) b pos =
+    let n = if n < 0 then Bytes.length b else n in
     if pos + 4 > n then None
     else
-      let len = get_i32 s pos in
+      let len = get_i32 b pos in
       if len < 9 || len > max_body || pos + 4 + len + 4 > n then None
       else
         let body = pos + 4 in
         (* mask: i32 round-trip sign-extends checksums >= 2^31 *)
-        let sum = get_i32 s (body + len) land 0xffffffff in
-        if sum <> fnv1a32 s body len then None
+        let sum = get_i32 b (body + len) land 0xffffffff in
+        if sum <> Checksum.update 0 b body len then None
         else
-          let kind = Char.code s.[body] in
-          let lsn = get_i32 s (body + 1) in
+          let kind = Char.code (Bytes.get b body) in
+          let lsn = get_i32 b (body + 1) in
           let payload = body + 5 in
           let payload_len = len - 5 in
           let meta_at off =
-            let count = get_i32 s off in
+            let count = get_i32 b off in
             if count < 0 || off + 4 + (4 * count) > body + len then None
             else
-              Some (List.init count (fun i -> get_i32 s (off + 4 + (4 * i))))
+              Some (List.init count (fun i -> get_i32 b (off + 4 + (4 * i))))
           in
           let next = body + len + 4 in
           match kind with
           | k when k = kind_image ->
-              let page = get_i32 s payload in
-              let img = Bytes.of_string (String.sub s (payload + 4) (payload_len - 4)) in
+              let page = get_i32 b payload in
+              let img = Bytes.sub b (payload + 4) (payload_len - 4) in
               Some (Image { lsn; page; img }, next)
           | k when k = kind_delta ->
               if payload_len < 8 then None
               else
-                let page = get_i32 s payload in
-                let off = get_i32 s (payload + 4) in
-                let bytes =
-                  Bytes.of_string (String.sub s (payload + 8) (payload_len - 8))
-                in
+                let page = get_i32 b payload in
+                let off = get_i32 b (payload + 4) in
+                let bytes = Bytes.sub b (payload + 8) (payload_len - 8) in
                 Some (Delta { lsn; page; off; bytes }, next)
           | k when k = kind_commit -> (
-              let op = get_i32 s payload in
+              let op = get_i32 b payload in
               match meta_at (payload + 4) with
               | Some meta -> Some (Commit { lsn; op; meta }, next)
               | None -> None)
           | k when k = kind_checkpoint -> (
-              let op = get_i32 s payload in
+              let op = get_i32 b payload in
               match meta_at (payload + 4) with
               | Some meta -> Some (Checkpoint { lsn; op; meta }, next)
               | None -> None)
           | k when k = kind_alloc ->
-              Some (Alloc { lsn; page = get_i32 s payload }, next)
+              Some (Alloc { lsn; page = get_i32 b payload }, next)
           | k when k = kind_free ->
-              Some (Free { lsn; page = get_i32 s payload }, next)
+              Some (Free { lsn; page = get_i32 b payload }, next)
           | _ -> None
 end
 
@@ -162,6 +162,11 @@ type boundary = {
   kind : [ `Image | `Delta | `Commit | `Checkpoint | `Alloc | `Free ];
 }
 
+type damage =
+  | Torn_tail of int
+  | Zero_span of { off : int; len : int }
+  | Flip of { off : int; bit : int }
+
 type recovery = {
   committed_ops : int;
   meta : int list;
@@ -170,6 +175,7 @@ type recovery = {
   redo_pages : int;
   free_pages : int;
   torn_tail_bytes : int;
+  damaged_records : int;
   recovery_ns : int;
 }
 
@@ -191,6 +197,11 @@ type stats = {
   c_redo_records : Counter.t;
   c_redo_pages : Counter.t;
   c_recovery_ns : Counter.t;
+  mirror_fallbacks : Counter.t;
+  mirror_repairs : Counter.t;
+  c_damaged : Counter.t;
+  repair_sectors : Counter.t;
+  repair_full : Counter.t;
 }
 
 let make_stats () =
@@ -212,6 +223,11 @@ let make_stats () =
     c_redo_records = Counter.make "wal.redo_records";
     c_redo_pages = Counter.make "wal.redo_pages";
     c_recovery_ns = Counter.make "wal.recovery_ns";
+    mirror_fallbacks = Counter.make "wal.mirror.fallbacks";
+    mirror_repairs = Counter.make "wal.mirror.repairs";
+    c_damaged = Counter.make "wal.damaged_records";
+    repair_sectors = Counter.make "wal.repair.sectors";
+    repair_full = Counter.make "wal.repair.full";
   }
 
 let stats_counters s =
@@ -220,8 +236,26 @@ let stats_counters s =
     s.frees; s.c_log_bytes;
     s.flushes; s.flush_wait_ns; s.deferred_writebacks; s.crashes;
     s.torn_pages; s.recoveries; s.c_redo_records; s.c_redo_pages;
-    s.c_recovery_ns;
+    s.c_recovery_ns; s.mirror_fallbacks; s.mirror_repairs; s.c_damaged;
+    s.repair_sectors; s.repair_full;
   ]
+
+(* One mirror of the durable log: a growable byte array.  All mirrors
+   hold position-identical streams of the same length; faults make their
+   *contents* diverge, never their length (a crash cuts all of them at
+   the same byte). *)
+type mirror = { mutable data : Bytes.t; mutable len : int }
+
+let m_append m s off len =
+  let need = m.len + len in
+  if Bytes.length m.data < need then begin
+    let cap = max need (max 65536 (2 * Bytes.length m.data)) in
+    let nd = Bytes.create cap in
+    Bytes.blit m.data 0 nd 0 m.len;
+    m.data <- nd
+  end;
+  Bytes.blit_string s off m.data m.len len;
+  m.len <- need
 
 type t = {
   pool : Buffer_pool.t;
@@ -229,17 +263,19 @@ type t = {
   clock : Clock.t;
   sim : Sim.t;
   data_disks : Disk_model.t;
-  log_disk : Disk_model.t;
+  log_disks : Disk_model.t;  (* one disk per mirror *)
+  mirrors : mirror array;  (* durable byte streams, index = mirror *)
   page_size : int;
   group_commit_bytes : int;
   (* log stream *)
   buf : Buffer.t;  (* sealed, not yet durable *)
-  durable : Buffer.t;  (* the durable byte stream, from offset 0 *)
+  mutable durable_len : int;  (* common length of every mirror's stream *)
   mutable sealed_bytes : int;  (* end offset of the sealed stream *)
   mutable next_lsn : int;
   mutable last_op : int;  (* last committed operation number *)
   mutable ckpt_offset : int;  (* start of the last durable checkpoint *)
   mutable boundaries : boundary list;  (* newest first *)
+  mutable batched_redo : bool;  (* sort redo write-backs by (disk, phys) *)
   (* per-page durability state; index = page id *)
   shadow : Bytes.t option Vec.t;  (* last-logged content, for deltas *)
   mem_lsn : int Vec.t;  (* LSN of the page's newest log record *)
@@ -299,33 +335,41 @@ let append t r =
   | Alloc _ -> Counter.incr t.stats.allocs
   | Free _ -> Counter.incr t.stats.frees
 
-(* Make the sealed stream durable.  An armed crash boundary inside the
-   flushed extent truncates the durable stream exactly there.  On
-   success, charge the flush as sequential writes to the dedicated log
-   disk and wait for completion (this wait IS the commit latency). *)
+(* Make the sealed stream durable on every mirror.  An armed crash
+   boundary inside the flushed extent truncates all mirrors exactly
+   there (power fails every spindle at once).  On success, charge the
+   flush as sequential writes to each log disk and wait for the slowest
+   (this wait IS the commit latency). *)
 let flush t =
   if t.crashed then raise Crashed;
   let n = Buffer.length t.buf in
   if n > 0 then begin
     let data = Buffer.contents t.buf in
     Buffer.clear t.buf;
-    let start_off = Buffer.length t.durable in
+    let start_off = t.durable_len in
     let end_off = start_off + n in
     (match t.crash_at with
     | Some b when end_off > b ->
         let keep = max 0 (b - start_off) in
-        Buffer.add_substring t.durable data 0 keep;
+        Array.iter (fun m -> m_append m data 0 keep) t.mirrors;
+        t.durable_len <- start_off + keep;
         t.crashed <- true;
         Counter.incr t.stats.crashes;
         raise Crashed
     | _ -> ());
-    Buffer.add_string t.durable data;
+    Array.iter (fun m -> m_append m data 0 n) t.mirrors;
+    t.durable_len <- end_off;
     Counter.incr t.stats.flushes;
     let now0 = Clock.now t.clock in
     let completion = ref now0 in
-    for phys = start_off / t.page_size to (end_off - 1) / t.page_size do
-      completion := Disk_model.write_sync t.log_disk ~disk:0 ~phys ()
-    done;
+    Array.iteri
+      (fun k _ ->
+        let c = ref now0 in
+        for phys = start_off / t.page_size to (end_off - 1) / t.page_size do
+          c := Disk_model.write_sync t.log_disks ~disk:k ~phys ()
+        done;
+        completion := max !completion !c)
+      t.mirrors;
     Clock.advance_to t.clock !completion;
     Counter.add t.stats.flush_wait_ns (!completion - now0)
   end
@@ -466,7 +510,7 @@ let checkpoint t ~meta =
     (Page_store.total_pages t.store, Page_store.free_list t.store);
   Hashtbl.reset t.logged_since_ckpt
 
-(* ------------------------- crash injection -------------------------- *)
+(* ------------------------- fault injection -------------------------- *)
 
 let set_crash_at_byte t b = t.crash_at <- b
 
@@ -479,55 +523,254 @@ let crash_now t =
 
 let is_crashed t = t.crashed
 
-(* Parse the durable stream from [from], stopping at a torn record, then
-   truncate at the last commit/checkpoint: later records belong to an
-   operation that never committed. *)
-let scan_committed t ~from =
-  let s = Buffer.contents t.durable in
-  let n = String.length s in
-  let rec scan pos acc =
-    if pos >= n then (List.rev acc, 0)
+let log_mirrors t = Array.length t.mirrors
+let log_disks t = t.log_disks
+
+(* Arm the seeded fault schedule on one log mirror (or the whole set):
+   the log is subject to the same media failures as the data disks. *)
+let set_log_faults t ?mirror profile =
+  Disk_model.set_faults t.log_disks ?disk:mirror profile
+
+(* Deterministic direct damage to one mirror's durable bytes, for tests
+   and the chaos harness's detection legs.  Lengths never change: the
+   stream keeps its extent, its contents rot. *)
+let inject_mirror_damage t ~mirror d =
+  if mirror < 0 || mirror >= Array.length t.mirrors then
+    invalid_arg "Wal.inject_mirror_damage: no such mirror";
+  let m = t.mirrors.(mirror) in
+  match d with
+  | Torn_tail n ->
+      let n = min n t.durable_len in
+      if n > 0 then Bytes.fill m.data (t.durable_len - n) n '\000'
+  | Zero_span { off; len } ->
+      if off >= 0 && off < t.durable_len && len > 0 then
+        Bytes.fill m.data off (min len (t.durable_len - off)) '\000'
+  | Flip { off; bit } ->
+      if off >= 0 && off < t.durable_len then
+        Bytes.set m.data off
+          (Char.chr
+             (Char.code (Bytes.get m.data off) lxor (1 lsl (bit land 7))))
+
+(* --------------------------- log reading ----------------------------- *)
+
+(* A scan reads log pages on demand through the fault schedule, at most
+   once per (mirror, log page): [`Lost] marks a page whose read failed
+   persistently (latent, or transient retries exhausted).  Silent
+   corruption is applied to the mirror's bytes and served — the record
+   CRC is what detects it.  With [charge = false] (post-crash
+   inspection) no I/O is charged and no faults are drawn; the scan sees
+   the bytes as they currently are. *)
+type scan_ctx = {
+  wal : t;
+  charged_pages : (int * int, [ `Ok | `Lost ]) Hashtbl.t;
+  charge : bool;
+  mutable completion : int;
+}
+
+let make_ctx ?(charge = true) t =
+  { wal = t; charged_pages = Hashtbl.create 64; charge;
+    completion = Clock.now t.clock }
+
+let pos_mod a n = ((a mod n) + n) mod n
+
+(* Mangle a mirror's bytes within one log page per the drawn spec. *)
+let apply_corruption t m ~lp spec =
+  let base = lp * t.page_size in
+  let limit = min m.len (base + t.page_size) in
+  if base < limit then
+    match spec with
+    | Disk_model.Bit_flips flips ->
+        List.iter
+          (fun (off, bit) ->
+            let pos = base + pos_mod off t.page_size in
+            if pos < limit then
+              Bytes.set m.data pos
+                (Char.chr
+                   (Char.code (Bytes.get m.data pos) lxor (1 lsl (bit land 7)))))
+          flips
+    | Disk_model.Torn_sector off ->
+        let pos = base + pos_mod off t.page_size in
+        let n = min 512 (limit - pos) in
+        if n > 0 then Bytes.fill m.data pos n '\000'
+
+let read_log_page ctx k lp =
+  match Hashtbl.find_opt ctx.charged_pages (k, lp) with
+  | Some st -> st
+  | None ->
+      let t = ctx.wal in
+      let st =
+        if not ctx.charge then `Ok
+        else
+          let rec attempt n =
+            match Disk_model.read_result t.log_disks ~disk:k ~phys:lp () with
+            | Disk_model.Read_ok c ->
+                ctx.completion <- max ctx.completion c;
+                `Ok
+            | Disk_model.Read_corrupt (c, spec) ->
+                ctx.completion <- max ctx.completion c;
+                apply_corruption t t.mirrors.(k) ~lp spec;
+                `Ok
+            | Disk_model.Read_error (c, `Transient) ->
+                ctx.completion <- max ctx.completion c;
+                if n < 3 then attempt (n + 1) else `Lost
+            | Disk_model.Read_error (c, `Latent) ->
+                ctx.completion <- max ctx.completion c;
+                `Lost
+          in
+          attempt 0
+      in
+      Hashtbl.add ctx.charged_pages (k, lp) st;
+      st
+
+(* Read every log page covering bytes [a, b) of mirror [k]. *)
+let read_span ctx k a b =
+  let t = ctx.wal in
+  let ok = ref true in
+  for lp = a / t.page_size to (b - 1) / t.page_size do
+    if read_log_page ctx k lp = `Lost then ok := false
+  done;
+  !ok
+
+let b_i32 b pos = Int32.to_int (Bytes.get_int32_le b pos)
+
+(* Attempt to decode the record at [pos] from one mirror.
+   [`Overrun]: the frame runs past the end of the stream — the signature
+   of a genuine crash cut.  [`Bad]: the frame lies within the stream but
+   is unreadable (lost pages, corrupt length, CRC mismatch) — media
+   damage. *)
+let try_mirror ctx k pos =
+  let t = ctx.wal in
+  let m = t.mirrors.(k) in
+  if pos + 4 > t.durable_len then `Overrun
+  else if not (read_span ctx k pos (pos + 4)) then `Bad
+  else
+    let len = b_i32 m.data pos in
+    if len < 9 || len > Codec.max_body then `Bad
+    else if pos + 8 + len > t.durable_len then `Overrun
+    else if not (read_span ctx k pos (pos + 8 + len)) then `Bad
     else
-      match Codec.decode s pos with
-      | None -> (List.rev acc, n - pos)
-      | Some (r, next) -> scan next (r :: acc)
+      match Codec.decode ~len:t.durable_len m.data pos with
+      | Some (r, next) -> `Rec (r, next)
+      | None -> `Bad
+
+(* Heal mirror [dst]'s copy of the span [pos, next) from mirror [src]'s
+   verified-good bytes: blit the span and rewrite the covering log pages
+   (the write remaps any latent sector). *)
+let heal ctx ~src ~dst pos next =
+  let t = ctx.wal in
+  Bytes.blit t.mirrors.(src).data pos t.mirrors.(dst).data pos (next - pos);
+  for lp = pos / t.page_size to (next - 1) / t.page_size do
+    Disk_model.write t.log_disks ~disk:dst ~phys:lp;
+    Hashtbl.replace ctx.charged_pages (dst, lp) `Ok
+  done;
+  Counter.incr t.stats.mirror_repairs
+
+(* Decode the record at [pos], trying mirrors in order.  The first clean
+   copy wins; mirrors that failed with media damage are healed from it.
+   All mirrors failing classifies the failure: every mirror overrunning
+   the stream end is a torn tail (benign crash cut); any mirror with a
+   full-extent frame that would not verify is damage. *)
+let decode_at ctx pos =
+  let t = ctx.wal in
+  let rec go k bads =
+    if k >= Array.length t.mirrors then
+      if bads = [] then `Torn else `Damaged
+    else
+      match try_mirror ctx k pos with
+      | `Rec (r, next) ->
+          if ctx.charge then begin
+            if k > 0 then Counter.incr t.stats.mirror_fallbacks;
+            List.iter (fun j -> heal ctx ~src:k ~dst:j pos next) bads
+          end;
+          `Decoded (r, next)
+      | `Overrun -> go (k + 1) bads
+      | `Bad -> go (k + 1) (k :: bads)
   in
-  let records, torn = scan from [] in
+  go 0 []
+
+(* Does any mirror hold a validly framed record strictly beyond [pos]?
+   Distinguishes damage masquerading as a torn tail (e.g. a corrupted
+   length field that points past the stream end) from a genuine cut:
+   nothing can follow a real cut, so a valid record beyond proves the
+   stream did not end at [pos].  Charge-free: cheap length/kind filters
+   gate the CRC, and the bytes were already paid for by the scan. *)
+let has_valid_beyond t pos =
+  let found = ref false in
+  let q = ref (pos + 1) in
+  (* smallest frame: 4 (len) + 9 (body) + 4 (crc) *)
+  while (not !found) && !q + 17 <= t.durable_len do
+    Array.iter
+      (fun m ->
+        if not !found then begin
+          let len = b_i32 m.data !q in
+          if len >= 9 && len <= Codec.max_body && !q + 8 + len <= t.durable_len
+          then
+            let kind = Char.code (Bytes.get m.data (!q + 4)) in
+            if kind >= Codec.kind_image && kind <= Codec.kind_free then
+              match Codec.decode ~len:t.durable_len m.data !q with
+              | Some _ -> found := true
+              | None -> ()
+        end)
+      t.mirrors;
+    incr q
+  done;
+  !found
+
+(* Parse the durable stream from [from], stopping at a torn or damaged
+   record, then truncate at the last commit/checkpoint: later records
+   belong to an operation that never committed.  Returns (committed
+   records, records parsed, unreadable tail bytes, damaged count —
+   nonzero means committed content may be unreadable: detected loss,
+   never silently served). *)
+let scan_committed t ~charge ~from =
+  let ctx = make_ctx ~charge t in
+  let rec scan pos acc =
+    if pos >= t.durable_len then (List.rev acc, 0, 0)
+    else
+      match decode_at ctx pos with
+      | `Decoded (r, next) -> scan next (r :: acc)
+      | `Torn ->
+          let damaged = if has_valid_beyond t pos then 1 else 0 in
+          (List.rev acc, t.durable_len - pos, damaged)
+      | `Damaged -> (List.rev acc, t.durable_len - pos, 1)
+  in
+  let records, torn, damaged = scan from [] in
+  if charge then begin
+    Clock.advance_to t.clock ctx.completion;
+    if damaged > 0 then Counter.add t.stats.c_damaged damaged
+  end;
   let keep = ref 0 in
   List.iteri
     (fun i r ->
       match r with Commit _ | Checkpoint _ -> keep := i + 1 | _ -> ())
     records;
-  (List.filteri (fun i _ -> i < !keep) records, List.length records, torn)
+  ( List.filteri (fun i _ -> i < !keep) records,
+    List.length records,
+    torn,
+    damaged )
 
-let parse_durable t = scan_committed t ~from:t.ckpt_offset
+let parse_durable t = scan_committed t ~charge:false ~from:t.ckpt_offset
 
 (* ------------------------------ repair ------------------------------- *)
-
-(* Charge a sequential read of the durable stream from byte [from] to its
-   end against the log disk, waiting for completion. *)
-let charge_log_scan t ~from =
-  let stop = Buffer.length t.durable in
-  if stop > from then begin
-    let completion = ref (Clock.now t.clock) in
-    for phys = from / t.page_size to (stop - 1) / t.page_size do
-      completion := Disk_model.read t.log_disk ~disk:0 ~phys ()
-    done;
-    Clock.advance_to t.clock !completion
-  end
 
 (* Rebuild one page's committed bytes after media damage: replay the
    page's last full image record and the deltas that follow it from the
    committed durable stream (with [log_base_images], every bulkloaded
    page has one); a page never logged falls back to its durable image
    from the attach/checkpoint snapshot — the model's equivalent of the
-   last full-page backup.  The rebuilt bytes are written back to the
-   data disk (which remaps any latent sector) and freshly stamped.
+   last full-page backup.  When the caller names the damaged sectors and
+   the page's stamped header LSN matches the replayed state, only those
+   sector spans are patched — the intact sectors already hold the same
+   version, so a torn 512-byte sector costs a 512-byte fix, not a page
+   rebuild.  The result is written back to the data disk (which remaps
+   any latent sector) and freshly stamped.
 
-   Refuses pages carrying uncommitted changes: the bytes the caller lost
+   Refuses pages carrying uncommitted changes (the bytes the caller lost
    were never logged, and serving their committed ancestor silently
-   would corrupt the operation in flight. *)
-let repair_page t page =
+   would corrupt the operation in flight), and refuses to serve anything
+   when the log scan itself hit damaged records: a repair source with
+   holes in it could silently resurrect stale state. *)
+let repair_page t ?(bad_sectors = []) page =
   if t.crashed then `Unrecoverable "machine crashed"
   else if Hashtbl.mem t.touched page then
     `Unrecoverable "page has uncommitted changes"
@@ -543,9 +786,10 @@ let repair_page t page =
         buf := Some (Bytes.copy img);
         lsn := Vec.get t.disk_lsn page
     | None -> ());
+    let damaged = ref 0 in
     if from >= 0 then begin
-      charge_log_scan t ~from;
-      let records, _, _ = scan_committed t ~from in
+      let records, _, _, dmg = scan_committed t ~charge:true ~from in
+      damaged := dmg;
       List.iter
         (function
           | Image { lsn = l; page = p; img } when p = page ->
@@ -560,18 +804,38 @@ let repair_page t page =
           | _ -> ())
         records
     end;
-    match !buf with
-    | None -> `Unrecoverable "no durable coverage"
-    | Some b ->
-        let dst = Page_store.bytes t.store page in
-        Bytes.blit b 0 dst 0 t.page_size;
-        Vec.set t.disk_img page (Some (Bytes.copy dst));
-        Vec.set t.disk_lsn page !lsn;
-        Vec.set t.mem_lsn page !lsn;
-        let disk, phys = Page_store.location t.store page in
-        Disk_model.write t.data_disks ~disk ~phys;
-        Page_store.stamp ~lsn:!lsn t.store page;
-        `Repaired
+    if !damaged > 0 then `Unrecoverable "log damaged: replay source incomplete"
+    else
+      match !buf with
+      | None -> `Unrecoverable "no durable coverage"
+      | Some b ->
+          let dst = Page_store.bytes t.store page in
+          if
+            bad_sectors <> []
+            && Page_store.header_lsn t.store page = !lsn
+          then
+            (* The intact sectors are verified bytes of the very version
+               replay produced: patch only the damaged spans. *)
+            List.iter
+              (fun s ->
+                let off = s * Page_store.sector_size in
+                if off >= 0 && off < t.page_size then begin
+                  let n = min Page_store.sector_size (t.page_size - off) in
+                  Bytes.blit b off dst off n;
+                  Counter.incr t.stats.repair_sectors
+                end)
+              bad_sectors
+          else begin
+            Bytes.blit b 0 dst 0 t.page_size;
+            Counter.incr t.stats.repair_full
+          end;
+          Vec.set t.disk_img page (Some (Bytes.copy dst));
+          Vec.set t.disk_lsn page !lsn;
+          Vec.set t.mem_lsn page !lsn;
+          let disk, phys = Page_store.location t.store page in
+          Disk_model.write t.data_disks ~disk ~phys;
+          Page_store.stamp ~lsn:!lsn t.store page;
+          `Repaired
   end
 
 let tear_last_writeback t =
@@ -586,7 +850,7 @@ let tear_last_writeback t =
         (* Only sound if redo can rebuild the page from a full image in
            the replayable durable log; otherwise the write was already
            covered (fsynced) by a completed checkpoint. *)
-        let records, _, _ = parse_durable t in
+        let records, _, _, _ = parse_durable t in
         let repairable =
           List.exists
             (function Image { page = p; _ } -> p = page | _ -> false)
@@ -603,6 +867,8 @@ let tear_last_writeback t =
 
 (* ----------------------------- recovery ----------------------------- *)
 
+let set_batched_redo t b = t.batched_redo <- b
+
 let recover t =
   let t0 = Clock.now t.clock in
   Counter.incr t.stats.recoveries;
@@ -618,16 +884,12 @@ let recover t =
     | None -> Bytes.fill b 0 t.page_size '\000');
     Vec.set t.mem_lsn id (Vec.get t.disk_lsn id)
   done;
-  (* Sequential scan of the durable log from the last checkpoint. *)
-  let log_len = Buffer.length t.durable - t.ckpt_offset in
-  let read_pages = (log_len + t.page_size - 1) / t.page_size in
-  let completion = ref (Clock.now t.clock) in
-  let phys0 = t.ckpt_offset / t.page_size in
-  for i = 0 to read_pages - 1 do
-    completion := Disk_model.read t.log_disk ~disk:0 ~phys:(phys0 + i) ()
-  done;
-  Clock.advance_to t.clock !completion;
-  let records, scanned, torn = parse_durable t in
+  (* Scan the durable log from the last checkpoint: each log page read is
+     charged through the fault schedule, with mirror fallback (and heal)
+     on damage. *)
+  let records, scanned, torn, damaged =
+    scan_committed t ~charge:true ~from:t.ckpt_offset
+  in
   (* Redo: re-apply records newer than the page's durable image. *)
   let committed = ref 0 and meta = ref [] in
   let redone = Hashtbl.create 64 in
@@ -661,14 +923,30 @@ let recover t =
           meta := m
       | Alloc _ | Free _ -> ())
     records;
-  (* Write redone pages back and refresh their durable images. *)
-  Hashtbl.iter
-    (fun page () ->
+  (* Write redone pages back and refresh their durable images.  Batched
+     redo sorts the write-backs by (disk, phys), so physically adjacent
+     pages go out as sequential I/O instead of seeking in redo order;
+     recovery waits for the slowest disk either way. *)
+  let redo_list = Hashtbl.fold (fun p () acc -> p :: acc) redone [] in
+  let ordered =
+    if t.batched_redo then
+      List.sort
+        (fun a b ->
+          compare (Page_store.location t.store a)
+            (Page_store.location t.store b))
+        redo_list
+    else redo_list
+  in
+  let wb_completion = ref (Clock.now t.clock) in
+  List.iter
+    (fun page ->
       Vec.set t.disk_img page (Some (Bytes.copy (Page_store.bytes t.store page)));
       Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
       let disk, phys = Page_store.location t.store page in
-      Disk_model.write t.data_disks ~disk ~phys)
-    redone;
+      wb_completion :=
+        max !wb_completion (Disk_model.write_sync t.data_disks ~disk ~phys ()))
+    ordered;
+  Clock.advance_to t.clock !wb_completion;
   Counter.add t.stats.c_redo_records !nredo;
   Counter.add t.stats.c_redo_pages (Hashtbl.length redone);
   (* Restore the committed allocation map: the snapshot taken at the last
@@ -713,7 +991,7 @@ let recover t =
   Hashtbl.reset t.touched;
   Hashtbl.reset t.logged_since_ckpt;
   Buffer.clear t.buf;
-  t.sealed_bytes <- Buffer.length t.durable;
+  t.sealed_bytes <- t.durable_len;
   t.crashed <- false;
   t.crash_at <- None;
   t.last_writeback <- Page_store.nil;
@@ -734,12 +1012,15 @@ let recover t =
     redo_pages = Hashtbl.length redone;
     free_pages = List.length !free_ids;
     torn_tail_bytes = torn;
+    damaged_records = damaged;
     recovery_ns = dt;
   }
 
 (* ----------------------------- lifecycle ---------------------------- *)
 
-let attach ?(group_commit_bytes = 0) ?(log_base_images = false) ~meta pool =
+let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
+    ?(log_mirrors = 1) ~meta pool =
+  if log_mirrors < 1 then invalid_arg "Wal.attach: log_mirrors < 1";
   let sim = Buffer_pool.sim pool in
   let store = Buffer_pool.store pool in
   let page_size = Page_store.page_size store in
@@ -750,19 +1031,23 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false) ~meta pool =
       clock = sim.Sim.clock;
       sim;
       data_disks = Buffer_pool.disks pool;
-      log_disk =
+      log_disks =
         Disk_model.create
           ~transfer_ns:(Disk_model.transfer_ns_of_page_size page_size)
-          ~n_disks:1 sim.Sim.clock;
+          ~n_disks:log_mirrors sim.Sim.clock;
+      mirrors =
+        Array.init log_mirrors (fun _ ->
+            { data = Bytes.create 65536; len = 0 });
       page_size;
       group_commit_bytes;
       buf = Buffer.create 4096;
-      durable = Buffer.create 65536;
+      durable_len = 0;
       sealed_bytes = 0;
       next_lsn = 1;
       last_op = 0;
       ckpt_offset = 0;
       boundaries = [];
+      batched_redo = true;
       shadow = Vec.create ~dummy:None;
       mem_lsn = Vec.create ~dummy:0;
       disk_img = Vec.create ~dummy:None;
@@ -796,7 +1081,8 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false) ~meta pool =
          on_page_free = on_page_free t;
          page_lsn = page_lsn t;
        });
-  Buffer_pool.set_repair pool (Some (repair_page t));
+  Buffer_pool.set_repair pool
+    (Some (fun page ~bad_sectors -> repair_page t ~bad_sectors page));
   if log_base_images then
     (* Give the log full-image coverage of the pages that predate it
        (e.g. a bulkloaded tree), so media repair never depends on state
@@ -818,7 +1104,7 @@ let detach t =
 (* ---------------------------- inspection ---------------------------- *)
 
 let log_bytes t = t.sealed_bytes
-let durable_bytes t = Buffer.length t.durable
+let durable_bytes t = t.durable_len
 let layout t = List.rev t.boundaries
 
 let verify_images t =

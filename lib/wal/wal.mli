@@ -1,4 +1,5 @@
-(** Physiological write-ahead log with redo-only (ARIES-lite) recovery.
+(** Physiological write-ahead log with redo-only (ARIES-lite) recovery
+    over mirrored, checksummed log disks.
 
     The log attaches to a {!Fpb_storage.Buffer_pool} through its
     [wal_hooks] and maintains, alongside the in-memory page store, a
@@ -17,9 +18,10 @@
       torn pages), a byte-range {e delta} afterwards — followed by a
       commit record carrying the operation number and the index's root
       metadata.
-    - Records are sealed into a log buffer; a flush appends them to the
-      durable stream and waits for the log disk (group commit batches
-      flushes until [group_commit_bytes] accumulate).
+    - Records are sealed into a log buffer; a flush appends them to
+      every mirror's durable stream and waits for the slowest log disk
+      (group commit batches flushes until [group_commit_bytes]
+      accumulate).
     - Eviction write-backs run [before_page_write], which forces the log
       first (WAL-before-data).  A write-back of a page with uncommitted
       changes does {e not} update its durable image (a redo-only log
@@ -29,11 +31,31 @@
       refreshes stale durable images, and appends a checkpoint record
       from which the next recovery starts.
 
+    {2 Surviving log-media failure}
+
+    The durable stream lives on [log_mirrors] (K >= 1) log disks holding
+    position-identical byte streams, and every record is framed with its
+    own CRC-32.  Log disks are {e not} exempt from media faults: arm a
+    {!Fpb_storage.Fault.profile} on them with {!set_log_faults} (or
+    damage a mirror's bytes deterministically with
+    {!inject_mirror_damage}).  A scan — recovery replay or
+    {!repair_page} — reads log pages through the fault schedule; a
+    record that is torn, rotted, or on a lost sector of one mirror falls
+    back to the next mirror ([wal.mirror.fallbacks]) and heals the
+    damaged span on the failed mirror in passing
+    ([wal.mirror.repairs]).  A record unreadable on {e every} mirror is
+    {e detected}, never silently served: the scan stops there, the
+    recovery reports it in [damaged_records], and {!repair_page} refuses
+    to serve from a log with holes in it.
+
     Recovery ({!recover}) discards all volatile state, resets every page
     to its durable image, truncates the durable log at the last complete
     commit/checkpoint record (a torn tail parses as garbage and stops
     the scan), and replays records whose LSN is newer than the page's
-    durable image.  The returned metadata reconstructs index handles.
+    durable image.  Redone pages are written back in (disk, physical)
+    order when batched redo is on (the default, see {!set_batched_redo}),
+    so adjacent pages go out as sequential I/O.  The returned metadata
+    reconstructs index handles.
 
     Crash injection: {!set_crash_at_byte} cuts the durable log mid-flush
     at an exact byte offset and raises {!Crashed};
@@ -58,16 +80,18 @@ type record =
           snapshot to restore the committed allocation map *)
   | Free of { lsn : int; page : int }
 
-(** On-disk record framing: [length | body | FNV-1a-32 checksum], all
-    little-endian 32-bit.  A record that fails length or checksum
-    validation marks the end of the readable log (torn tail). *)
+(** On-disk record framing: [length | body | CRC-32], all little-endian
+    32-bit; the checksum is {!Fpb_storage.Checksum} (CRC-32/IEEE) over
+    the body.  A record that fails length or checksum validation marks
+    the end of the readable log on that mirror. *)
 module Codec : sig
   val encode : record -> string
 
-  (** [decode s pos] parses the framed record at [pos]; [None] if the
-      bytes are truncated or corrupt.  Returns the record and the
-      position just past it. *)
-  val decode : string -> int -> (record * int) option
+  (** [decode b pos] parses the framed record at [pos] of the stream
+      held in [b] (the stream occupies bytes [0, len), defaulting to all
+      of [b]); [None] if the bytes are truncated or corrupt.  Returns
+      the record and the position just past it. *)
+  val decode : ?len:int -> Bytes.t -> int -> (record * int) option
 end
 
 type t
@@ -81,6 +105,15 @@ type boundary = {
   kind : [ `Image | `Delta | `Commit | `Checkpoint | `Alloc | `Free ];
 }
 
+(** Deterministic damage to one mirror's durable bytes (lengths never
+    change; contents rot).  [Torn_tail n] zeroes the last [n] bytes;
+    [Zero_span] zeroes an interior span (e.g. one sector of a log page);
+    [Flip] flips one bit. *)
+type damage =
+  | Torn_tail of int
+  | Zero_span of { off : int; len : int }
+  | Flip of { off : int; bit : int }
+
 (** What a recovery pass established. *)
 type recovery = {
   committed_ops : int;  (** highest operation number durably committed *)
@@ -89,7 +122,11 @@ type recovery = {
   redo_records : int;  (** image/delta records actually re-applied *)
   redo_pages : int;  (** distinct pages touched by redo *)
   free_pages : int;  (** pages on the restored (committed) free list *)
-  torn_tail_bytes : int;  (** unparseable bytes at the durable tail *)
+  torn_tail_bytes : int;  (** unreadable bytes at the durable tail *)
+  damaged_records : int;
+      (** stream positions unreadable on {e every} mirror with readable
+          content known to lie beyond — committed records may be lost,
+          and the loss is reported rather than silently absorbed *)
   recovery_ns : int;  (** simulated time the pass took *)
 }
 
@@ -103,10 +140,12 @@ type recovery = {
     the buffer are lost by a crash).  [log_base_images] additionally
     seals a full image record for every live page before the initial
     checkpoint, so media repair of pre-existing (bulkloaded) pages can
-    replay from the log itself rather than the snapshot. *)
+    replay from the log itself rather than the snapshot.
+    [log_mirrors] (default 1) is the number of mirrored log disks. *)
 val attach :
   ?group_commit_bytes:int ->
   ?log_base_images:bool ->
+  ?log_mirrors:int ->
   meta:int list ->
   Fpb_storage.Buffer_pool.t ->
   t
@@ -115,14 +154,36 @@ val attach :
     non-durable operation. *)
 val detach : t -> unit
 
+(** Number of mirrored log disks. *)
+val log_mirrors : t -> int
+
+(** The log-disk farm (disk index = mirror index), for inspecting its
+    [disk.*] counters. *)
+val log_disks : t -> Fpb_storage.Disk_model.t
+
+(** Arm (or with [None] disarm) the seeded fault schedule on one log
+    mirror, or on all of them without [mirror]: the log is subject to
+    the same media failures as the data disks. *)
+val set_log_faults : t -> ?mirror:int -> Fpb_storage.Fault.profile option -> unit
+
+(** Deterministically damage one mirror's durable bytes (tests and the
+    chaos harness's detection legs). *)
+val inject_mirror_damage : t -> mirror:int -> damage -> unit
+
 (** Rebuild one page's committed bytes after media damage: replay the
     page's last full image record plus following deltas from the
     committed durable stream, falling back to its durable image when it
-    was never logged.  The rebuilt bytes are written back to the data
-    disk (remapping any latent sector) and freshly stamped.  Refuses
-    pages with uncommitted changes and pages with no durable coverage.
-    Installed on the pool as its repair hook by {!attach}. *)
-val repair_page : t -> int -> [ `Repaired | `Unrecoverable of string ]
+    was never logged.  With [bad_sectors] naming the damaged 512-byte
+    sectors (from {!Fpb_storage.Page_store.verify}) and the page's
+    stamped header LSN matching the replayed state, only those sector
+    spans are patched; otherwise the whole page is rebuilt.  The result
+    is written back to the data disk (remapping any latent sector) and
+    freshly stamped.  Refuses pages with uncommitted changes, pages with
+    no durable coverage, and any repair whose log scan hit records
+    unreadable on every mirror.  Installed on the pool as its repair
+    hook by {!attach}. *)
+val repair_page :
+  t -> ?bad_sectors:int list -> int -> [ `Repaired | `Unrecoverable of string ]
 
 (** Seal the current operation: log the pages dirtied since the last
     commit and a commit record numbered [op] carrying [meta]. *)
@@ -133,8 +194,8 @@ val commit : t -> op:int -> meta:int list -> unit
     Must not be called mid-operation (with undirtied commits pending). *)
 val checkpoint : t -> meta:int list -> unit
 
-(** Force all sealed records to the durable stream, waiting for the log
-    disk.  No-op on an empty buffer. *)
+(** Force all sealed records to every mirror's durable stream, waiting
+    for the slowest log disk.  No-op on an empty buffer. *)
 val flush : t -> unit
 
 (** Total bytes ever sealed / durably flushed. *)
@@ -147,8 +208,8 @@ val durable_bytes : t -> int
 val layout : t -> boundary list
 
 (** Arm ([Some b]) or disarm ([None]) the crash trigger: the flush whose
-    durable extent would cross byte offset [b] truncates the durable
-    stream exactly there and raises {!Crashed}. *)
+    durable extent would cross byte offset [b] truncates every mirror's
+    durable stream exactly there and raises {!Crashed}. *)
 val set_crash_at_byte : t -> int option -> unit
 
 (** Power cut right now: sealed-but-unflushed records are lost. *)
@@ -164,9 +225,16 @@ val is_crashed : t -> bool
     fsynced under a completed checkpoint). *)
 val tear_last_writeback : t -> bool
 
+(** Batched redo (default on): recovery sorts redo write-backs by
+    (disk, physical page) so adjacent pages go out sequentially, instead
+    of issuing them in replay-table order.  Off reproduces the unsorted
+    baseline for comparison. *)
+val set_batched_redo : t -> bool -> unit
+
 (** Bring the system back from a crash: drop the pool, reset pages to
-    durable images, replay the log from the last durable checkpoint, and
-    restart the log with a fresh checkpoint.  Charges log reads and
+    durable images, replay the log from the last durable checkpoint
+    (reading log pages through the fault schedule with mirror fallback),
+    and restart the log with a fresh checkpoint.  Charges log reads and
     page write-backs as simulated I/O. *)
 val recover : t -> recovery
 

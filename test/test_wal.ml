@@ -3,6 +3,7 @@
    crash-at-every-record-boundary recovery property over all four index
    structures. *)
 
+open Fpb_storage
 open Fpb_btree_common
 open Fpb_wal
 module X = Fpb_experiments
@@ -13,7 +14,7 @@ let check_int = Alcotest.(check int)
 
 let roundtrip label r =
   let s = Wal.Codec.encode r in
-  match Wal.Codec.decode s 0 with
+  match Wal.Codec.decode (Bytes.of_string s) 0 with
   | None -> Alcotest.failf "%s: decode failed" label
   | Some (r', next) ->
       check_int (label ^ ": consumed") (String.length s) next;
@@ -37,7 +38,7 @@ let test_codec_torn_tail () =
   in
   let s = a ^ b in
   (* a truncated tail: the first record parses, the second stops the scan *)
-  let torn = String.sub s 0 (String.length s - 3) in
+  let torn = Bytes.of_string (String.sub s 0 (String.length s - 3)) in
   (match Wal.Codec.decode torn 0 with
   | Some (_, next) ->
       Alcotest.(check bool) "torn tail unreadable" true
@@ -47,7 +48,27 @@ let test_codec_torn_tail () =
   let bad = Bytes.of_string a in
   Bytes.set bad 6 (Char.chr (Char.code (Bytes.get bad 6) lxor 0xff));
   Alcotest.(check bool) "corrupt record rejected" true
-    (Wal.Codec.decode (Bytes.to_string bad) 0 = None)
+    (Wal.Codec.decode bad 0 = None)
+
+let test_codec_crc_framing () =
+  (* The frame is [len | body | crc32(body)] little-endian: pin the
+     trailer to the independently computed CRC-32 of the body bytes, so
+     the on-disk format can't silently drift back to a weaker sum. *)
+  let r = Wal.Commit { lsn = 5; op = 2; meta = [ 9 ] } in
+  let s = Wal.Codec.encode r in
+  let b = Bytes.of_string s in
+  let len = Int32.to_int (Bytes.get_int32_le b 0) in
+  check_int "frame length" (String.length s) (len + 8);
+  let crc = Int32.to_int (Bytes.get_int32_le b (4 + len)) land 0xffffffff in
+  check_int "trailer is crc32 of body" crc
+    (Fpb_storage.Checksum.update 0 b 4 len);
+  (* CRC-32 check vector through the same path the codec uses. *)
+  check_int "crc32 check value" 0xCBF43926
+    (Fpb_storage.Checksum.string "123456789");
+  (* A flipped CRC byte alone (body intact) must also reject. *)
+  Bytes.set b (4 + len) (Char.chr (Char.code (Bytes.get b (4 + len)) lxor 1));
+  Alcotest.(check bool) "corrupt trailer rejected" true
+    (Wal.Codec.decode b 0 = None)
 
 (* --- commit / crash / recover on a real system --- *)
 
@@ -124,6 +145,100 @@ let test_explicit_flush_durable () =
   let r = Wal.recover wal in
   check_int "flushed commits durable" 5 r.Wal.committed_ops
 
+(* --- mirrored log: detection at K=1, survival at K=2 --- *)
+
+(* With a single log disk, damage to committed records must be detected
+   and reported — recovery serves the intact prefix and says what it
+   lost, never pretending the stream was merely cut short. *)
+let test_single_mirror_loss_detected () =
+  let sys, _, idx = build_small X.Setup.Disk_first 300 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.X.Setup.pool in
+  for i = 1 to 10 do
+    ignore (Index_sig.insert idx (1_000_000 + i) i);
+    Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+  done;
+  (* Zero a span in the middle of the committed stream on the only
+     mirror: bytes of some committed transaction are gone for good. *)
+  Wal.inject_mirror_damage wal ~mirror:0
+    (Wal.Zero_span { off = Wal.durable_bytes wal / 2; len = 64 });
+  Wal.crash_now wal;
+  let r = Wal.recover wal in
+  Alcotest.(check bool) "loss detected" true (r.Wal.damaged_records > 0);
+  Alcotest.(check bool) "replay stopped at the damage" true
+    (r.Wal.committed_ops < 10);
+  (* The intact prefix is still a consistent index. *)
+  Index_sig.restore_meta idx r.Wal.meta;
+  Index_sig.check idx
+
+(* Property: with K = 2 mirrors, any single-mirror damage — torn tail,
+   interior zeroing, bit rot, or a latent-sector fault schedule — costs
+   no committed transaction, and recovery reports no damage (the other
+   mirror served every record).  Media repair still works afterwards. *)
+let prop_mirror_survives_single_fault =
+  Util.qtest ~count:10 "K=2: single-mirror damage loses nothing"
+    QCheck2.Gen.(pair (1 -- 1000) (0 -- 3))
+    (fun (seed, dkind) ->
+      let sys, _, idx = build_small X.Setup.Disk_first 200 in
+      let wal =
+        Wal.attach ~log_base_images:true ~log_mirrors:2
+          ~meta:(Index_sig.meta idx) sys.X.Setup.pool
+      in
+      let prng = Fpb_workload.Prng.create seed in
+      let victim = Fpb_workload.Prng.int prng 2 in
+      for i = 1 to 8 do
+        ignore (Index_sig.insert idx (1_000_000 + i) (seed + i));
+        Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+      done;
+      let expected = key_set idx in
+      let dlen = Wal.durable_bytes wal in
+      (match dkind with
+      | 0 ->
+          Wal.inject_mirror_damage wal ~mirror:victim
+            (Wal.Torn_tail (1 + Fpb_workload.Prng.int prng (dlen / 2)))
+      | 1 ->
+          Wal.inject_mirror_damage wal ~mirror:victim
+            (Wal.Zero_span
+               {
+                 off = Fpb_workload.Prng.int prng dlen;
+                 len = 1 + Fpb_workload.Prng.int prng 512;
+               })
+      | 2 ->
+          Wal.inject_mirror_damage wal ~mirror:victim
+            (Wal.Flip
+               {
+                 off = Fpb_workload.Prng.int prng dlen;
+                 bit = Fpb_workload.Prng.int prng 8;
+               })
+      | _ ->
+          (* every read of the victim mirror develops a latent sector *)
+          Wal.set_log_faults wal ~mirror:victim
+            (Some { Fpb_storage.Fault.none with seed; latent = 1.0 }));
+      Wal.crash_now wal;
+      let r = Wal.recover wal in
+      Wal.set_log_faults wal None;
+      Index_sig.restore_meta idx r.Wal.meta;
+      Index_sig.check idx;
+      let survived =
+        r.Wal.committed_ops = 8
+        && r.Wal.damaged_records = 0
+        && key_set idx = expected
+      in
+      (* and the healed log is still a usable repair source *)
+      Buffer_pool.clear sys.X.Setup.pool;
+      let page = ref 0 in
+      Page_store.iter_live sys.X.Setup.store (fun p ->
+          if !page = 0 && not (Buffer_pool.is_resident sys.X.Setup.pool p)
+          then page := p);
+      let b = Page_store.bytes sys.X.Setup.store !page in
+      Bytes.set b 33 (Char.chr (Char.code (Bytes.get b 33) lxor 0x40));
+      let repaired =
+        match Buffer_pool.check_media sys.X.Setup.pool !page with
+        | `Repaired -> true
+        | _ -> false
+      in
+      Wal.detach wal;
+      survived && repaired)
+
 (* --- satellite property: crash at every record boundary --- *)
 
 (* For a random workload seed: run the golden scenario on each index
@@ -164,10 +279,14 @@ let suite =
   [
     Alcotest.test_case "codec round-trip" `Quick test_codec_roundtrip;
     Alcotest.test_case "codec torn tail" `Quick test_codec_torn_tail;
+    Alcotest.test_case "codec crc32 framing" `Quick test_codec_crc_framing;
     Alcotest.test_case "commit then recover" `Quick test_commit_recover;
     Alcotest.test_case "group commit loses buffered tail" `Quick
       test_group_commit_loss;
     Alcotest.test_case "explicit flush is durable" `Quick
       test_explicit_flush_durable;
+    Alcotest.test_case "K=1: log damage detected, not absorbed" `Quick
+      test_single_mirror_loss_detected;
+    prop_mirror_survives_single_fault;
     prop_recovery_prefix;
   ]
