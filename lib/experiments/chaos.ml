@@ -425,13 +425,118 @@ let scrub_sweep ?(seed = 42) scale =
   in
   (List.map snd cells, table)
 
+(* Scrub auto-throttle: the same faulty foreground workload under three
+   pacing policies.  "off" measures the unimpeded foreground p99 and
+   calibrates the throttler's target (1.5x that); "fixed" runs the
+   scrubber flat out at the bandwidth cap; "auto" wraps the same cap in
+   a {!Fpb_storage.Scrub.throttler} fed each operation's latency, so it
+   halves the bandwidth whenever a window's p99 overshoots the target
+   and creeps back up (+1 per quiet window) when the foreground is
+   idle.  The table shows the trade: the throttled leg should land its
+   p99 near the target while still making scrub progress. *)
+let throttle_sweep ?(seed = 42) scale =
+  let n_bulk, n_ops, _, rates = params scale in
+  let rate = List.hd rates in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  let max_bw = 32 in
+  let run_leg policy =
+    let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
+    let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
+    let wal =
+      Wal.attach ~log_base_images:true ~meta:(Index_sig.meta idx)
+        sys.Setup.pool
+    in
+    Buffer_pool.clear sys.Setup.pool;
+    Buffer_pool.reset_stats sys.Setup.pool;
+    Disk_model.set_faults sys.Setup.disks (Some (Fault.scaled ~seed rate));
+    let sched =
+      Scrub.scheduler
+        ~pages_per_tick:(match policy with `Off -> 0 | _ -> max_bw)
+        sys.Setup.pool
+    in
+    let th =
+      match policy with
+      | `Throttled target ->
+          Some
+            (Scrub.throttler ~min_bw:0 ~max_bw ~window:50
+               ~target_p99_ns:target sched)
+      | _ -> None
+    in
+    let clock = sys.Setup.sim.Sim.clock in
+    let lats = Array.make (List.length ops) 0 in
+    List.iteri
+      (fun i op ->
+        let t0 = Clock.now clock in
+        (try
+           (match op with
+           | Search k -> ignore (Index_sig.search idx k)
+           | Ins (k, v) -> ignore (Index_sig.insert idx k v)
+           | Del k -> ignore (Index_sig.delete idx k));
+           Wal.commit wal ~op:(i + 1) ~meta:(Index_sig.meta idx)
+         with Buffer_pool.Io_error _ -> ());
+        ignore (Scrub.tick sched : Scrub.report);
+        (* The interval includes the paced scrub tick: in this serial
+           simulation the scrubber's interference with the foreground is
+           the timeline its reads consume between operations, so the
+           op+tick span is the per-op latency a client would see. *)
+        let lat = Clock.now clock - t0 in
+        lats.(i) <- lat;
+        match th with Some th -> Scrub.observe th lat | None -> ())
+      ops;
+    Disk_model.set_faults sys.Setup.disks None;
+    Wal.detach wal;
+    Array.sort compare lats;
+    let n = Array.length lats in
+    let p99 = if n = 0 then 0 else lats.(99 * (n - 1) / 100) in
+    let mean = if n = 0 then 0 else Array.fold_left ( + ) 0 lats / n in
+    (p99, mean, Scrub.total sched, th)
+  in
+  let base_p99, base_mean, base_total, _ = run_leg `Off in
+  let target = base_p99 * 3 / 2 in
+  let fixed_p99, fixed_mean, fixed_total, _ = run_leg `Fixed in
+  let thr_p99, thr_mean, thr_total, thr = run_leg (`Throttled target) in
+  let backoffs, raises, final_bw =
+    match thr with
+    | Some th ->
+        let b, r = Scrub.adjustments th in
+        (b, r, Scrub.bandwidth th)
+    | None -> (0, 0, 0)
+  in
+  Telemetry.add "chaos.throttle.target_p99_ns" target;
+  Telemetry.add "chaos.throttle.backoffs" backoffs;
+  Telemetry.add "chaos.throttle.raises" raises;
+  Telemetry.add "chaos.throttle.final_bw" final_bw;
+  Table.make ~id:"chaos-scrub-throttle"
+    ~title:
+      (Printf.sprintf
+         "Scrub auto-throttle (AIMD on foreground p99; target = 1.5x \
+          no-scrub p99 = %d ns; disk-first fpB+tree, r=%.4f, %d ops)"
+         target rate n_ops)
+    ~header:
+      [ "policy"; "end bw"; "mean ns/op"; "p99 ns/op"; "scanned";
+        "backoffs"; "raises" ]
+    [
+      [ "scrub off"; Table.cell_i 0; Table.cell_i base_mean;
+        Table.cell_i base_p99; Table.cell_i base_total.Scrub.scanned; "-";
+        "-" ];
+      [ Printf.sprintf "fixed bw=%d" max_bw; Table.cell_i max_bw;
+        Table.cell_i fixed_mean; Table.cell_i fixed_p99;
+        Table.cell_i fixed_total.Scrub.scanned; "-"; "-" ];
+      [ "auto-throttle"; Table.cell_i final_bw; Table.cell_i thr_mean;
+        Table.cell_i thr_p99; Table.cell_i thr_total.Scrub.scanned;
+        Table.cell_i backoffs; Table.cell_i raises ];
+    ]
+
 (* Registry entry: the harness as an experiment, so `fpb exp faults`
    lands detection/repair counters in BENCH_results.json. *)
 let run scale =
   let cells, table = run_all scale in
   let sweep_cells, sweep = scrub_sweep scale in
+  let throttle = throttle_sweep scale in
   let fails =
     List.fold_left (fun a c -> a + List.length c.failures) 0 (cells @ sweep_cells)
   in
   if fails > 0 then Telemetry.add "chaos.oracle_failures" fails;
-  [ table; sweep ]
+  [ table; sweep; throttle ]

@@ -170,21 +170,23 @@ let by_redo_order scale =
       ]
     rows
 
-(* Mirroring cost at commit time: every log force pays the slowest of K
-   position-identical appends, so commit latency and total log-disk
-   writes scale with K while recovery reads only the first clean
-   mirror. *)
-let by_mirror_count scale =
+(* Striping and mirroring cost at commit time: records round-robin
+   across S stripes (whose spans flush in parallel) while every stripe's
+   force pays the slowest of its K position-identical appends.  Commit
+   latency falls with S and rises with K; recovery merges the stripes
+   back by LSN. *)
+let by_log_geometry scale =
   let n_ops = List.nth (op_counts scale) 1 in
   let rows =
     List.map
-      (fun k ->
+      (fun (s, k) ->
         let rng = Fpb_workload.Prng.create 4004 in
         let pairs = Fpb_workload.Keygen.bulk_pairs rng (bulk_entries scale) in
         let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
         let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
         let wal =
-          Wal.attach ~log_mirrors:k ~meta:(Index_sig.meta idx) sys.Setup.pool
+          Wal.attach ~log_stripes:s ~log_mirrors:k ~meta:(Index_sig.meta idx)
+            sys.Setup.pool
         in
         let keys = Fpb_workload.Keygen.random_keys rng n_ops in
         Array.iteri
@@ -201,23 +203,89 @@ let by_mirror_count scale =
         Index_sig.restore_meta idx r.Wal.meta;
         Index_sig.check idx;
         [
+          Table.cell_i s;
           Table.cell_i k;
           Table.cell_i
             (int_of_float (Fpb_obs.Histogram.mean (Wal.commit_latency wal)));
           Table.cell_i (d "disk.writes");
           Table.cell_ms r.Wal.recovery_ns;
         ])
-      [ 1; 2; 3 ]
+      [ (1, 1); (1, 2); (1, 3); (2, 1); (4, 1); (2, 2) ]
   in
   Table.make ~id:"recovery-e"
     ~title:
       (Printf.sprintf
-         "Log mirroring cost (disk-first fpB+tree, %d updates; commit waits \
-          for the slowest mirror)"
+         "Log geometry: S stripes x K mirrors (disk-first fpB+tree, %d \
+          updates; commit waits for the slowest disk)"
          n_ops)
-    ~header:[ "mirrors K"; "commit ns (mean)"; "log writes"; "recovery ms" ]
+    ~header:
+      [
+        "stripes S"; "mirrors K"; "commit ns (mean)"; "log writes";
+        "recovery ms";
+      ]
+    rows
+
+(* Redo-write coalescing before/after: identical crash and replay set,
+   recovery write-backs sorted by (disk, phys) either issued one request
+   per page or merged into multi-page runs.  A fixed per-request
+   controller overhead makes the request count itself a cost, which is
+   what coalescing eliminates. *)
+let by_redo_coalescing scale =
+  let n_ops = List.nth (op_counts scale) 2 in
+  let overhead = 500_000 (* 0.5 ms per request *) in
+  let case coalesce =
+    let rng = Fpb_workload.Prng.create 4004 in
+    let pairs = Fpb_workload.Keygen.bulk_pairs rng (bulk_entries scale) in
+    let sys =
+      Setup.make ~n_disks:2 ~pool_pages ~request_overhead_ns:overhead
+        ~page_size ()
+    in
+    let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
+    let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+    Wal.set_redo_coalescing wal coalesce;
+    let keys = Fpb_workload.Keygen.random_keys rng n_ops in
+    Array.iteri
+      (fun i k ->
+        ignore (Index_sig.insert idx k k);
+        Wal.commit wal ~op:(i + 1) ~meta:(Index_sig.meta idx))
+      keys;
+    Wal.crash_now wal;
+    Fpb_storage.Disk_model.reset_stats sys.Setup.disks;
+    let r = Wal.recover wal in
+    let writes = Fpb_storage.Disk_model.writes sys.Setup.disks in
+    let runs = Fpb_storage.Disk_model.write_runs sys.Setup.disks in
+    Index_sig.restore_meta idx r.Wal.meta;
+    Index_sig.check idx;
+    (r, writes, runs)
+  in
+  let rows =
+    List.map
+      (fun coalesce ->
+        let r, writes, runs = case coalesce in
+        [
+          (if coalesce then "coalesced runs" else "one request per page");
+          Table.cell_ms r.Wal.recovery_ns;
+          Table.cell_i r.Wal.redo_pages;
+          Table.cell_i writes;
+          Table.cell_i (if coalesce then runs else writes);
+        ])
+      [ false; true ]
+  in
+  Table.make ~id:"recovery-f"
+    ~title:
+      (Printf.sprintf
+         "Redo-write coalescing (disk-first fpB+tree, %d updates, 0.5 ms \
+          per-request overhead)"
+         n_ops)
+    ~header:
+      [ "write-back issue"; "recovery ms"; "pages"; "disk writes"; "requests" ]
     rows
 
 let run scale =
   by_update_rate scale
-  @ [ by_checkpoint_interval scale; by_redo_order scale; by_mirror_count scale ]
+  @ [
+      by_checkpoint_interval scale;
+      by_redo_order scale;
+      by_log_geometry scale;
+      by_redo_coalescing scale;
+    ]

@@ -41,6 +41,8 @@ let all : entry list =
       run = (fun s -> [ Exp_skew.run s ]) };
     { id = "recovery"; describes = "Extension: WAL log volume and crash-recovery time";
       run = Exp_recovery.run };
+    { id = "concurrency"; describes = "Extension: multi-client scaling of the sharded buffer pool";
+      run = Exp_concurrency.run };
     { id = "faults"; describes = "Extension: media-fault chaos (checksums, retry, scrub, WAL repair)";
       run = Chaos.run };
   ]

@@ -14,15 +14,18 @@ type system = {
 }
 
 let make ?(n_disks = 10) ?(n_prefetchers = 8) ?(pool_pages = 200_000)
-    ~page_size () =
+    ?(n_shards = 1) ?request_overhead_ns ~page_size () =
   let sim = Sim.create () in
   let store = Page_store.create ~page_size ~n_disks in
   let disks =
     Disk_model.create
       ~transfer_ns:(Disk_model.transfer_ns_of_page_size page_size)
-      ~n_disks sim.Sim.clock
+      ?request_overhead_ns ~n_disks sim.Sim.clock
   in
-  let pool = Buffer_pool.create ~n_prefetchers ~capacity:pool_pages sim store disks in
+  let pool =
+    Buffer_pool.create ~n_prefetchers ~n_shards ~capacity:pool_pages sim store
+      disks
+  in
   { sim; store; disks; pool }
 
 type kind = Disk_opt | Micro | Disk_first | Cache_first

@@ -10,4 +10,13 @@ let advance t dt = t.now <- t.now + dt
 (* Move the clock forward to an absolute time, e.g. an I/O completion.
    Never moves backwards. *)
 let advance_to t when_ = if when_ > t.now then t.now <- when_
+
+(* Set the clock to an absolute time, possibly rewinding it.  Only the
+   multi-client scheduler may use this: it runs each logical client's
+   next operation at that client's local time, which can lie before the
+   global maximum reached by another client.  Contention still resolves
+   correctly because every shared resource (disks, log disks, shard
+   latches, the memory pipeline) keeps its own absolute free-at time and
+   services requests at [max now free_at]. *)
+let set t when_ = t.now <- when_
 let reset t = t.now <- 0

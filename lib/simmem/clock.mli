@@ -13,4 +13,10 @@ val advance : t -> int -> unit
     Never moves backwards. *)
 val advance_to : t -> int -> unit
 
+(** Set the clock to an absolute time, possibly rewinding it.  Reserved
+    for the multi-client scheduler, which replays each logical client at
+    its own local time; all shared resources keep absolute free-at times
+    so contention is unaffected by the rewind. *)
+val set : t -> int -> unit
+
 val reset : t -> unit

@@ -15,6 +15,7 @@ type t = {
   move_bytes_per_cycle : int;  (* throughput of bulk copies *)
   c_op : int;  (* fixed per index operation (call overhead, key setup) *)
   crc_bytes_per_cycle : int;  (* software CRC-32 throughput (0 = free) *)
+  latch_cycles : int;  (* per shard-latch acquire: CAS + fence + bookkeeping *)
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     move_bytes_per_cycle = 8;
     c_op = 100;
     crc_bytes_per_cycle = 4;
+    latch_cycles = 60;
   }
 
 (* Cycles to checksum [bytes] bytes: table-driven CRC-32 at

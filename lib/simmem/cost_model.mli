@@ -12,6 +12,10 @@ type t = {
   crc_bytes_per_cycle : int;
       (** software CRC-32 throughput in bytes per cycle; [0] makes
           checksumming free in simulated time (the pre-PR-4 behaviour) *)
+  latch_cycles : int;
+      (** busy cycles per buffer-pool shard-latch acquisition (the
+          uncontended CAS + fence); contended acquisitions additionally
+          wait until the holder's release time *)
 }
 
 val default : t

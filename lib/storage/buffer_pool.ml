@@ -1,5 +1,5 @@
-(* Buffer pool with CLOCK replacement, pinning, asynchronous prefetch,
-   and media-failure handling.
+(* Buffer pool with sharded CLOCK replacement, pinning, asynchronous
+   prefetch, and media-failure handling.
 
    Page contents always live in the page store; the pool tracks which pages
    are memory-resident, charges simulated disk time for the rest, and
@@ -7,6 +7,18 @@
    physical addresses (frame index x page size), so the CPU-cache simulator
    sees a stable, conflict-realistic address space; reassigning a frame
    invalidates its CPU-cache lines.
+
+   The page table and CLOCK replacement are split into [n_shards]
+   independent shards keyed by a mix of the page id (PostgreSQL's
+   buffer-mapping partitions, LeanStore's partitioned pools).  Each shard
+   owns a disjoint slice of the frame arena, its own hash table, in-flight
+   map, CLOCK hand, and a simulated latch: acquiring the latch costs
+   [Cost_model.latch_cycles] busy time, and acquiring it while another
+   logical client holds it (its release time lies in the acquirer's
+   future) additionally waits until the holder releases, counted in
+   [pool.shard.conflicts] / [pool.shard.waits_ns].  With one shard and one
+   client the latch never conflicts and the pool behaves exactly like the
+   pre-sharding implementation.
 
    Prefetch requests are dispatched by a configurable pool of prefetcher
    threads (the paper's DB2 experiment varies exactly this): each request is
@@ -27,10 +39,13 @@ module Counter = Fpb_obs.Counter
 type stats = {
   hits : Counter.t;
   misses : Counter.t;  (* demand reads that went to disk *)
+  evictions : Counter.t;  (* pages replaced by the CLOCK sweep *)
   prefetch_issued : Counter.t;
   prefetch_hits : Counter.t;  (* gets satisfied by a prefetched page *)
   prefetch_dropped : Counter.t;  (* hints dropped: pool too hot, or I/O error *)
   io_wait_ns : Counter.t;  (* time the querying thread waited on I/O *)
+  shard_conflicts : Counter.t;  (* latch acquisitions that found it held *)
+  shard_waits_ns : Counter.t;  (* simulated time spent waiting on latches *)
   retry_read : Counter.t;  (* read attempts beyond the first *)
   retry_wait_ns : Counter.t;  (* simulated time spent backing off *)
   err_transient : Counter.t;
@@ -46,10 +61,13 @@ let make_stats () =
   {
     hits = Counter.make "pool.hits";
     misses = Counter.make "pool.misses";
+    evictions = Counter.make "pool.evictions";
     prefetch_issued = Counter.make "pool.prefetch_issued";
     prefetch_hits = Counter.make "pool.prefetch_hits";
     prefetch_dropped = Counter.make "pool.prefetch_dropped";
     io_wait_ns = Counter.make "pool.io_wait_ns";
+    shard_conflicts = Counter.make "pool.shard.conflicts";
+    shard_waits_ns = Counter.make "pool.shard.waits_ns";
     retry_read = Counter.make "io.retry.read";
     retry_wait_ns = Counter.make "io.retry.wait_ns";
     err_transient = Counter.make "io.error.transient";
@@ -63,9 +81,10 @@ let make_stats () =
 
 let stats_counters s =
   [
-    s.hits; s.misses; s.prefetch_issued; s.prefetch_hits; s.prefetch_dropped;
-    s.io_wait_ns; s.retry_read; s.retry_wait_ns; s.err_transient;
-    s.err_latent; s.err_checksum; s.err_unrecoverable; s.repair_attempts;
+    s.hits; s.misses; s.evictions; s.prefetch_issued; s.prefetch_hits;
+    s.prefetch_dropped; s.io_wait_ns; s.shard_conflicts; s.shard_waits_ns;
+    s.retry_read; s.retry_wait_ns; s.err_transient; s.err_latent;
+    s.err_checksum; s.err_unrecoverable; s.repair_attempts;
     s.repair_repaired; s.repair_failed;
   ]
 
@@ -128,6 +147,23 @@ let () =
              | `Failed msg -> ", repair failed: " ^ msg))
     | _ -> None)
 
+(* One shard: a disjoint frame slice [lo, hi), its own page table,
+   in-flight map and CLOCK hand, plus the simulated latch state.  The
+   latch is a cost model, not a mutex: operations execute atomically in
+   host order, but [latch_free_at] records when the previous holder (in
+   simulated time) released, so a logical client arriving earlier pays
+   the wait. *)
+type shard = {
+  table : (int, int) Hashtbl.t;  (* page id -> frame *)
+  inflight : (int, int) Hashtbl.t;  (* page id -> completion time *)
+  lo : int;  (* first frame owned (inclusive) *)
+  hi : int;  (* last frame owned (exclusive) *)
+  mutable hand : int;
+  mutable latch_free_at : int;
+  mutable conflicts : int;  (* per-shard tally of contended acquires *)
+  mutable waits_ns : int;
+}
+
 type t = {
   sim : Sim.t;
   store : Page_store.t;
@@ -137,11 +173,9 @@ type t = {
   ref_bit : bool array;
   pin : int array;
   dirty : bool array;
-  table : (int, int) Hashtbl.t;  (* page id -> frame *)
-  inflight : (int, int) Hashtbl.t;  (* page id -> completion time *)
+  shards : shard array;
   prefetcher_free : int array;  (* per prefetcher: time it becomes idle *)
   prefetch_request_busy : int;  (* cycles to enqueue a prefetch request *)
-  mutable hand : int;
   mutable readahead : int;  (* sequential readahead depth (0 = off) *)
   mutable wal : wal_hooks option;
   mutable retry : retry_policy;
@@ -153,28 +187,79 @@ type t = {
 
 exception Pool_exhausted
 
+(* Deterministic multiplicative mix so shard choice decorrelates from the
+   round-robin disk striping ((id-1) mod n_disks) and from any sequential
+   allocation pattern. *)
+let mix_page page =
+  let h = page * 0x9E3779B1 in
+  let h = h lxor (h lsr 16) in
+  h land max_int
+
+let n_shards t = Array.length t.shards
+let shard_of_page t page =
+  if Array.length t.shards = 1 then 0
+  else mix_page page mod Array.length t.shards
+
+let shard_of t page = t.shards.(shard_of_page t page)
+
+(* Simulated latch acquisition: charge the uncontended cost, then if the
+   previous holder's release time is still in this client's future, count
+   a conflict and wait it out.  With a monotone clock (single client) the
+   wait branch never triggers. *)
+let latch_acquire t sh =
+  Sim.charge_busy t.sim t.sim.Sim.cost.Cost_model.latch_cycles;
+  let now = Clock.now t.sim.Sim.clock in
+  if now < sh.latch_free_at then begin
+    let w = sh.latch_free_at - now in
+    sh.conflicts <- sh.conflicts + 1;
+    sh.waits_ns <- sh.waits_ns + w;
+    Counter.incr t.stats.shard_conflicts;
+    Counter.add t.stats.shard_waits_ns w;
+    Clock.advance_to t.sim.Sim.clock sh.latch_free_at
+  end
+
+let latch_release t sh = sh.latch_free_at <- Clock.now t.sim.Sim.clock
+
 (* Drop every trace of [page] from the pool without writing it back: frame,
    ref bit, dirty bit, in-flight entry, CPU-cache lines.  Runs on every
    [Page_store.free] (the pool registers itself as an observer), so a
    free + realloc cycle can never resurrect stale frame state no matter
    which layer initiated the free. *)
 let invalidate_page t page =
-  match Hashtbl.find_opt t.table page with
-  | None -> Hashtbl.remove t.inflight page
+  let sh = shard_of t page in
+  match Hashtbl.find_opt sh.table page with
+  | None -> Hashtbl.remove sh.inflight page
   | Some frame ->
       if t.pin.(frame) > 0 then
         invalid_arg "Buffer_pool: freeing a pinned page";
-      Hashtbl.remove t.table page;
-      Hashtbl.remove t.inflight page;
+      Hashtbl.remove sh.table page;
+      Hashtbl.remove sh.inflight page;
       t.frames.(frame) <- Page_store.nil;
       t.ref_bit.(frame) <- false;
       t.dirty.(frame) <- false;
       let page_size = Page_store.page_size t.store in
       Cache.invalidate_range t.sim.Sim.cache (frame * page_size) page_size
 
-let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
-    store disks =
+let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ?(n_shards = 1)
+    ~capacity sim store disks =
   if capacity <= 0 then invalid_arg "Buffer_pool.create";
+  if n_shards < 1 || n_shards > capacity then
+    invalid_arg "Buffer_pool.create: n_shards must be in [1, capacity]";
+  let shards =
+    Array.init n_shards (fun i ->
+        let lo = i * capacity / n_shards in
+        let hi = (i + 1) * capacity / n_shards in
+        {
+          table = Hashtbl.create (2 * (hi - lo));
+          inflight = Hashtbl.create 64;
+          lo;
+          hi;
+          hand = lo;
+          latch_free_at = 0;
+          conflicts = 0;
+          waits_ns = 0;
+        })
+  in
   let t =
     {
       sim;
@@ -185,11 +270,9 @@ let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ~capacity sim
       ref_bit = Array.make capacity false;
       pin = Array.make capacity 0;
       dirty = Array.make capacity false;
-      table = Hashtbl.create (2 * capacity);
-      inflight = Hashtbl.create 64;
+      shards;
       prefetcher_free = Array.make (max 1 n_prefetchers) 0;
       prefetch_request_busy;
-      hand = 0;
       readahead = 0;
       wal = None;
       retry = default_retry_policy;
@@ -215,20 +298,31 @@ let sim t = t.sim
 let store t = t.store
 let disks t = t.disks
 let capacity t = t.capacity
-let reset_stats t = List.iter Counter.reset (stats_counters t.stats)
+
+let shard_tallies t =
+  Array.map (fun sh -> (sh.conflicts, sh.waits_ns)) t.shards
+
+let reset_stats t =
+  List.iter Counter.reset (stats_counters t.stats);
+  Array.iter
+    (fun sh ->
+      sh.conflicts <- 0;
+      sh.waits_ns <- 0)
+    t.shards
+
 let kv t = stats_kv t.stats
 
 let region_of_frame t frame page =
   Mem.make ~bytes:(Page_store.bytes t.store page)
     ~base:(frame * Page_store.page_size t.store)
 
-let evictable t frame =
+let evictable t sh frame =
   t.pin.(frame) = 0
   &&
   match t.frames.(frame) with
   | p when p = Page_store.nil -> true
   | p -> (
-      match Hashtbl.find_opt t.inflight p with
+      match Hashtbl.find_opt sh.inflight p with
       | Some c -> c <= Clock.now t.sim.Sim.clock
       | None -> true)
 
@@ -333,15 +427,16 @@ let media_read t page ~disk ~phys =
 
 (* ----------------------------- replacement --------------------------- *)
 
-(* CLOCK sweep: find a frame, evicting its current page if needed. *)
-let victim_frame t =
+(* CLOCK sweep over the shard's frame slice: find a frame, evicting its
+   current page if needed. *)
+let victim_frame t sh =
   let page_size = Page_store.page_size t.store in
-  let n = t.capacity in
+  let n = sh.hi - sh.lo in
   let rec sweep steps =
     if steps > 2 * n then raise Pool_exhausted;
-    let f = t.hand in
-    t.hand <- (f + 1) mod n;
-    if not (evictable t f) then sweep (steps + 1)
+    let f = sh.hand in
+    sh.hand <- (if f + 1 >= sh.hi then sh.lo else f + 1);
+    if not (evictable t sh f) then sweep (steps + 1)
     else if t.frames.(f) <> Page_store.nil && t.ref_bit.(f) then begin
       t.ref_bit.(f) <- false;
       sweep (steps + 1)
@@ -352,8 +447,9 @@ let victim_frame t =
   (match t.frames.(f) with
   | p when p = Page_store.nil -> ()
   | p ->
-      Hashtbl.remove t.table p;
-      Hashtbl.remove t.inflight p;
+      Hashtbl.remove sh.table p;
+      Hashtbl.remove sh.inflight p;
+      Counter.incr t.stats.evictions;
       if t.dirty.(f) then begin
         t.dirty.(f) <- false;
         write_back t p
@@ -367,28 +463,28 @@ let victim_frame t =
    frame holds a prefetch still in flight, wait for the earliest completion
    and retry instead of giving up: an in-flight read about to land is not
    pool exhaustion.  Raises only when every frame is genuinely pinned. *)
-let victim_frame_waiting t =
-  try victim_frame t
+let victim_frame_waiting t sh =
+  try victim_frame t sh
   with Pool_exhausted ->
     let earliest = ref max_int in
     Hashtbl.iter
       (fun page c ->
-        match Hashtbl.find_opt t.table page with
+        match Hashtbl.find_opt sh.table page with
         | Some frame when t.pin.(frame) = 0 ->
             if c < !earliest then earliest := c
         | _ -> ())
-      t.inflight;
+      sh.inflight;
     if !earliest = max_int then raise Pool_exhausted
     else begin
       wait_until t !earliest;
-      victim_frame t
+      victim_frame t sh
     end
 
 (* Drop an unpinned frame whose page turned out unusable (failed
    verification on arrival): forget the mapping without write-back. *)
-let drop_frame t frame page =
-  Hashtbl.remove t.table page;
-  Hashtbl.remove t.inflight page;
+let drop_frame t sh frame page =
+  Hashtbl.remove sh.table page;
+  Hashtbl.remove sh.inflight page;
   t.frames.(frame) <- Page_store.nil;
   t.ref_bit.(frame) <- false;
   t.dirty.(frame) <- false;
@@ -400,41 +496,44 @@ let drop_frame t frame page =
    prefetcher does not retry or repair: on any I/O error it drops the hint
    (counted) and lets the eventual demand read do the fighting. *)
 let prefetch t page =
-  if not (Hashtbl.mem t.table page) then begin
+  let sh = shard_of t page in
+  if not (Hashtbl.mem sh.table page) then begin
     Sim.charge_busy t.sim t.prefetch_request_busy;
-    try
-      let frame = victim_frame t in
-      let worker = ref 0 in
-      for i = 1 to Array.length t.prefetcher_free - 1 do
-        if t.prefetcher_free.(i) < t.prefetcher_free.(!worker) then worker := i
-      done;
-      let earliest =
-        max (Clock.now t.sim.Sim.clock) t.prefetcher_free.(!worker)
-      in
-      let disk, phys = Page_store.location t.store page in
-      let install completion =
-        t.prefetcher_free.(!worker) <- completion;
-        t.frames.(frame) <- page;
-        Hashtbl.replace t.table page frame;
-        Hashtbl.replace t.inflight page completion;
-        Counter.incr t.stats.prefetch_issued
-      in
-      match Disk_model.read_result t.disks ~earliest ~disk ~phys () with
-      | Disk_model.Read_ok c -> install c
-      | Disk_model.Read_corrupt (c, spec) ->
-          (* the bad bytes land in the frame; verification at first [get]
-             catches them *)
-          apply_corruption t page spec;
-          install c
-      | Disk_model.Read_error (c, kind) ->
-          t.prefetcher_free.(!worker) <- c;
-          (match kind with
-          | `Transient -> Counter.incr t.stats.err_transient
-          | `Latent -> Counter.incr t.stats.err_latent);
-          Counter.incr t.stats.prefetch_dropped
-    with Pool_exhausted ->
-      (* pool too hot to prefetch: drop the hint *)
-      Counter.incr t.stats.prefetch_dropped
+    latch_acquire t sh;
+    (try
+       let frame = victim_frame t sh in
+       let worker = ref 0 in
+       for i = 1 to Array.length t.prefetcher_free - 1 do
+         if t.prefetcher_free.(i) < t.prefetcher_free.(!worker) then worker := i
+       done;
+       let earliest =
+         max (Clock.now t.sim.Sim.clock) t.prefetcher_free.(!worker)
+       in
+       let disk, phys = Page_store.location t.store page in
+       let install completion =
+         t.prefetcher_free.(!worker) <- completion;
+         t.frames.(frame) <- page;
+         Hashtbl.replace sh.table page frame;
+         Hashtbl.replace sh.inflight page completion;
+         Counter.incr t.stats.prefetch_issued
+       in
+       match Disk_model.read_result t.disks ~earliest ~disk ~phys () with
+       | Disk_model.Read_ok c -> install c
+       | Disk_model.Read_corrupt (c, spec) ->
+           (* the bad bytes land in the frame; verification at first [get]
+              catches them *)
+           apply_corruption t page spec;
+           install c
+       | Disk_model.Read_error (c, kind) ->
+           t.prefetcher_free.(!worker) <- c;
+           (match kind with
+           | `Transient -> Counter.incr t.stats.err_transient
+           | `Latent -> Counter.incr t.stats.err_latent);
+           Counter.incr t.stats.prefetch_dropped
+     with Pool_exhausted ->
+       (* pool too hot to prefetch: drop the hint *)
+       Counter.incr t.stats.prefetch_dropped);
+    latch_release t sh
   end
 
 (* Sequential readahead after a demand miss at (disk, phys): asynchronously
@@ -449,14 +548,14 @@ let issue_readahead t ~disk ~phys =
    read.  On checksum failure, escalate to repair; if that cannot produce
    the page, evict the frame before raising so the pool never serves bytes
    it knows are bad. *)
-let verify_arrival t page frame =
+let verify_arrival t sh page frame =
   Sim.busy_crc t.sim ~bytes:(Page_store.page_size t.store);
   match Page_store.verify t.store page with
   | Page_store.Ok -> ()
   | Page_store.Bad_crc { bad_sectors; _ } -> (
       Counter.incr t.stats.err_checksum;
       let fail repair =
-        drop_frame t frame page;
+        drop_frame t sh frame page;
         Counter.incr t.stats.err_unrecoverable;
         raise (Io_error { page; attempts = 1; cause = `Checksum; repair })
       in
@@ -471,35 +570,49 @@ let verify_arrival t page frame =
               fail (`Failed msg)))
 
 (* Pin a page, reading it from disk if not resident.  Returns the region to
-   access its contents through.  Must be balanced by [unpin]. *)
+   access its contents through.  Must be balanced by [unpin].
+
+   Latch discipline: the shard latch covers the hash lookup and any
+   frame-state mutation, but is released across disk waits (the remaining
+   latency of an in-flight prefetch, or a demand media read) and
+   re-acquired to install the result — holding a latch across I/O would
+   serialise the whole shard on the disk. *)
 let get t page =
+  let sh = shard_of t page in
+  latch_acquire t sh;
   Sim.busy_bufcall t.sim;
-  match Hashtbl.find_opt t.table page with
+  match Hashtbl.find_opt sh.table page with
   | Some frame ->
-      (match Hashtbl.find_opt t.inflight page with
+      (match Hashtbl.find_opt sh.inflight page with
       | Some c ->
-          Hashtbl.remove t.inflight page;
+          Hashtbl.remove sh.inflight page;
           Counter.incr t.stats.prefetch_hits;
+          latch_release t sh;
           wait_until t c;
-          verify_arrival t page frame
+          verify_arrival t sh page frame;
+          latch_acquire t sh
       | None -> Counter.incr t.stats.hits);
       t.ref_bit.(frame) <- true;
       t.pin.(frame) <- t.pin.(frame) + 1;
+      latch_release t sh;
       region_of_frame t frame page
   | None ->
-      let frame = victim_frame_waiting t in
+      let frame = victim_frame_waiting t sh in
       let disk, phys = Page_store.location t.store page in
       Counter.incr t.stats.misses;
+      latch_release t sh;
       ignore (media_read t page ~disk ~phys : [ `Ok | `Repaired ]);
+      latch_acquire t sh;
       t.frames.(frame) <- page;
-      Hashtbl.replace t.table page frame;
+      Hashtbl.replace sh.table page frame;
       t.ref_bit.(frame) <- true;
       t.pin.(frame) <- 1;
+      latch_release t sh;
       let region = region_of_frame t frame page in
       if t.readahead > 0 then issue_readahead t ~disk ~phys;
       region
 
-let frame_of_page t page = Hashtbl.find_opt t.table page
+let frame_of_page t page = Hashtbl.find_opt (shard_of t page).table page
 
 let unpin t page =
   match frame_of_page t page with
@@ -517,14 +630,14 @@ let with_page t page f =
   let region = get t page in
   Fun.protect ~finally:(fun () -> unpin t page) (fun () -> f region)
 
-let is_resident t page = Hashtbl.mem t.table page
+let is_resident t page = Hashtbl.mem (shard_of t page).table page
 
 (* Media check for the scrubber: read a non-resident page through the full
    retry/verify/repair path without installing it in a frame.  Resident
    pages are skipped — the in-memory copy is authoritative and will lay
    down a fresh checksum when written back. *)
 let check_media t page =
-  if Hashtbl.mem t.table page then `Resident
+  if is_resident t page then `Resident
   else
     let disk, phys = Page_store.location t.store page in
     match media_read t page ~disk ~phys with
@@ -555,12 +668,15 @@ let set_sequential_readahead t depth = t.readahead <- max 0 depth
    memory) with one pin.  Returns the page id and its region. *)
 let create_page t =
   let page = Page_store.alloc t.store in
-  let frame = victim_frame_waiting t in
+  let sh = shard_of t page in
+  latch_acquire t sh;
+  let frame = victim_frame_waiting t sh in
   t.frames.(frame) <- page;
-  Hashtbl.replace t.table page frame;
+  Hashtbl.replace sh.table page frame;
   t.ref_bit.(frame) <- true;
   t.pin.(frame) <- 1;
   t.dirty.(frame) <- true;
+  latch_release t sh;
   (match t.wal with
   | Some h ->
       h.on_page_alloc page;
@@ -590,8 +706,9 @@ let clear t =
     | p when p = Page_store.nil -> ()
     | p ->
         if t.pin.(f) > 0 then invalid_arg "Buffer_pool.clear: pinned page";
-        Hashtbl.remove t.table p;
-        Hashtbl.remove t.inflight p;
+        let sh = shard_of t p in
+        Hashtbl.remove sh.table p;
+        Hashtbl.remove sh.inflight p;
         if t.dirty.(f) then begin
           t.dirty.(f) <- false;
           write_back t p
@@ -624,14 +741,15 @@ let drop_all t =
     (match t.frames.(f) with
     | p when p = Page_store.nil -> ()
     | p ->
-        Hashtbl.remove t.table p;
+        Hashtbl.remove (shard_of t p).table p;
         Cache.invalidate_range t.sim.Sim.cache (f * page_size) page_size);
     t.frames.(f) <- Page_store.nil;
     t.ref_bit.(f) <- false;
     t.dirty.(f) <- false;
     t.pin.(f) <- 0
   done;
-  Hashtbl.reset t.inflight;
+  Array.iter (fun sh -> Hashtbl.reset sh.inflight) t.shards;
   Array.fill t.prefetcher_free 0 (Array.length t.prefetcher_free) 0
 
-let resident_pages t = Hashtbl.length t.table
+let resident_pages t =
+  Array.fold_left (fun a sh -> a + Hashtbl.length sh.table) 0 t.shards

@@ -1,5 +1,16 @@
-(** Buffer pool with CLOCK replacement, pinning, asynchronous prefetch,
-    and media-failure handling.
+(** Buffer pool with sharded CLOCK replacement, pinning, asynchronous
+    prefetch, and media-failure handling.
+
+    The page table and CLOCK replacement are split into [n_shards]
+    independent shards keyed by a mix of the page id, each owning a
+    disjoint slice of the frame arena with its own hash table, in-flight
+    map, CLOCK hand and simulated latch.  Acquiring a shard latch costs
+    {!Fpb_simmem.Cost_model.latch_cycles} busy time; acquiring it while
+    another logical client holds it (its release lies in the acquirer's
+    simulated future) additionally waits, counted under
+    [pool.shard.conflicts] / [pool.shard.waits_ns].  With one shard and a
+    single client the latch never conflicts and behaviour is identical to
+    the unsharded pool.
 
     Frames give resident pages their simulated physical addresses (frame
     index x page size), so the CPU-cache simulator sees a
@@ -24,6 +35,8 @@ type stats = {
   hits : Fpb_obs.Counter.t;  (** [pool.hits] *)
   misses : Fpb_obs.Counter.t;
       (** [pool.misses]: demand reads that went to disk *)
+  evictions : Fpb_obs.Counter.t;
+      (** [pool.evictions]: resident pages replaced by the CLOCK sweep *)
   prefetch_issued : Fpb_obs.Counter.t;  (** [pool.prefetch_issued] *)
   prefetch_hits : Fpb_obs.Counter.t;
       (** [pool.prefetch_hits]: gets satisfied by a prefetched page *)
@@ -33,6 +46,12 @@ type stats = {
   io_wait_ns : Fpb_obs.Counter.t;
       (** [pool.io_wait_ns]: time the caller waited on I/O (includes
           retry backoff) *)
+  shard_conflicts : Fpb_obs.Counter.t;
+      (** [pool.shard.conflicts]: latch acquisitions that found the shard
+          latch held by another logical client *)
+  shard_waits_ns : Fpb_obs.Counter.t;
+      (** [pool.shard.waits_ns]: simulated time spent waiting on shard
+          latches *)
   retry_read : Fpb_obs.Counter.t;
       (** [io.retry.read]: demand-read attempts beyond the first *)
   retry_wait_ns : Fpb_obs.Counter.t;
@@ -97,9 +116,13 @@ type t
     retries; the exception means genuine exhaustion. *)
 exception Pool_exhausted
 
+(** [n_shards] (default 1) splits the page table, CLOCK replacement and
+    frame arena into that many independent shards; must lie in
+    [1, capacity]. *)
 val create :
   ?n_prefetchers:int ->
   ?prefetch_request_busy:int ->
+  ?n_shards:int ->
   capacity:int ->
   Fpb_simmem.Sim.t ->
   Page_store.t ->
@@ -115,6 +138,16 @@ val sim : t -> Fpb_simmem.Sim.t
 val store : t -> Page_store.t
 val disks : t -> Disk_model.t
 val capacity : t -> int
+val n_shards : t -> int
+
+(** Which shard a page id maps to (deterministic mixing hash mod
+    [n_shards]); exposed so tests and experiments can partition traces
+    the same way the pool does. *)
+val shard_of_page : t -> int -> int
+
+(** Per-shard [(conflicts, waits_ns)] tallies since the last
+    [reset_stats], indexed by shard. *)
+val shard_tallies : t -> (int * int) array
 
 (** Pin a page, reading (and verifying) it from disk if not resident;
     returns the region to access its contents through.  Balance with

@@ -42,11 +42,13 @@ type t = {
   n_disks : int;
   seek_ns : int;
   transfer_ns : int;
+  request_overhead_ns : int;  (* fixed per-request controller cost *)
   free_at : int array;  (* per disk: time the disk becomes idle *)
   last_phys : int array;  (* per disk: last physical page served *)
   faults : fault_state option array;  (* per disk *)
   c_reads : Counter.t;
   c_writes : Counter.t;
+  c_write_runs : Counter.t;  (* coalesced multi-page write requests *)
   c_busy_ns : Counter.t;  (* total time disks spent servicing requests *)
   c_fault_transient_read : Counter.t;
   c_fault_transient_write : Counter.t;
@@ -60,18 +62,21 @@ let default_seek_ns = 8_000_000
 
 let transfer_ns_of_page_size page_size = page_size * 25 (* 40 MB/s = 25 ns/B *)
 
-let create ?(seek_ns = default_seek_ns) ~transfer_ns ~n_disks clock =
+let create ?(seek_ns = default_seek_ns) ?(request_overhead_ns = 0) ~transfer_ns
+    ~n_disks clock =
   if n_disks <= 0 then invalid_arg "Disk_model.create";
   {
     clock;
     n_disks;
     seek_ns;
     transfer_ns;
+    request_overhead_ns;
     free_at = Array.make n_disks 0;
     last_phys = Array.make n_disks (-10);
     faults = Array.make n_disks None;
     c_reads = Counter.make "disk.reads";
     c_writes = Counter.make "disk.writes";
+    c_write_runs = Counter.make "disk.write_runs";
     c_busy_ns = Counter.make "disk.busy_ns";
     c_fault_transient_read = Counter.make "disk.fault.transient_read";
     c_fault_transient_write = Counter.make "disk.fault.transient_write";
@@ -198,8 +203,9 @@ let draw_write_fault t ~disk ~phys =
 let service t ~earliest ~disk ~phys =
   let start = max earliest t.free_at.(disk) in
   let cost =
-    if phys = t.last_phys.(disk) + 1 then t.transfer_ns
-    else t.seek_ns + t.transfer_ns
+    t.request_overhead_ns
+    + if phys = t.last_phys.(disk) + 1 then t.transfer_ns
+      else t.seek_ns + t.transfer_ns
   in
   let completion = start + cost in
   t.free_at.(disk) <- completion;
@@ -248,15 +254,50 @@ let write_sync t ?earliest ~disk ~phys () =
   in
   write_service t ~earliest ~disk ~phys
 
+(* Submit [n] physically contiguous pages starting at [phys] as ONE
+   write request: positioning (unless sequential with the previous
+   request) and the per-request overhead are paid once, plus [n]
+   transfers.  Each covered page still draws its own write fault —
+   coalescing batches the I/O, it does not skip media effects; a
+   transiently failed page costs the controller a positioned retry
+   within the run.  [disk.writes] counts all [n] pages, so page
+   accounting matches the per-page path exactly; [disk.write_runs]
+   counts the single request. *)
+let write_run t ?earliest ~disk ~phys ~n () =
+  if n <= 0 then invalid_arg "Disk_model.write_run";
+  let earliest =
+    match earliest with Some e -> e | None -> Clock.now t.clock
+  in
+  let start = max earliest t.free_at.(disk) in
+  let cost =
+    ref
+      (t.request_overhead_ns
+      + (n * t.transfer_ns)
+      + if phys = t.last_phys.(disk) + 1 then 0 else t.seek_ns)
+  in
+  Counter.add t.c_writes n;
+  Counter.incr t.c_write_runs;
+  for i = 0 to n - 1 do
+    if draw_write_fault t ~disk ~phys:(phys + i) then
+      cost := !cost + t.seek_ns + t.transfer_ns
+  done;
+  let completion = start + !cost in
+  t.free_at.(disk) <- completion;
+  t.last_phys.(disk) <- phys + n - 1;
+  Counter.add t.c_busy_ns !cost;
+  completion
+
 let counters t =
   [
-    t.c_reads; t.c_writes; t.c_busy_ns; t.c_fault_transient_read;
-    t.c_fault_transient_write; t.c_fault_latent; t.c_fault_corrupt;
+    t.c_reads; t.c_writes; t.c_write_runs; t.c_busy_ns;
+    t.c_fault_transient_read; t.c_fault_transient_write; t.c_fault_latent;
+    t.c_fault_corrupt;
   ]
 
 let kv t = List.map Counter.kv (counters t)
 let reads t = Counter.value t.c_reads
 let writes t = Counter.value t.c_writes
+let write_runs t = Counter.value t.c_write_runs
 let busy_ns t = Counter.value t.c_busy_ns
 let reset_stats t = List.iter Counter.reset (counters t)
 

@@ -35,8 +35,17 @@ val default_seek_ns : int
 (** Transfer time at 40 MB/s. *)
 val transfer_ns_of_page_size : int -> int
 
+(** [request_overhead_ns] (default 0) is a fixed per-request controller
+    cost added to every read/write request, whatever its size: it is
+    what makes coalescing adjacent writes into one request
+    ({!write_run}) worth measuring. *)
 val create :
-  ?seek_ns:int -> transfer_ns:int -> n_disks:int -> Fpb_simmem.Clock.t -> t
+  ?seek_ns:int ->
+  ?request_overhead_ns:int ->
+  transfer_ns:int ->
+  n_disks:int ->
+  Fpb_simmem.Clock.t ->
+  t
 
 val n_disks : t -> int
 
@@ -71,8 +80,19 @@ val write : t -> disk:int -> phys:int -> unit
     callers that must wait for durability (e.g. a WAL group flush). *)
 val write_sync : t -> ?earliest:int -> disk:int -> phys:int -> unit -> int
 
+(** Submit [n] physically contiguous pages starting at [phys] as one
+    coalesced write request: positioning and the per-request overhead
+    are paid once plus [n] transfers.  Every covered page still draws
+    its own write fault; [disk.writes] counts all [n] pages (matching
+    the per-page path) and [disk.write_runs] counts the one request.
+    Returns the completion time (absolute ns). *)
+val write_run : t -> ?earliest:int -> disk:int -> phys:int -> n:int -> unit -> int
+
 val reads : t -> int
 val writes : t -> int
+
+(** Coalesced multi-page write requests issued via {!write_run}. *)
+val write_runs : t -> int
 
 (** Total time disks spent servicing requests. *)
 val busy_ns : t -> int

@@ -129,3 +129,69 @@ let tick s =
   r
 
 let total s = s.cumulative
+
+(* AIMD auto-throttle over the bandwidth knob.
+
+   The scrubber competes with foreground work for the same simulated
+   disks, so its pacing should be a feedback loop, not a constant: back
+   off hard when foreground latency degrades, creep back up when the
+   system is quiet.  The classic multiplicative-decrease /
+   additive-increase shape converges fast on overload and probes gently
+   for spare bandwidth, which is exactly the "low-priority background
+   citizen" contract production scrubbers advertise.
+
+   The caller feeds per-operation foreground latencies into [observe];
+   every [window] observations the throttler computes that window's p99
+   and either halves [pages_per_tick] (p99 above target) or raises it by
+   one (at or below target), clamped to [min_bw, max_bw]. *)
+type throttler = {
+  t_sched : sched;
+  target_p99_ns : int;
+  min_bw : int;
+  max_bw : int;
+  buf : int array;  (* latencies of the current window *)
+  mutable filled : int;
+  mutable backoffs : int;  (* windows that halved the bandwidth *)
+  mutable raises : int;  (* windows that raised it *)
+}
+
+let throttler ?(min_bw = 0) ?(max_bw = 64) ?(window = 64) ~target_p99_ns sched
+    =
+  if window < 1 then invalid_arg "Scrub.throttler: window < 1";
+  if min_bw < 0 || max_bw < min_bw then
+    invalid_arg "Scrub.throttler: need 0 <= min_bw <= max_bw";
+  set_bandwidth sched (min max_bw (max min_bw sched.pages_per_tick));
+  {
+    t_sched = sched;
+    target_p99_ns;
+    min_bw;
+    max_bw;
+    buf = Array.make window 0;
+    filled = 0;
+    backoffs = 0;
+    raises = 0;
+  }
+
+let observe th lat_ns =
+  th.buf.(th.filled) <- lat_ns;
+  th.filled <- th.filled + 1;
+  if th.filled = Array.length th.buf then begin
+    (* Window full: adjust once, then start the next window.  Sorting
+       in place is fine — the whole buffer is overwritten before the
+       next decision. *)
+    Array.sort compare th.buf;
+    let n = Array.length th.buf in
+    let p99 = th.buf.(99 * (n - 1) / 100) in
+    let bw = th.t_sched.pages_per_tick in
+    let bw' =
+      if p99 > th.target_p99_ns then max th.min_bw (bw / 2)
+      else min th.max_bw (bw + 1)
+    in
+    if bw' < bw then th.backoffs <- th.backoffs + 1
+    else if bw' > bw then th.raises <- th.raises + 1;
+    set_bandwidth th.t_sched bw';
+    th.filled <- 0
+  end
+
+let bandwidth th = th.t_sched.pages_per_tick
+let adjustments th = (th.backoffs, th.raises)

@@ -56,3 +56,30 @@ val tick : sched -> report
 
 (** Cumulative report across every tick so far. *)
 val total : sched -> report
+
+(** AIMD auto-throttle over a scheduler's bandwidth knob.  Feed it the
+    foreground operation latencies you care about; every [window]
+    observations it computes that window's p99 and adjusts
+    {!set_bandwidth}: halve when the p99 exceeds [target_p99_ns]
+    (multiplicative decrease under pressure), plus one when at or below
+    it (additive increase while idle), clamped to [[min_bw, max_bw]]. *)
+type throttler
+
+(** [throttler ?min_bw ?max_bw ?window ~target_p99_ns sched] wraps
+    [sched] (clamping its current bandwidth into bounds).  Defaults:
+    [min_bw = 0] (may pause entirely), [max_bw = 64], [window = 64].
+    Raises [Invalid_argument] on an empty window or inverted bounds. *)
+val throttler :
+  ?min_bw:int -> ?max_bw:int -> ?window:int -> target_p99_ns:int -> sched ->
+  throttler
+
+(** Record one foreground operation latency (simulated ns).  Completing
+    a window adjusts the underlying scheduler's bandwidth as a side
+    effect. *)
+val observe : throttler -> int -> unit
+
+(** Current pages-per-tick of the throttled scheduler. *)
+val bandwidth : throttler -> int
+
+(** [(backoffs, raises)]: windows that lowered / raised the bandwidth. *)
+val adjustments : throttler -> int * int

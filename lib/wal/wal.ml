@@ -17,13 +17,26 @@
    the simulated disk but leaves the durable image stale; the next
    checkpoint re-writes such pages.
 
-   The durable stream is kept on K >= 1 mirrored log disks holding
-   position-identical byte streams.  Every flush appends to all mirrors
-   and waits for the slowest; every record carries its own CRC-32, so a
-   read that hits a torn or rotted record on one mirror is detected and
-   falls back to the next, healing the damaged span in passing.  Log
-   disks draw from the same [Fault.profile] machinery as data disks —
-   the log is not exempt from media failure, it survives it. *)
+   The durable stream is kept on S >= 1 log stripes of K >= 1 mirrored
+   log disks each (S*K log disks total; the disk for stripe s, mirror k
+   is s*K + k).  Sealed records are placed round-robin across stripes by
+   seal order, so consecutive records land on different spindles and a
+   flush drives them in parallel — log striping for bandwidth.  Within a
+   stripe the K mirrors hold position-identical byte streams: every
+   flush appends to all of them and waits for the slowest.  Every record
+   carries its own CRC-32, so a read that hits a torn or rotted record
+   on one mirror is detected and falls back to the next mirror of the
+   same stripe, healing the damaged span in passing.  Log disks draw
+   from the same [Fault.profile] machinery as data disks — the log is
+   not exempt from media failure, it survives it.
+
+   LSN invariant the striping leans on: every [fresh_lsn] call is
+   immediately followed by exactly one [append], so LSNs are allocated
+   in seal order and the sealed stream carries consecutive LSNs.  A scan
+   reads each stripe independently and merges records by LSN; any gap in
+   the merged sequence with records beyond it proves committed records
+   were lost in some stripe (a genuine crash cut can only truncate the
+   tail of the seal order, never punch a hole in it). *)
 
 open Fpb_simmem
 open Fpb_storage
@@ -240,10 +253,10 @@ let stats_counters s =
     s.repair_sectors; s.repair_full;
   ]
 
-(* One mirror of the durable log: a growable byte array.  All mirrors
-   hold position-identical streams of the same length; faults make their
-   *contents* diverge, never their length (a crash cuts all of them at
-   the same byte). *)
+(* One mirror of one stripe of the durable log: a growable byte array.
+   All mirrors of a stripe hold position-identical streams of the same
+   length; faults make their *contents* diverge, never their length (a
+   crash cuts all of them at the same byte). *)
 type mirror = { mutable data : Bytes.t; mutable len : int }
 
 let m_append m s off len =
@@ -263,25 +276,39 @@ type t = {
   clock : Clock.t;
   sim : Sim.t;
   data_disks : Disk_model.t;
-  log_disks : Disk_model.t;  (* one disk per mirror *)
-  mirrors : mirror array;  (* durable byte streams, index = mirror *)
+  log_disks : Disk_model.t;  (* S*K disks; stripe s mirror k = s*K + k *)
+  streams : mirror array array;  (* durable byte streams, [stripe].[mirror] *)
   page_size : int;
   group_commit_bytes : int;
-  (* log stream *)
-  buf : Buffer.t;  (* sealed, not yet durable *)
-  mutable durable_len : int;  (* common length of every mirror's stream *)
+  (* log stream.  [sealed_bytes]/[durable_len] and every offset in
+     [boundaries] are *logical*: positions in the single stream of
+     sealed records, independent of which stripe each record landed on.
+     Physical placement is round-robin by seal order ([seal_seq]);
+     [stripe_sealed] tracks each stripe's sealed (including pending)
+     extent so scan start marks can be captured per stripe. *)
+  mutable pending : (int * string) list;  (* (stripe, framed), newest first *)
+  mutable pending_bytes : int;  (* sealed, not yet durable *)
+  mutable seal_seq : int;  (* records ever sealed; placement = seq mod S *)
+  stripe_sealed : int array;  (* per-stripe sealed extent *)
+  mutable durable_len : int;  (* logical length of the durable stream *)
   mutable sealed_bytes : int;  (* end offset of the sealed stream *)
   mutable next_lsn : int;
   mutable last_op : int;  (* last committed operation number *)
-  mutable ckpt_offset : int;  (* start of the last durable checkpoint *)
+  mutable ckpt_marks : int array;
+      (* per-stripe offsets of the last durable checkpoint record's seal
+         point: recovery scans each stripe from here *)
   mutable boundaries : boundary list;  (* newest first *)
   mutable batched_redo : bool;  (* sort redo write-backs by (disk, phys) *)
+  mutable coalesce_redo : bool;  (* merge adjacent write-backs into runs *)
   (* per-page durability state; index = page id *)
   shadow : Bytes.t option Vec.t;  (* last-logged content, for deltas *)
   mem_lsn : int Vec.t;  (* LSN of the page's newest log record *)
   disk_img : Bytes.t option Vec.t;  (* durable image, None = never written *)
   disk_lsn : int Vec.t;  (* LSN the durable image reflects *)
-  image_off : int Vec.t;  (* stream offset of the last full image, -1 = none *)
+  image_marks : int array option Vec.t;
+      (* per-stripe offsets at the seal point of the page's last full
+         image record, None = no logged image: a repair scan from these
+         marks sees exactly the image and everything after it *)
   mutable alloc_snapshot : int * int list;
       (* (total pages, free list) at the last durable checkpoint: the
          base state Alloc/Free record replay advances during recovery *)
@@ -301,8 +328,21 @@ let ensure t page =
     Vec.push t.mem_lsn 0;
     Vec.push t.disk_img None;
     Vec.push t.disk_lsn 0;
-    Vec.push t.image_off (-1)
+    Vec.push t.image_marks None
   done
+
+let n_stripes t = Array.length t.streams
+
+(* Durable extent of one stripe (all its mirrors share it). *)
+let stripe_dlen t s = t.streams.(s).(0).len
+
+(* Refresh the durable image of [page] from [src] without allocating:
+   durable images are page-sized private buffers, so once one exists the
+   new contents blit in place. *)
+let set_disk_img t page src =
+  match Vec.get t.disk_img page with
+  | Some img -> Bytes.blit src 0 img 0 t.page_size
+  | None -> Vec.set t.disk_img page (Some (Bytes.copy src))
 
 let fresh_lsn t =
   let l = t.next_lsn in
@@ -317,11 +357,16 @@ let kind_of = function
   | Alloc _ -> `Alloc
   | Free _ -> `Free
 
-(* Seal a record into the log buffer. *)
+(* Seal a record into the pending list, placing it round-robin on the
+   next stripe in seal order. *)
 let append t r =
   let framed = Codec.encode r in
-  Buffer.add_string t.buf framed;
   let size = String.length framed in
+  let stripe = t.seal_seq mod n_stripes t in
+  t.seal_seq <- t.seal_seq + 1;
+  t.pending <- (stripe, framed) :: t.pending;
+  t.pending_bytes <- t.pending_bytes + size;
+  t.stripe_sealed.(stripe) <- t.stripe_sealed.(stripe) + size;
   t.sealed_bytes <- t.sealed_bytes + size;
   t.boundaries <-
     { end_off = t.sealed_bytes; size; kind = kind_of r } :: t.boundaries;
@@ -335,41 +380,66 @@ let append t r =
   | Alloc _ -> Counter.incr t.stats.allocs
   | Free _ -> Counter.incr t.stats.frees
 
-(* Make the sealed stream durable on every mirror.  An armed crash
-   boundary inside the flushed extent truncates all mirrors exactly
-   there (power fails every spindle at once).  On success, charge the
-   flush as sequential writes to each log disk and wait for the slowest
-   (this wait IS the commit latency). *)
+(* Make the sealed stream durable: walk the pending records in seal
+   order, appending each to every mirror of its stripe.  An armed crash
+   boundary inside the flushed extent cuts the stream exactly there, at
+   its *logical* offset: records wholly before the cut reach their
+   stripes, the record straddling it keeps only the prefix that reached
+   the platters, later records die in memory (power fails every spindle
+   at once).  On success, charge each stripe's flushed span as
+   sequential writes to its mirror disks and wait for the slowest (this
+   wait IS the commit latency) — stripes take their spans in parallel,
+   which is the point of striping. *)
 let flush t =
   if t.crashed then raise Crashed;
-  let n = Buffer.length t.buf in
-  if n > 0 then begin
-    let data = Buffer.contents t.buf in
-    Buffer.clear t.buf;
-    let start_off = t.durable_len in
-    let end_off = start_off + n in
-    (match t.crash_at with
-    | Some b when end_off > b ->
-        let keep = max 0 (b - start_off) in
-        Array.iter (fun m -> m_append m data 0 keep) t.mirrors;
-        t.durable_len <- start_off + keep;
-        t.crashed <- true;
-        Counter.incr t.stats.crashes;
-        raise Crashed
-    | _ -> ());
-    Array.iter (fun m -> m_append m data 0 n) t.mirrors;
-    t.durable_len <- end_off;
+  if t.pending_bytes > 0 then begin
+    let records = List.rev t.pending in (* seal order *)
+    t.pending <- [];
+    t.pending_bytes <- 0;
+    let io_start = Array.map (fun ms -> ms.(0).len) t.streams in
+    let cut = ref false in
+    (try
+       List.iter
+         (fun (s, framed) ->
+           let size = String.length framed in
+           let logical_end = t.durable_len + size in
+           (match t.crash_at with
+           | Some b when logical_end > b ->
+               let keep = max 0 (b - t.durable_len) in
+               Array.iter (fun m -> m_append m framed 0 keep) t.streams.(s);
+               t.durable_len <- t.durable_len + keep;
+               cut := true;
+               raise Exit
+           | _ -> ());
+           Array.iter (fun m -> m_append m framed 0 size) t.streams.(s);
+           t.durable_len <- logical_end)
+         records
+     with Exit -> ());
+    if !cut then begin
+      t.crashed <- true;
+      Counter.incr t.stats.crashes;
+      raise Crashed
+    end;
     Counter.incr t.stats.flushes;
     let now0 = Clock.now t.clock in
     let completion = ref now0 in
+    let kmirrors = Array.length t.streams.(0) in
     Array.iteri
-      (fun k _ ->
-        let c = ref now0 in
-        for phys = start_off / t.page_size to (end_off - 1) / t.page_size do
-          c := Disk_model.write_sync t.log_disks ~disk:k ~phys ()
-        done;
-        completion := max !completion !c)
-      t.mirrors;
+      (fun s ms ->
+        let a = io_start.(s) and b = ms.(0).len in
+        if b > a then
+          Array.iteri
+            (fun k _ ->
+              let c = ref now0 in
+              for phys = a / t.page_size to (b - 1) / t.page_size do
+                c :=
+                  Disk_model.write_sync t.log_disks
+                    ~disk:((s * kmirrors) + k)
+                    ~phys ()
+              done;
+              completion := max !completion !c)
+            ms)
+      t.streams;
     Clock.advance_to t.clock !completion;
     Counter.add t.stats.flush_wait_ns (!completion - now0)
   end
@@ -392,7 +462,7 @@ let on_page_alloc t page =
   if not t.crashed then begin
     ensure t page;
     Vec.set t.shadow page None;
-    Vec.set t.image_off page (-1);
+    Vec.set t.image_marks page None;
     Hashtbl.remove t.logged_since_ckpt page;
     Hashtbl.remove t.touched page;
     append t (Alloc { lsn = fresh_lsn t; page })
@@ -422,7 +492,7 @@ let on_page_write t page =
     if Hashtbl.mem t.touched page then
       Counter.incr t.stats.deferred_writebacks
     else begin
-      Vec.set t.disk_img page (Some (Bytes.copy (Page_store.bytes t.store page)));
+      set_disk_img t page (Page_store.bytes t.store page);
       Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
       t.last_writeback <- page
     end
@@ -454,9 +524,14 @@ let log_page t page =
   (match (if first then None else Vec.get t.shadow page) with
   | None ->
       let lsn = fresh_lsn t in
-      Vec.set t.image_off page t.sealed_bytes;
-      append t (Image { lsn; page; img = Bytes.copy cur });
-      Vec.set t.shadow page (Some (Bytes.copy cur));
+      (* Marks taken at the seal point: a scan from them starts exactly
+         at this image record.  [cur] goes into the record uncopied —
+         [append] serializes it immediately, so no reference survives. *)
+      Vec.set t.image_marks page (Some (Array.copy t.stripe_sealed));
+      append t (Image { lsn; page; img = cur });
+      (match Vec.get t.shadow page with
+      | Some sh -> Bytes.blit cur 0 sh 0 t.page_size
+      | None -> Vec.set t.shadow page (Some (Bytes.copy cur)));
       Vec.set t.mem_lsn page lsn
   | Some sh -> (
       match diff_span sh cur with
@@ -476,8 +551,8 @@ let commit t ~op ~meta =
   Hashtbl.reset t.touched;
   append t (Commit { lsn = fresh_lsn t; op; meta });
   t.last_op <- op;
-  if t.group_commit_bytes = 0 || Buffer.length t.buf >= t.group_commit_bytes
-  then flush t;
+  if t.group_commit_bytes = 0 || t.pending_bytes >= t.group_commit_bytes then
+    flush t;
   Histogram.record t.commit_latency (Clock.now t.clock - t0)
 
 let checkpoint t ~meta =
@@ -491,21 +566,20 @@ let checkpoint t ~meta =
   Hashtbl.iter
     (fun page () ->
       if Vec.get t.disk_lsn page < Vec.get t.mem_lsn page then begin
-        Vec.set t.disk_img page
-          (Some (Bytes.copy (Page_store.bytes t.store page)));
+        set_disk_img t page (Page_store.bytes t.store page);
         Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
         let disk, phys = Page_store.location t.store page in
         Disk_model.write t.data_disks ~disk ~phys;
         Page_store.stamp ~lsn:(Vec.get t.mem_lsn page) t.store page
       end)
     t.logged_since_ckpt;
-  let ckpt_start = t.sealed_bytes in
+  let marks = Array.copy t.stripe_sealed in
   append t (Checkpoint { lsn = fresh_lsn t; op = t.last_op; meta });
   flush t;
   (* Only a durable checkpoint record moves the recovery start point; the
      allocator snapshot moves with it, to the state Alloc/Free replay
      from this checkpoint must start at. *)
-  t.ckpt_offset <- ckpt_start;
+  t.ckpt_marks <- marks;
   t.alloc_snapshot <-
     (Page_store.total_pages t.store, Page_store.free_list t.store);
   Hashtbl.reset t.logged_since_ckpt
@@ -517,36 +591,45 @@ let set_crash_at_byte t b = t.crash_at <- b
 let crash_now t =
   if not t.crashed then begin
     t.crashed <- true;
-    Buffer.clear t.buf; (* sealed-but-unflushed records die with the power *)
+    (* sealed-but-unflushed records die with the power *)
+    t.pending <- [];
+    t.pending_bytes <- 0;
     Counter.incr t.stats.crashes
   end
 
 let is_crashed t = t.crashed
 
-let log_mirrors t = Array.length t.mirrors
+let log_mirrors t = Array.length t.streams.(0)
+let log_stripes t = Array.length t.streams
 let log_disks t = t.log_disks
 
-(* Arm the seeded fault schedule on one log mirror (or the whole set):
-   the log is subject to the same media failures as the data disks. *)
+(* Arm the seeded fault schedule on one log disk (or the whole set):
+   the log is subject to the same media failures as the data disks.
+   [mirror] is the flattened disk index, stripe * K + mirror. *)
 let set_log_faults t ?mirror profile =
   Disk_model.set_faults t.log_disks ?disk:mirror profile
 
-(* Deterministic direct damage to one mirror's durable bytes, for tests
-   and the chaos harness's detection legs.  Lengths never change: the
-   stream keeps its extent, its contents rot. *)
+(* Deterministic direct damage to one log disk's durable bytes, for
+   tests and the chaos harness's detection legs.  [mirror] is the
+   flattened disk index stripe * K + mirror; offsets are relative to
+   that stripe's own stream.  Lengths never change: the stream keeps its
+   extent, its contents rot. *)
 let inject_mirror_damage t ~mirror d =
-  if mirror < 0 || mirror >= Array.length t.mirrors then
+  let k = Array.length t.streams.(0) in
+  if mirror < 0 || mirror >= n_stripes t * k then
     invalid_arg "Wal.inject_mirror_damage: no such mirror";
-  let m = t.mirrors.(mirror) in
+  let s = mirror / k in
+  let m = t.streams.(s).(mirror mod k) in
+  let dlen = stripe_dlen t s in
   match d with
   | Torn_tail n ->
-      let n = min n t.durable_len in
-      if n > 0 then Bytes.fill m.data (t.durable_len - n) n '\000'
+      let n = min n dlen in
+      if n > 0 then Bytes.fill m.data (dlen - n) n '\000'
   | Zero_span { off; len } ->
-      if off >= 0 && off < t.durable_len && len > 0 then
-        Bytes.fill m.data off (min len (t.durable_len - off)) '\000'
+      if off >= 0 && off < dlen && len > 0 then
+        Bytes.fill m.data off (min len (dlen - off)) '\000'
   | Flip { off; bit } ->
-      if off >= 0 && off < t.durable_len then
+      if off >= 0 && off < dlen then
         Bytes.set m.data off
           (Char.chr
              (Char.code (Bytes.get m.data off) lxor (1 lsl (bit land 7))))
@@ -593,22 +676,26 @@ let apply_corruption t m ~lp spec =
         let n = min 512 (limit - pos) in
         if n > 0 then Bytes.fill m.data pos n '\000'
 
-let read_log_page ctx k lp =
-  match Hashtbl.find_opt ctx.charged_pages (k, lp) with
+(* Flattened log-disk index of stripe [s], mirror [k]. *)
+let disk_of t s k = (s * Array.length t.streams.(0)) + k
+
+let read_log_page ctx ~s k lp =
+  let t = ctx.wal in
+  let disk = disk_of t s k in
+  match Hashtbl.find_opt ctx.charged_pages (disk, lp) with
   | Some st -> st
   | None ->
-      let t = ctx.wal in
       let st =
         if not ctx.charge then `Ok
         else
           let rec attempt n =
-            match Disk_model.read_result t.log_disks ~disk:k ~phys:lp () with
+            match Disk_model.read_result t.log_disks ~disk ~phys:lp () with
             | Disk_model.Read_ok c ->
                 ctx.completion <- max ctx.completion c;
                 `Ok
             | Disk_model.Read_corrupt (c, spec) ->
                 ctx.completion <- max ctx.completion c;
-                apply_corruption t t.mirrors.(k) ~lp spec;
+                apply_corruption t t.streams.(s).(k) ~lp spec;
                 `Ok
             | Disk_model.Read_error (c, `Transient) ->
                 ctx.completion <- max ctx.completion c;
@@ -619,68 +706,71 @@ let read_log_page ctx k lp =
           in
           attempt 0
       in
-      Hashtbl.add ctx.charged_pages (k, lp) st;
+      Hashtbl.add ctx.charged_pages (disk, lp) st;
       st
 
-(* Read every log page covering bytes [a, b) of mirror [k]. *)
-let read_span ctx k a b =
+(* Read every log page covering bytes [a, b) of stripe [s], mirror [k]. *)
+let read_span ctx ~s k a b =
   let t = ctx.wal in
   let ok = ref true in
   for lp = a / t.page_size to (b - 1) / t.page_size do
-    if read_log_page ctx k lp = `Lost then ok := false
+    if read_log_page ctx ~s k lp = `Lost then ok := false
   done;
   !ok
 
 let b_i32 b pos = Int32.to_int (Bytes.get_int32_le b pos)
 
-(* Attempt to decode the record at [pos] from one mirror.
-   [`Overrun]: the frame runs past the end of the stream — the signature
-   of a genuine crash cut.  [`Bad]: the frame lies within the stream but
-   is unreadable (lost pages, corrupt length, CRC mismatch) — media
-   damage. *)
-let try_mirror ctx k pos =
+(* Attempt to decode the record at stripe-local [pos] from one mirror of
+   stripe [s].  [`Overrun]: the frame runs past the end of the stripe's
+   stream — the signature of a genuine crash cut.  [`Bad]: the frame
+   lies within the stream but is unreadable (lost pages, corrupt length,
+   CRC mismatch) — media damage. *)
+let try_mirror ctx ~s k pos =
   let t = ctx.wal in
-  let m = t.mirrors.(k) in
-  if pos + 4 > t.durable_len then `Overrun
-  else if not (read_span ctx k pos (pos + 4)) then `Bad
+  let m = t.streams.(s).(k) in
+  let dlen = stripe_dlen t s in
+  if pos + 4 > dlen then `Overrun
+  else if not (read_span ctx ~s k pos (pos + 4)) then `Bad
   else
     let len = b_i32 m.data pos in
     if len < 9 || len > Codec.max_body then `Bad
-    else if pos + 8 + len > t.durable_len then `Overrun
-    else if not (read_span ctx k pos (pos + 8 + len)) then `Bad
+    else if pos + 8 + len > dlen then `Overrun
+    else if not (read_span ctx ~s k pos (pos + 8 + len)) then `Bad
     else
-      match Codec.decode ~len:t.durable_len m.data pos with
+      match Codec.decode ~len:dlen m.data pos with
       | Some (r, next) -> `Rec (r, next)
       | None -> `Bad
 
-(* Heal mirror [dst]'s copy of the span [pos, next) from mirror [src]'s
-   verified-good bytes: blit the span and rewrite the covering log pages
-   (the write remaps any latent sector). *)
-let heal ctx ~src ~dst pos next =
+(* Heal mirror [dst]'s copy of stripe [s]'s span [pos, next) from mirror
+   [src]'s verified-good bytes: blit the span and rewrite the covering
+   log pages (the write remaps any latent sector). *)
+let heal ctx ~s ~src ~dst pos next =
   let t = ctx.wal in
-  Bytes.blit t.mirrors.(src).data pos t.mirrors.(dst).data pos (next - pos);
+  Bytes.blit t.streams.(s).(src).data pos t.streams.(s).(dst).data pos
+    (next - pos);
   for lp = pos / t.page_size to (next - 1) / t.page_size do
-    Disk_model.write t.log_disks ~disk:dst ~phys:lp;
-    Hashtbl.replace ctx.charged_pages (dst, lp) `Ok
+    Disk_model.write t.log_disks ~disk:(disk_of t s dst) ~phys:lp;
+    Hashtbl.replace ctx.charged_pages (disk_of t s dst, lp) `Ok
   done;
   Counter.incr t.stats.mirror_repairs
 
-(* Decode the record at [pos], trying mirrors in order.  The first clean
-   copy wins; mirrors that failed with media damage are healed from it.
-   All mirrors failing classifies the failure: every mirror overrunning
-   the stream end is a torn tail (benign crash cut); any mirror with a
-   full-extent frame that would not verify is damage. *)
-let decode_at ctx pos =
+(* Decode the record at stripe-local [pos] of stripe [s], trying the
+   stripe's mirrors in order.  The first clean copy wins; mirrors that
+   failed with media damage are healed from it.  All mirrors failing
+   classifies the failure: every mirror overrunning the stream end is a
+   torn tail (benign crash cut); any mirror with a full-extent frame
+   that would not verify is damage. *)
+let decode_at ctx ~s pos =
   let t = ctx.wal in
   let rec go k bads =
-    if k >= Array.length t.mirrors then
+    if k >= Array.length t.streams.(s) then
       if bads = [] then `Torn else `Damaged
     else
-      match try_mirror ctx k pos with
+      match try_mirror ctx ~s k pos with
       | `Rec (r, next) ->
           if ctx.charge then begin
             if k > 0 then Counter.incr t.stats.mirror_fallbacks;
-            List.iter (fun j -> heal ctx ~src:k ~dst:j pos next) bads
+            List.iter (fun j -> heal ctx ~s ~src:k ~dst:j pos next) bads
           end;
           `Decoded (r, next)
       | `Overrun -> go (k + 1) bads
@@ -688,56 +778,98 @@ let decode_at ctx pos =
   in
   go 0 []
 
-(* Does any mirror hold a validly framed record strictly beyond [pos]?
-   Distinguishes damage masquerading as a torn tail (e.g. a corrupted
-   length field that points past the stream end) from a genuine cut:
-   nothing can follow a real cut, so a valid record beyond proves the
-   stream did not end at [pos].  Charge-free: cheap length/kind filters
-   gate the CRC, and the bytes were already paid for by the scan. *)
-let has_valid_beyond t pos =
+(* Does any mirror of stripe [s] hold a validly framed record strictly
+   beyond [pos]?  Distinguishes damage masquerading as a torn tail
+   (e.g. a corrupted length field that points past the stream end) from
+   a genuine cut: nothing can follow a real cut, so a valid record
+   beyond proves the stream did not end at [pos].  Charge-free: cheap
+   length/kind filters gate the CRC, and the bytes were already paid for
+   by the scan.  (With several stripes, loss that empties one stripe's
+   tail entirely is caught cross-stripe by the LSN-gap check in
+   [scan_committed] instead.) *)
+let has_valid_beyond t ~s pos =
+  let dlen = stripe_dlen t s in
   let found = ref false in
   let q = ref (pos + 1) in
   (* smallest frame: 4 (len) + 9 (body) + 4 (crc) *)
-  while (not !found) && !q + 17 <= t.durable_len do
+  while (not !found) && !q + 17 <= dlen do
     Array.iter
       (fun m ->
         if not !found then begin
           let len = b_i32 m.data !q in
-          if len >= 9 && len <= Codec.max_body && !q + 8 + len <= t.durable_len
-          then
+          if len >= 9 && len <= Codec.max_body && !q + 8 + len <= dlen then
             let kind = Char.code (Bytes.get m.data (!q + 4)) in
             if kind >= Codec.kind_image && kind <= Codec.kind_free then
-              match Codec.decode ~len:t.durable_len m.data !q with
+              match Codec.decode ~len:dlen m.data !q with
               | Some _ -> found := true
               | None -> ()
         end)
-      t.mirrors;
+      t.streams.(s);
     incr q
   done;
   !found
 
-(* Parse the durable stream from [from], stopping at a torn or damaged
-   record, then truncate at the last commit/checkpoint: later records
-   belong to an operation that never committed.  Returns (committed
-   records, records parsed, unreadable tail bytes, damaged count —
-   nonzero means committed content may be unreadable: detected loss,
-   never silently served). *)
+let lsn_of = function
+  | Image { lsn; _ }
+  | Delta { lsn; _ }
+  | Commit { lsn; _ }
+  | Checkpoint { lsn; _ }
+  | Alloc { lsn; _ }
+  | Free { lsn; _ } ->
+      lsn
+
+(* Parse the durable stream from the per-stripe offsets [from]: scan
+   each stripe independently (stopping at a torn or damaged record),
+   merge the stripes' records by LSN, then truncate at the last
+   commit/checkpoint — later records belong to an operation that never
+   committed.  LSNs are allocated in seal order, one per record, so the
+   merged sequence must be consecutive; a gap with records beyond it
+   means a stripe silently lost committed records (a genuine crash cut
+   truncates the tail of the seal order, it cannot punch a hole), so the
+   scan stops at the gap and flags damage.  Returns (committed records,
+   records parsed, unreadable tail bytes, damaged count — nonzero means
+   committed content may be unreadable: detected loss, never silently
+   served). *)
 let scan_committed t ~charge ~from =
   let ctx = make_ctx ~charge t in
-  let rec scan pos acc =
-    if pos >= t.durable_len then (List.rev acc, 0, 0)
-    else
-      match decode_at ctx pos with
-      | `Decoded (r, next) -> scan next (r :: acc)
-      | `Torn ->
-          let damaged = if has_valid_beyond t pos then 1 else 0 in
-          (List.rev acc, t.durable_len - pos, damaged)
-      | `Damaged -> (List.rev acc, t.durable_len - pos, 1)
+  let torn = ref 0 and damaged = ref 0 in
+  let per_stripe = ref [] in
+  for s = n_stripes t - 1 downto 0 do
+    let dlen = stripe_dlen t s in
+    let rec scan pos acc =
+      if pos >= dlen then List.rev acc
+      else
+        match decode_at ctx ~s pos with
+        | `Decoded (r, next) -> scan next (r :: acc)
+        | `Torn ->
+            torn := !torn + (dlen - pos);
+            if has_valid_beyond t ~s pos then incr damaged;
+            List.rev acc
+        | `Damaged ->
+            torn := !torn + (dlen - pos);
+            incr damaged;
+            List.rev acc
+    in
+    per_stripe := scan from.(s) [] :: !per_stripe
+  done;
+  let merged =
+    List.stable_sort
+      (fun a b -> compare (lsn_of a) (lsn_of b))
+      (List.concat !per_stripe)
   in
-  let records, torn, damaged = scan from [] in
+  let rec take_prefix acc = function
+    | [] -> List.rev acc
+    | r :: rest -> (
+        match acc with
+        | prev :: _ when lsn_of r <> lsn_of prev + 1 ->
+            if !damaged = 0 then incr damaged;
+            List.rev acc
+        | _ -> take_prefix (r :: acc) rest)
+  in
+  let records = take_prefix [] merged in
   if charge then begin
     Clock.advance_to t.clock ctx.completion;
-    if damaged > 0 then Counter.add t.stats.c_damaged damaged
+    if !damaged > 0 then Counter.add t.stats.c_damaged !damaged
   end;
   let keep = ref 0 in
   List.iteri
@@ -746,10 +878,10 @@ let scan_committed t ~charge ~from =
     records;
   ( List.filteri (fun i _ -> i < !keep) records,
     List.length records,
-    torn,
-    damaged )
+    !torn,
+    !damaged )
 
-let parse_durable t = scan_committed t ~charge:false ~from:t.ckpt_offset
+let parse_durable t = scan_committed t ~charge:false ~from:t.ckpt_marks
 
 (* ------------------------------ repair ------------------------------- *)
 
@@ -779,7 +911,6 @@ let repair_page t ?(bad_sectors = []) page =
     (* Committed records may still sit in the group-commit buffer; a
        repair source must be durable. *)
     flush t;
-    let from = Vec.get t.image_off page in
     let buf = ref None and lsn = ref 0 in
     (match Vec.get t.disk_img page with
     | Some img ->
@@ -787,23 +918,24 @@ let repair_page t ?(bad_sectors = []) page =
         lsn := Vec.get t.disk_lsn page
     | None -> ());
     let damaged = ref 0 in
-    if from >= 0 then begin
-      let records, _, _, dmg = scan_committed t ~charge:true ~from in
-      damaged := dmg;
-      List.iter
-        (function
-          | Image { lsn = l; page = p; img } when p = page ->
-              buf := Some (Bytes.copy img);
-              lsn := l
-          | Delta { lsn = l; page = p; off; bytes } when p = page -> (
-              match !buf with
-              | Some b ->
-                  Bytes.blit bytes 0 b off (Bytes.length bytes);
-                  lsn := l
-              | None -> ())
-          | _ -> ())
-        records
-    end;
+    (match Vec.get t.image_marks page with
+    | None -> ()
+    | Some marks ->
+        let records, _, _, dmg = scan_committed t ~charge:true ~from:marks in
+        damaged := dmg;
+        List.iter
+          (function
+            | Image { lsn = l; page = p; img } when p = page ->
+                buf := Some (Bytes.copy img);
+                lsn := l
+            | Delta { lsn = l; page = p; off; bytes } when p = page -> (
+                match !buf with
+                | Some b ->
+                    Bytes.blit bytes 0 b off (Bytes.length bytes);
+                    lsn := l
+                | None -> ())
+            | _ -> ())
+          records);
     if !damaged > 0 then `Unrecoverable "log damaged: replay source incomplete"
     else
       match !buf with
@@ -829,7 +961,7 @@ let repair_page t ?(bad_sectors = []) page =
             Bytes.blit b 0 dst 0 t.page_size;
             Counter.incr t.stats.repair_full
           end;
-          Vec.set t.disk_img page (Some (Bytes.copy dst));
+          set_disk_img t page dst;
           Vec.set t.disk_lsn page !lsn;
           Vec.set t.mem_lsn page !lsn;
           let disk, phys = Page_store.location t.store page in
@@ -868,6 +1000,7 @@ let tear_last_writeback t =
 (* ----------------------------- recovery ----------------------------- *)
 
 let set_batched_redo t b = t.batched_redo <- b
+let set_redo_coalescing t b = t.coalesce_redo <- b
 
 let recover t =
   let t0 = Clock.now t.clock in
@@ -888,7 +1021,7 @@ let recover t =
      charged through the fault schedule, with mirror fallback (and heal)
      on damage. *)
   let records, scanned, torn, damaged =
-    scan_committed t ~charge:true ~from:t.ckpt_offset
+    scan_committed t ~charge:true ~from:t.ckpt_marks
   in
   (* Redo: re-apply records newer than the page's durable image. *)
   let committed = ref 0 and meta = ref [] in
@@ -937,15 +1070,43 @@ let recover t =
         redo_list
     else redo_list
   in
+  let locs =
+    List.map
+      (fun page ->
+        set_disk_img t page (Page_store.bytes t.store page);
+        Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
+        Page_store.location t.store page)
+      ordered
+  in
   let wb_completion = ref (Clock.now t.clock) in
-  List.iter
-    (fun page ->
-      Vec.set t.disk_img page (Some (Bytes.copy (Page_store.bytes t.store page)));
-      Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
-      let disk, phys = Page_store.location t.store page in
-      wb_completion :=
-        max !wb_completion (Disk_model.write_sync t.data_disks ~disk ~phys ()))
-    ordered;
+  if t.coalesce_redo then begin
+    (* Merge physically adjacent pages on the same disk into one
+       coalesced request: with batched redo sorting the list by
+       (disk, phys) first, a replayed range of the tree goes out as a
+       few large writes instead of one request per page. *)
+    let rec runs = function
+      | [] -> ()
+      | (disk, phys) :: rest ->
+          let rec extend n = function
+            | (d2, p2) :: rest2 when d2 = disk && p2 = phys + n ->
+                extend (n + 1) rest2
+            | rest2 -> (n, rest2)
+          in
+          let n, rest = extend 1 rest in
+          wb_completion :=
+            max !wb_completion
+              (Disk_model.write_run t.data_disks ~disk ~phys ~n ());
+          runs rest
+    in
+    runs locs
+  end
+  else
+    List.iter
+      (fun (disk, phys) ->
+        wb_completion :=
+          max !wb_completion
+            (Disk_model.write_sync t.data_disks ~disk ~phys ()))
+      locs;
   Clock.advance_to t.clock !wb_completion;
   Counter.add t.stats.c_redo_records !nredo;
   Counter.add t.stats.c_redo_pages (Hashtbl.length redone);
@@ -974,7 +1135,7 @@ let recover t =
   Page_store.set_free_list t.store !free_ids;
   List.iter
     (fun id ->
-      Vec.set t.disk_img id (Some (Bytes.copy (Page_store.bytes t.store id)));
+      set_disk_img t id (Page_store.bytes t.store id);
       Vec.set t.disk_lsn id 0;
       Vec.set t.mem_lsn id 0)
     !free_ids;
@@ -986,20 +1147,24 @@ let recover t =
   (* Restart logging from a clean slate + fresh checkpoint. *)
   for id = 1 to total do
     Vec.set t.shadow id None;
-    Vec.set t.image_off id (-1)
+    Vec.set t.image_marks id None
   done;
   Hashtbl.reset t.touched;
   Hashtbl.reset t.logged_since_ckpt;
-  Buffer.clear t.buf;
+  t.pending <- [];
+  t.pending_bytes <- 0;
   t.sealed_bytes <- t.durable_len;
+  for s = 0 to n_stripes t - 1 do
+    t.stripe_sealed.(s) <- stripe_dlen t s
+  done;
   t.crashed <- false;
   t.crash_at <- None;
   t.last_writeback <- Page_store.nil;
   t.last_op <- !committed;
-  let ckpt_start = t.sealed_bytes in
+  let marks = Array.copy t.stripe_sealed in
   append t (Checkpoint { lsn = fresh_lsn t; op = !committed; meta = !meta });
   flush t;
-  t.ckpt_offset <- ckpt_start;
+  t.ckpt_marks <- marks;
   t.alloc_snapshot <-
     (Page_store.total_pages t.store, Page_store.free_list t.store);
   let dt = Clock.now t.clock - t0 in
@@ -1019,8 +1184,9 @@ let recover t =
 (* ----------------------------- lifecycle ---------------------------- *)
 
 let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
-    ?(log_mirrors = 1) ~meta pool =
+    ?(log_mirrors = 1) ?(log_stripes = 1) ~meta pool =
   if log_mirrors < 1 then invalid_arg "Wal.attach: log_mirrors < 1";
+  if log_stripes < 1 then invalid_arg "Wal.attach: log_stripes < 1";
   let sim = Buffer_pool.sim pool in
   let store = Buffer_pool.store pool in
   let page_size = Page_store.page_size store in
@@ -1034,25 +1200,30 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
       log_disks =
         Disk_model.create
           ~transfer_ns:(Disk_model.transfer_ns_of_page_size page_size)
-          ~n_disks:log_mirrors sim.Sim.clock;
-      mirrors =
-        Array.init log_mirrors (fun _ ->
-            { data = Bytes.create 65536; len = 0 });
+          ~n_disks:(log_stripes * log_mirrors) sim.Sim.clock;
+      streams =
+        Array.init log_stripes (fun _ ->
+            Array.init log_mirrors (fun _ ->
+                { data = Bytes.create 65536; len = 0 }));
       page_size;
       group_commit_bytes;
-      buf = Buffer.create 4096;
+      pending = [];
+      pending_bytes = 0;
+      seal_seq = 0;
+      stripe_sealed = Array.make log_stripes 0;
       durable_len = 0;
       sealed_bytes = 0;
       next_lsn = 1;
       last_op = 0;
-      ckpt_offset = 0;
+      ckpt_marks = Array.make log_stripes 0;
       boundaries = [];
       batched_redo = true;
+      coalesce_redo = true;
       shadow = Vec.create ~dummy:None;
       mem_lsn = Vec.create ~dummy:0;
       disk_img = Vec.create ~dummy:None;
       disk_lsn = Vec.create ~dummy:0;
-      image_off = Vec.create ~dummy:(-1);
+      image_marks = Vec.create ~dummy:None;
       alloc_snapshot = (0, []);
       logged_since_ckpt = Hashtbl.create 256;
       touched = Hashtbl.create 64;
@@ -1088,10 +1259,9 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
        (e.g. a bulkloaded tree), so media repair never depends on state
        older than the log itself. *)
     Page_store.iter_live store (fun id ->
-        Vec.set t.image_off id t.sealed_bytes;
+        Vec.set t.image_marks id (Some (Array.copy t.stripe_sealed));
         let lsn = fresh_lsn t in
-        append t
-          (Image { lsn; page = id; img = Bytes.copy (Page_store.bytes store id) });
+        append t (Image { lsn; page = id; img = Page_store.bytes store id });
         Vec.set t.mem_lsn id lsn);
   append t (Checkpoint { lsn = fresh_lsn t; op = 0; meta });
   flush t;

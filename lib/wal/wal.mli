@@ -1,5 +1,5 @@
 (** Physiological write-ahead log with redo-only (ARIES-lite) recovery
-    over mirrored, checksummed log disks.
+    over striped, mirrored, checksummed log disks.
 
     The log attaches to a {!Fpb_storage.Buffer_pool} through its
     [wal_hooks] and maintains, alongside the in-memory page store, a
@@ -18,10 +18,12 @@
       torn pages), a byte-range {e delta} afterwards — followed by a
       commit record carrying the operation number and the index's root
       metadata.
-    - Records are sealed into a log buffer; a flush appends them to
-      every mirror's durable stream and waits for the slowest log disk
-      (group commit batches flushes until [group_commit_bytes]
-      accumulate).
+    - Records are sealed into a pending list; a flush places each record
+      round-robin (by seal order) on one of [log_stripes] stripes,
+      appends it to every mirror of that stripe, and waits for the
+      slowest log disk — stripes absorb their spans in parallel, so
+      striping buys log bandwidth (group commit batches flushes until
+      [group_commit_bytes] accumulate).
     - Eviction write-backs run [before_page_write], which forces the log
       first (WAL-before-data).  A write-back of a page with uncommitted
       changes does {e not} update its durable image (a redo-only log
@@ -33,20 +35,29 @@
 
     {2 Surviving log-media failure}
 
-    The durable stream lives on [log_mirrors] (K >= 1) log disks holding
-    position-identical byte streams, and every record is framed with its
-    own CRC-32.  Log disks are {e not} exempt from media faults: arm a
-    {!Fpb_storage.Fault.profile} on them with {!set_log_faults} (or
-    damage a mirror's bytes deterministically with
+    The durable stream lives on [log_stripes] (S >= 1) stripes of
+    [log_mirrors] (K >= 1) log disks each — S*K disks in all, where
+    stripe [s] mirror [k] is disk [s*K + k] — and every record is framed
+    with its own CRC-32.  The K mirrors of a stripe hold
+    position-identical byte streams.  Log disks are {e not} exempt from
+    media faults: arm a {!Fpb_storage.Fault.profile} on them with
+    {!set_log_faults} (or damage one disk's bytes deterministically with
     {!inject_mirror_damage}).  A scan — recovery replay or
     {!repair_page} — reads log pages through the fault schedule; a
     record that is torn, rotted, or on a lost sector of one mirror falls
-    back to the next mirror ([wal.mirror.fallbacks]) and heals the
-    damaged span on the failed mirror in passing
+    back to the next mirror of its stripe ([wal.mirror.fallbacks]) and
+    heals the damaged span on the failed mirror in passing
     ([wal.mirror.repairs]).  A record unreadable on {e every} mirror is
     {e detected}, never silently served: the scan stops there, the
     recovery reports it in [damaged_records], and {!repair_page} refuses
     to serve from a log with holes in it.
+
+    Striping adds one more detection layer: LSNs are allocated in seal
+    order, one per record, so the per-stripe scans merge into a sequence
+    that must be LSN-consecutive.  A gap with records beyond it proves a
+    stripe silently lost committed records (a genuine crash cut only
+    truncates the tail of the seal order); the scan stops at the gap and
+    reports damage.
 
     Recovery ({!recover}) discards all volatile state, resets every page
     to its durable image, truncates the durable log at the last complete
@@ -105,10 +116,11 @@ type boundary = {
   kind : [ `Image | `Delta | `Commit | `Checkpoint | `Alloc | `Free ];
 }
 
-(** Deterministic damage to one mirror's durable bytes (lengths never
-    change; contents rot).  [Torn_tail n] zeroes the last [n] bytes;
-    [Zero_span] zeroes an interior span (e.g. one sector of a log page);
-    [Flip] flips one bit. *)
+(** Deterministic damage to one log disk's durable bytes (lengths never
+    change; contents rot); offsets are relative to that disk's own
+    stripe stream.  [Torn_tail n] zeroes the last [n] bytes; [Zero_span]
+    zeroes an interior span (e.g. one sector of a log page); [Flip]
+    flips one bit. *)
 type damage =
   | Torn_tail of int
   | Zero_span of { off : int; len : int }
@@ -141,11 +153,14 @@ type recovery = {
     seals a full image record for every live page before the initial
     checkpoint, so media repair of pre-existing (bulkloaded) pages can
     replay from the log itself rather than the snapshot.
-    [log_mirrors] (default 1) is the number of mirrored log disks. *)
+    [log_mirrors] (default 1) is the number of mirrored log disks per
+    stripe; [log_stripes] (default 1) is the number of stripes sealed
+    records are round-robined across. *)
 val attach :
   ?group_commit_bytes:int ->
   ?log_base_images:bool ->
   ?log_mirrors:int ->
+  ?log_stripes:int ->
   meta:int list ->
   Fpb_storage.Buffer_pool.t ->
   t
@@ -154,20 +169,25 @@ val attach :
     non-durable operation. *)
 val detach : t -> unit
 
-(** Number of mirrored log disks. *)
+(** Number of mirrored log disks per stripe. *)
 val log_mirrors : t -> int
 
-(** The log-disk farm (disk index = mirror index), for inspecting its
-    [disk.*] counters. *)
+(** Number of log stripes. *)
+val log_stripes : t -> int
+
+(** The log-disk farm (disk index = stripe * K + mirror), for inspecting
+    its [disk.*] counters. *)
 val log_disks : t -> Fpb_storage.Disk_model.t
 
 (** Arm (or with [None] disarm) the seeded fault schedule on one log
-    mirror, or on all of them without [mirror]: the log is subject to
-    the same media failures as the data disks. *)
+    disk (flattened index stripe * K + mirror), or on all of them
+    without [mirror]: the log is subject to the same media failures as
+    the data disks. *)
 val set_log_faults : t -> ?mirror:int -> Fpb_storage.Fault.profile option -> unit
 
-(** Deterministically damage one mirror's durable bytes (tests and the
-    chaos harness's detection legs). *)
+(** Deterministically damage one log disk's durable bytes (tests and the
+    chaos harness's detection legs); [mirror] is the flattened disk
+    index stripe * K + mirror. *)
 val inject_mirror_damage : t -> mirror:int -> damage -> unit
 
 (** Rebuild one page's committed bytes after media damage: replay the
@@ -194,8 +214,9 @@ val commit : t -> op:int -> meta:int list -> unit
     Must not be called mid-operation (with undirtied commits pending). *)
 val checkpoint : t -> meta:int list -> unit
 
-(** Force all sealed records to every mirror's durable stream, waiting
-    for the slowest log disk.  No-op on an empty buffer. *)
+(** Force all sealed records to their stripes' durable streams (every
+    mirror of each stripe), waiting for the slowest log disk.  No-op on
+    an empty pending list. *)
 val flush : t -> unit
 
 (** Total bytes ever sealed / durably flushed. *)
@@ -208,8 +229,11 @@ val durable_bytes : t -> int
 val layout : t -> boundary list
 
 (** Arm ([Some b]) or disarm ([None]) the crash trigger: the flush whose
-    durable extent would cross byte offset [b] truncates every mirror's
-    durable stream exactly there and raises {!Crashed}. *)
+    durable extent would cross {e logical} byte offset [b] (an offset in
+    the sealed stream, as reported by {!layout}) cuts the durable log
+    exactly there — records wholly before [b] reach their stripes, the
+    record straddling [b] keeps only its prefix — and raises
+    {!Crashed}. *)
 val set_crash_at_byte : t -> int option -> unit
 
 (** Power cut right now: sealed-but-unflushed records are lost. *)
@@ -230,6 +254,13 @@ val tear_last_writeback : t -> bool
     of issuing them in replay-table order.  Off reproduces the unsorted
     baseline for comparison. *)
 val set_batched_redo : t -> bool -> unit
+
+(** Redo-write coalescing (default on): recovery merges physically
+    adjacent redo write-backs on the same disk into one multi-page
+    request ({!Fpb_storage.Disk_model.write_run}), paying positioning
+    and per-request overhead once per run instead of once per page.
+    Off reproduces the one-request-per-page baseline. *)
+val set_redo_coalescing : t -> bool -> unit
 
 (** Bring the system back from a crash: drop the pool, reset pages to
     durable images, replay the log from the last durable checkpoint

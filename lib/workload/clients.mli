@@ -1,0 +1,35 @@
+(** Closed-loop multi-client driver over the discrete-event clock.
+
+    [run ~sim ~n_clients ~ops_per_client op] interleaves [n_clients]
+    logical clients against the shared simulated machine: the driver
+    repeatedly picks the client with the smallest local time, rewinds
+    the shared clock to that client's present, and executes its next
+    operation atomically in virtual time ([op ~client ~seq] must advance
+    the clock by however long the operation takes).  Because the chosen
+    local time is the global minimum, contention on shared resources
+    that keep absolute free-at times (disks, buffer-pool shard latches,
+    the log) resolves exactly as a truly concurrent execution would:
+    arriving at a busy resource waits out its remaining service time.
+
+    Operations are the unit of interleaving — there is no intra-op
+    preemption — so single-writer invariants of the structures under
+    test hold unchanged.  [think_ns] (default 0) separates a client's
+    operations.  Returns the makespan (first start to last completion),
+    a per-operation latency histogram ([clients.op_latency_ns]), and
+    throughput in operations per simulated second. *)
+
+type stats = {
+  clients : int;
+  ops : int;
+  makespan_ns : int;
+  latency : Fpb_obs.Histogram.t;
+  throughput_ops_per_s : float;
+}
+
+val run :
+  sim:Fpb_simmem.Sim.t ->
+  n_clients:int ->
+  ops_per_client:int ->
+  ?think_ns:int ->
+  (client:int -> seq:int -> unit) ->
+  stats

@@ -234,6 +234,139 @@ let test_free_invalidates_pool_state () =
       Page_store.free store p');
   Buffer_pool.unpin pool p'
 
+(* --- Sharded pool ----------------------------------------------------------- *)
+
+let test_single_client_shard_invariance () =
+  (* One client, resident working set: hit/miss counters must not depend
+     on the shard count, and a single client can never conflict with
+     itself on a shard latch. *)
+  let run n_shards =
+    let _sim, store, _disks, pool = Util.make_system ~capacity:64 ~n_shards () in
+    let pages = Array.init 32 (fun _ -> Page_store.alloc store) in
+    for i = 0 to 199 do
+      let p = pages.(i * 13 mod 32) in
+      ignore (Buffer_pool.get pool p);
+      Buffer_pool.unpin pool p
+    done;
+    let s = Buffer_pool.stats pool in
+    ( cv s.Buffer_pool.hits,
+      cv s.Buffer_pool.misses,
+      cv s.Buffer_pool.shard_conflicts )
+  in
+  let h1, m1, c1 = run 1 in
+  let h8, m8, c8 = run 8 in
+  check_int "hits shard-invariant" h1 h8;
+  check_int "misses shard-invariant" m1 m8;
+  check_int "no conflicts at 1 shard" 0 c1;
+  check_int "no conflicts at 8 shards" 0 c8
+
+let test_shard_latch_contention () =
+  (* Four interleaved clients on a resident working set: with one shard
+     every access queues on the same latch; spreading the table over
+     eight shards must cut both the conflict count and the waited time. *)
+  let run n_shards =
+    let sim, store, _disks, pool = Util.make_system ~capacity:64 ~n_shards () in
+    let pages = Array.init 32 (fun _ -> Page_store.alloc store) in
+    Array.iter
+      (fun p ->
+        ignore (Buffer_pool.get pool p);
+        Buffer_pool.unpin pool p)
+      pages;
+    Buffer_pool.reset_stats pool;
+    ignore
+      (Fpb_workload.Clients.run ~sim ~n_clients:4 ~ops_per_client:50
+         (fun ~client ~seq ->
+           let p = pages.((client + (7 * seq)) mod Array.length pages) in
+           ignore (Buffer_pool.get pool p);
+           Buffer_pool.unpin pool p)
+        : Fpb_workload.Clients.stats);
+    let s = Buffer_pool.stats pool in
+    (cv s.Buffer_pool.shard_conflicts, cv s.Buffer_pool.shard_waits_ns)
+  in
+  let c1, w1 = run 1 in
+  let c8, w8 = run 8 in
+  Alcotest.(check bool) "single shard conflicts under 4 clients" true
+    (c1 > 0 && w1 > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "sharding cuts conflicts (%d -> %d)" c1 c8)
+    true (c8 < c1);
+  Alcotest.(check bool)
+    (Printf.sprintf "sharding cuts latch waits (%d -> %d)" w1 w8)
+    true (w8 < w1)
+
+let test_multi_client_pin_evict () =
+  (* Clients hold a pin while faulting other pages in, so CLOCK keeps
+     evicting around live pins on every shard.  No read may ever see
+     stale bytes and residency must stay bounded. *)
+  let sim, store, _disks, pool = Util.make_system ~capacity:8 ~n_shards:4 () in
+  let pages = Array.init 24 (fun _ -> Page_store.alloc store) in
+  Array.iteri
+    (fun i p ->
+      let r = Buffer_pool.get pool p in
+      Mem.write_i32 sim r 0 (1000 + i);
+      Buffer_pool.mark_dirty pool p;
+      Buffer_pool.unpin pool p)
+    pages;
+  Buffer_pool.clear pool;
+  let bad = ref 0 in
+  ignore
+    (Fpb_workload.Clients.run ~sim ~n_clients:3 ~ops_per_client:60
+       (fun ~client ~seq ->
+         let i = (client + (3 * seq)) mod Array.length pages in
+         let j = (i + 7) mod Array.length pages in
+         let r = Buffer_pool.get pool pages.(i) in
+         let r2 = Buffer_pool.get pool pages.(j) in
+         if Mem.read_i32 sim r2 0 <> 1000 + j then incr bad;
+         Buffer_pool.unpin pool pages.(j);
+         if Mem.read_i32 sim r 0 <> 1000 + i then incr bad;
+         Buffer_pool.unpin pool pages.(i);
+         if Buffer_pool.resident_pages pool > 8 then incr bad)
+      : Fpb_workload.Clients.stats);
+  check_int "no stale reads or over-residency" 0 !bad
+
+let prop_sharded_pool_equivalent =
+  (* Observational equivalence: an N-shard pool must behave exactly like
+     N independent pools, each of 1/N the capacity, each fed the
+     sub-trace of pages hashing to its shard.  Counters and final
+     residency must agree, access order within a shard being preserved
+     by construction. *)
+  Util.qtest ~count:40 "N-shard pool == N independent per-shard pools"
+    QCheck2.Gen.(list_size (10 -- 120) (0 -- 19))
+    (fun accesses ->
+      let n_shards = 4 in
+      let _sim, store, _, pool = Util.make_system ~capacity:8 ~n_shards () in
+      let pages = Array.init 20 (fun _ -> Page_store.alloc store) in
+      let refs =
+        Array.init n_shards (fun _ ->
+            let _, st, _, p = Util.make_system ~capacity:2 () in
+            let ps = Array.init 20 (fun _ -> Page_store.alloc st) in
+            assert (ps = pages);
+            p)
+      in
+      List.iter
+        (fun i ->
+          let page = pages.(i) in
+          ignore (Buffer_pool.get pool page);
+          Buffer_pool.unpin pool page;
+          let s = Buffer_pool.shard_of_page pool page in
+          ignore (Buffer_pool.get refs.(s) page);
+          Buffer_pool.unpin refs.(s) page)
+        accesses;
+      let tot f p = cv (f (Buffer_pool.stats p)) in
+      let sum f = Array.fold_left (fun a p -> a + tot f p) 0 refs in
+      tot (fun s -> s.Buffer_pool.hits) pool = sum (fun s -> s.Buffer_pool.hits)
+      && tot (fun s -> s.Buffer_pool.misses) pool
+         = sum (fun s -> s.Buffer_pool.misses)
+      && tot (fun s -> s.Buffer_pool.evictions) pool
+         = sum (fun s -> s.Buffer_pool.evictions)
+      && Array.for_all
+           (fun page ->
+             Buffer_pool.is_resident pool page
+             = Buffer_pool.is_resident
+                 refs.(Buffer_pool.shard_of_page pool page)
+                 page)
+           pages)
+
 let prop_clock_never_past_capacity =
   Util.qtest ~count:50 "resident pages never exceed capacity"
     QCheck2.Gen.(list_size (10 -- 80) (0 -- 19))
@@ -266,5 +399,12 @@ let suite =
       test_exhaustion_drains_prefetch;
     Alcotest.test_case "store free invalidates pool state" `Quick
       test_free_invalidates_pool_state;
+    Alcotest.test_case "single client is shard-invariant" `Quick
+      test_single_client_shard_invariance;
+    Alcotest.test_case "shard latch contention" `Quick
+      test_shard_latch_contention;
+    Alcotest.test_case "multi-client pin/evict interleaving" `Quick
+      test_multi_client_pin_evict;
+    prop_sharded_pool_equivalent;
     prop_clock_never_past_capacity;
   ]

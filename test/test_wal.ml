@@ -239,6 +239,128 @@ let prop_mirror_survives_single_fault =
       Wal.detach wal;
       survived && repaired)
 
+(* --- striped log: records round-robin across S log disks --- *)
+
+let test_striped_commit_recover () =
+  (* S=2: sealed records alternate between two log disks; recovery
+     merges the per-stripe scans back into one stream by LSN. *)
+  let sys, _, idx = build_small X.Setup.Disk_first 300 in
+  let wal =
+    Wal.attach ~log_stripes:2 ~meta:(Index_sig.meta idx) sys.X.Setup.pool
+  in
+  check_int "stripes" 2 (Wal.log_stripes wal);
+  for i = 1 to 10 do
+    ignore (Index_sig.insert idx (1_000_000 + i) i);
+    Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+  done;
+  Wal.crash_now wal;
+  let r = Wal.recover wal in
+  check_int "all commits durable across stripes" 10 r.Wal.committed_ops;
+  check_int "no damage" 0 r.Wal.damaged_records;
+  (match Wal.verify_images wal with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("durable image check: " ^ m));
+  Index_sig.restore_meta idx r.Wal.meta;
+  Index_sig.check idx;
+  for i = 1 to 10 do
+    Alcotest.(check (option int))
+      "committed insert recovered" (Some i)
+      (Index_sig.search idx (1_000_000 + i))
+  done
+
+let prop_striping_invariant =
+  (* The stripe count is a bandwidth knob, not a semantics knob: the same
+     workload crash-recovers to the same state at S = 1, 2, 4. *)
+  Util.qtest ~count:8 "recovery result independent of stripe count"
+    QCheck2.Gen.(1 -- 1000)
+    (fun seed ->
+      let outcome s =
+        let sys, _, idx = build_small X.Setup.Disk_opt 200 in
+        let wal =
+          Wal.attach ~log_stripes:s ~meta:(Index_sig.meta idx)
+            sys.X.Setup.pool
+        in
+        let prng = Fpb_workload.Prng.create seed in
+        for i = 1 to 8 do
+          ignore
+            (Index_sig.insert idx
+               (1_000_000 + Fpb_workload.Prng.int prng 50_000)
+               i);
+          Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+        done;
+        Wal.crash_now wal;
+        let r = Wal.recover wal in
+        Index_sig.restore_meta idx r.Wal.meta;
+        Index_sig.check idx;
+        (r.Wal.committed_ops, r.Wal.damaged_records, key_set idx)
+      in
+      let a = outcome 1 in
+      a = outcome 2 && a = outcome 4)
+
+let test_striped_loss_detected () =
+  (* S=2, K=1: an interior span of ONE stripe is zeroed.  The surviving
+     stripe still carries readable records with later LSNs, so only the
+     merged LSN-gap check can see the hole — recovery must report the
+     loss and stop replay there, not serve the other stripe's records
+     from beyond the gap. *)
+  let sys, _, idx = build_small X.Setup.Disk_first 300 in
+  let wal =
+    Wal.attach ~log_stripes:2 ~meta:(Index_sig.meta idx) sys.X.Setup.pool
+  in
+  for i = 1 to 12 do
+    ignore (Index_sig.insert idx (1_000_000 + i) i);
+    Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+  done;
+  (* Damage offsets are stripe-local.  Records alternate stripes in seal
+     order, so stripe 0's extent is the sizes of the even-indexed layout
+     entries; smash the body of its middle record. *)
+  let stripe0 = List.filteri (fun i _ -> i mod 2 = 0) (Wal.layout wal) in
+  let n0 = List.length stripe0 in
+  let local_start = ref 0 in
+  List.iteri
+    (fun i b -> if i < n0 / 2 then local_start := !local_start + b.Wal.size)
+    stripe0;
+  Wal.inject_mirror_damage wal ~mirror:0
+    (Wal.Zero_span { off = !local_start + 4; len = 16 });
+  Wal.crash_now wal;
+  let r = Wal.recover wal in
+  Alcotest.(check bool) "cross-stripe loss detected" true
+    (r.Wal.damaged_records > 0);
+  Alcotest.(check bool) "replay stopped at the gap" true
+    (r.Wal.committed_ops < 12);
+  Index_sig.restore_meta idx r.Wal.meta;
+  Index_sig.check idx
+
+let test_striped_mirror_survives () =
+  (* S=2 x K=2: striping composes with mirroring.  Damaging one copy of
+     one stripe costs nothing — its twin serves that stripe. *)
+  let sys, _, idx = build_small X.Setup.Disk_first 300 in
+  let wal =
+    Wal.attach ~log_stripes:2 ~log_mirrors:2 ~meta:(Index_sig.meta idx)
+      sys.X.Setup.pool
+  in
+  for i = 1 to 10 do
+    ignore (Index_sig.insert idx (1_000_000 + i) i);
+    Wal.commit wal ~op:i ~meta:(Index_sig.meta idx)
+  done;
+  (* Flattened disk index s*K + k: 0 is stripe 0, copy 0.  Hit the body
+     of stripe 0's middle record (stripe-local offset from the layout:
+     records alternate stripes in seal order). *)
+  let stripe0 = List.filteri (fun i _ -> i mod 2 = 0) (Wal.layout wal) in
+  let n0 = List.length stripe0 in
+  let local_start = ref 0 in
+  List.iteri
+    (fun i b -> if i < n0 / 2 then local_start := !local_start + b.Wal.size)
+    stripe0;
+  Wal.inject_mirror_damage wal ~mirror:0
+    (Wal.Zero_span { off = !local_start + 4; len = 16 });
+  Wal.crash_now wal;
+  let r = Wal.recover wal in
+  check_int "nothing lost" 10 r.Wal.committed_ops;
+  check_int "no damage reported" 0 r.Wal.damaged_records;
+  Index_sig.restore_meta idx r.Wal.meta;
+  Index_sig.check idx
+
 (* --- satellite property: crash at every record boundary --- *)
 
 (* For a random workload seed: run the golden scenario on each index
@@ -287,6 +409,13 @@ let suite =
       test_explicit_flush_durable;
     Alcotest.test_case "K=1: log damage detected, not absorbed" `Quick
       test_single_mirror_loss_detected;
+    Alcotest.test_case "S=2: striped commit then recover" `Quick
+      test_striped_commit_recover;
+    Alcotest.test_case "S=2: cross-stripe loss detected by LSN gap" `Quick
+      test_striped_loss_detected;
+    Alcotest.test_case "S=2 x K=2: striping composes with mirroring" `Quick
+      test_striped_mirror_survives;
+    prop_striping_invariant;
     prop_mirror_survives_single_fault;
     prop_recovery_prefix;
   ]
