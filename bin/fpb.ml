@@ -7,6 +7,7 @@
    fpb crashtest [--tiny] [--seed N]                    WAL fault-injection sweep
    fpb chaos [--tiny] [--seed N] [--log-mirrors K]
              [--log-rate R] [--scrub-bw N]              media-fault chaos harness
+   fpb ycsb [--mix A..F] [--dist D] [--rate R] ...      YCSB-style workload run
    fpb demo                                             quickstart walk-through *)
 
 open Cmdliner
@@ -189,6 +190,164 @@ let chaos_cmd =
           faults), and scrub finds nothing unrecoverable")
     Term.(ret (const run $ tiny $ full $ seed $ log_mirrors $ log_rate $ scrub_bw))
 
+let ycsb_cmd =
+  let mix = Arg.(value & opt string "A" & info [ "mix" ] ~doc:"YCSB core mix (A..F)") in
+  let dist =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dist" ]
+          ~doc:
+            "Key distribution: uniform, zipfian (scrambled), zipf-seq, \
+             latest, hotspot (default: the mix's conventional one)")
+  in
+  let theta =
+    Arg.(
+      value
+      & opt float Fpb_workload.Keygen.default_theta
+      & info [ "theta" ] ~doc:"Zipfian constant, in (0, 1)")
+  in
+  let clients = Arg.(value & opt int 8 & info [ "clients" ] ~doc:"Logical clients") in
+  let keys = Arg.(value & opt int 50_000 & info [ "keys" ] ~doc:"Bulk-loaded keys") in
+  let ops = Arg.(value & opt int 5_000 & info [ "ops" ] ~doc:"Operations to run") in
+  let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test size (overrides --keys/--ops)") in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ]
+          ~doc:
+            "Open-loop arrival rate (ops per simulated second); omit for \
+             the closed-loop driver")
+  in
+  let fixed =
+    Arg.(
+      value & flag
+      & info [ "fixed" ] ~doc:"Fixed-interval arrivals instead of Poisson")
+  in
+  let pool =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pool" ] ~doc:"Buffer-pool frames (default: half the tree)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed") in
+  let run mix dist theta clients keys ops tiny rate fixed pool seed =
+    let open Fpb_btree_common in
+    let open Fpb_experiments in
+    let module W = Fpb_workload in
+    let keys = if tiny then 20_000 else keys in
+    let ops = if tiny then 600 else ops in
+    match W.Mix.of_string mix with
+    | Error e -> `Error (false, e)
+    | Ok mix -> (
+        let dist_r =
+          match dist with
+          | None -> Ok (W.Mix.default_dist mix)
+          | Some s -> W.Keygen.dist_of_string ~theta s
+        in
+        match dist_r with
+        | Error e -> `Error (false, e)
+        | Ok dist ->
+            let rng = W.Prng.create seed in
+            let pairs = W.Keygen.bulk_pairs rng keys in
+            let page_size = 4096 in
+            let pool_pages =
+              match pool with
+              | Some p -> max 24 p
+              | None ->
+                  let sys = Setup.make ~n_disks:4 ~page_size () in
+                  let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
+                  max 24 (Index_sig.page_count idx / 2)
+            in
+            let sys =
+              Setup.make ~n_disks:4 ~pool_pages ~n_shards:4 ~page_size ()
+            in
+            let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
+            let wal =
+              Fpb_wal.Wal.attach ~group_commit_bytes:(1 lsl 16)
+                ~meta:(Index_sig.meta idx) sys.Setup.pool
+            in
+            let gen = W.Mix.generator ~dist ~seed:(seed + 1) mix pairs in
+            let warm = W.Prng.create (seed + 2) in
+            for _ = 1 to 2 * pool_pages do
+              ignore
+                (Index_sig.search idx
+                   (fst pairs.(W.Keygen.draw_pos dist warm ~n:keys)))
+            done;
+            Fpb_storage.Buffer_pool.reset_stats sys.Setup.pool;
+            let committed = ref 0 in
+            let commit () =
+              incr committed;
+              Fpb_wal.Wal.commit wal ~op:!committed ~meta:(Index_sig.meta idx)
+            in
+            let op ~client:(_ : int) ~seq:(_ : int) =
+              W.Mix.execute idx ~commit (W.Mix.next gen)
+            in
+            Fmt.pr "mix %s, %s, %d keys, %d ops, %d clients, pool %d frames@."
+              mix.W.Mix.name (W.Keygen.dist_name dist) keys ops clients
+              pool_pages;
+            let report name (h : Fpb_obs.Histogram.t) =
+              Fmt.pr "  %-12s p50 %8d  p90 %8d  p99 %8d  p999 %8d  (ns)@." name
+                (Fpb_obs.Histogram.percentile h 50.)
+                (Fpb_obs.Histogram.percentile h 90.)
+                (Fpb_obs.Histogram.percentile h 99.)
+                (Fpb_obs.Histogram.percentile h 99.9)
+            in
+            (match rate with
+            | None ->
+                let s =
+                  W.Clients.run ~sim:sys.Setup.sim ~n_clients:clients
+                    ~ops_per_client:(max 1 (ops / clients)) op
+                in
+                Fmt.pr
+                  "closed loop: %.1f ops per simulated second, makespan %.3f s@."
+                  s.W.Clients.throughput_ops_per_s
+                  (float_of_int s.W.Clients.makespan_ns /. 1e9);
+                report "latency" s.W.Clients.latency
+            | Some rate ->
+                let discipline =
+                  if fixed then W.Arrival.Fixed else W.Arrival.Poisson
+                in
+                let s =
+                  W.Arrival.run ~sim:sys.Setup.sim ~n_clients:clients
+                    ~n_ops:ops ~rate_ops_per_s:rate ~discipline ~seed:(seed + 3)
+                    op
+                in
+                Fmt.pr
+                  "open loop (%s): offered %.1f, achieved %.1f ops per \
+                   simulated second, max backlog %d@."
+                  (W.Arrival.discipline_name s.W.Arrival.discipline)
+                  s.W.Arrival.offered_ops_per_s s.W.Arrival.throughput_ops_per_s
+                  s.W.Arrival.max_backlog;
+                report "latency" s.W.Arrival.latency;
+                report "queue" s.W.Arrival.queue_ns;
+                report "service" s.W.Arrival.service_ns);
+            Index_sig.check idx;
+            let p = Fpb_storage.Buffer_pool.stats sys.Setup.pool in
+            let v c = Fpb_obs.Counter.value c in
+            let hits = v p.Fpb_storage.Buffer_pool.hits
+            and misses = v p.Fpb_storage.Buffer_pool.misses in
+            let r, u, i, s, m = W.Mix.drawn_counts gen in
+            Fmt.pr
+              "ops drawn: %d read, %d update, %d insert, %d scan, %d rmw; \
+               pool hit rate %.1f%%@."
+              r u i s m
+              (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "ycsb"
+       ~doc:
+         "Run one YCSB-style workload (mix x distribution) against the \
+          disk-first fpB+tree through the buffer pool and WAL, closed loop \
+          or — with --rate — open loop (Poisson arrivals, latency measured \
+          from arrival, so overload shows up as queueing delay)")
+    Term.(
+      ret
+        (const run $ mix $ dist $ theta $ clients $ keys $ ops $ tiny $ rate
+       $ fixed $ pool $ seed))
+
 let demo_cmd =
   let run () =
     let open Fpb_simmem in
@@ -220,4 +379,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "fpb" ~doc)
-          [ tune_cmd; list_cmd; exp_cmd; check_cmd; crashtest_cmd; chaos_cmd; demo_cmd ]))
+          [ tune_cmd; list_cmd; exp_cmd; check_cmd; crashtest_cmd; chaos_cmd;
+            ycsb_cmd; demo_cmd ]))

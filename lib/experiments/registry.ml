@@ -43,6 +43,8 @@ let all : entry list =
       run = Exp_recovery.run };
     { id = "concurrency"; describes = "Extension: multi-client scaling of the sharded buffer pool";
       run = Exp_concurrency.run };
+    { id = "ycsb"; describes = "Extension: YCSB mixes x skew x open-loop arrival rate";
+      run = Exp_ycsb.run };
     { id = "faults"; describes = "Extension: media-fault chaos (checksums, retry, scrub, WAL repair)";
       run = Chaos.run };
   ]

@@ -113,4 +113,5 @@ let to_json t =
       ("p90", Json.Int (percentile t 90.));
       ("p95", Json.Int (percentile t 95.));
       ("p99", Json.Int (percentile t 99.));
+      ("p999", Json.Int (percentile t 99.9));
     ]

@@ -41,6 +41,8 @@ val percentile : t -> float -> int
 
 val reset : t -> unit
 
-(** [{"count", "sum", "min", "max", "mean", "p50", "p90", "p95", "p99"}] —
-    the per-histogram record embedded in metrics snapshots. *)
+(** [{"count", "sum", "min", "max", "mean", "p50", "p90", "p95", "p99",
+    "p999"}] — the per-histogram record embedded in metrics snapshots.
+    [p999] is the 99.9th percentile, the tail the open-loop workload
+    driver sweeps (see [docs/WORKLOADS.md]). *)
 val to_json : t -> Json.t

@@ -1,0 +1,65 @@
+(** Open-loop arrival driver over the discrete-event clock.
+
+    Where {!Clients.run} is closed-loop (each client issues its next
+    operation when the previous one completes, so offered load adapts
+    to capacity and overload shows up only as a throughput plateau),
+    [Arrival.run] is open-loop: operations arrive on a simulated-time
+    schedule — Poisson or fixed-rate at [rate_ops_per_s] — that is
+    independent of how the system keeps up, like traffic from a large
+    population of independent users.  Arrivals are appended round-robin
+    to [n_clients] per-client FIFO queues; each client serves its queue
+    one operation at a time under the same conservative discrete-event
+    discipline as {!Clients.run} (run the client with the smallest
+    dispatch time; shared resources keep absolute free-at times, so
+    contention resolves as in a truly concurrent execution).
+
+    Latency is recorded from {e arrival}, not dispatch: below
+    saturation the queueing term is ~0, past saturation queues grow
+    throughout the run and p99/p999 explode — the overload signature a
+    closed-loop driver structurally cannot produce.  See
+    [docs/WORKLOADS.md] for the closed- vs. open-loop semantics. *)
+
+(** Inter-arrival law: [Poisson] (exponential gaps, the memoryless
+    many-independent-users model) or [Fixed] (constant gap, a paced
+    load generator). *)
+type discipline = Poisson | Fixed
+
+val discipline_name : discipline -> string
+
+type stats = {
+  clients : int;
+  ops : int;
+  discipline : discipline;
+  offered_ops_per_s : float;  (** the configured arrival rate *)
+  makespan_ns : int;  (** first arrival to last completion *)
+  latency : Fpb_obs.Histogram.t;
+      (** per-op arrival → completion ([arrival.latency_ns]) —
+          queueing delay included *)
+  queue_ns : Fpb_obs.Histogram.t;
+      (** per-op arrival → dispatch ([arrival.queue_ns]) *)
+  service_ns : Fpb_obs.Histogram.t;
+      (** per-op dispatch → completion ([arrival.service_ns]) *)
+  throughput_ops_per_s : float;  (** completed ops / makespan *)
+  max_backlog : int;
+      (** peak number of operations arrived but not yet completed — the
+          high-water queue depth *)
+}
+
+(** [run ~sim ~n_clients ~n_ops ~rate_ops_per_s op] generates the
+    arrival schedule ([seed], default 4242, fixes it deterministically),
+    dispatches [op ~client ~seq] for each arrival in conservative
+    virtual-time order ([op] must advance the simulated clock by the
+    operation's duration), and returns the latency/queue/service
+    histograms and throughput.  [seq] is the arrival's global index, in
+    arrival order.
+    @raise Invalid_argument if [n_clients < 1], [n_ops < 0] or
+    [rate_ops_per_s <= 0.]. *)
+val run :
+  sim:Fpb_simmem.Sim.t ->
+  n_clients:int ->
+  n_ops:int ->
+  rate_ops_per_s:float ->
+  ?discipline:discipline ->
+  ?seed:int ->
+  (client:int -> seq:int -> unit) ->
+  stats

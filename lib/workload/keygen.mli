@@ -14,7 +14,56 @@ val random_keys : Prng.t -> int -> int array
     set. *)
 val ranges : Prng.t -> (int * int) array -> int -> span:int -> (int * int) array
 
-(** Zipf-skewed probe keys over a key set: rank 1 hottest; theta in (0,1)
-    controls the skew (0.99 ~ TPC-C-like). *)
+(** Zipf-skewed probe keys over a key set: rank 0 hottest; theta in (0,1)
+    controls the skew (0.99 ~ TPC-C / YCSB default). *)
 val zipf_probes :
   Prng.t -> (int * int) array -> int -> theta:float -> int array
+
+(** [zipf_rank rng ~n ~theta] draws one Zipf-distributed rank in
+    [\[0, n)], rank 0 hottest, using the O(1) rejection-free power-law
+    approximation [floor (n * u ** (1. /. (1. -. theta)))].
+    @raise Invalid_argument unless [0. < theta < 1.] and [n > 0]. *)
+val zipf_rank : Prng.t -> n:int -> theta:float -> int
+
+(** [scramble ~n pos] hashes position [pos] into [\[0, n)] with 64-bit
+    FNV-1a, the YCSB scrambled-Zipfian scheme: deterministic, spreads a
+    skewed rank sequence across the whole position space, but is {e not}
+    a permutation (hash collisions make a few positions unreachable). *)
+val scramble : n:int -> int -> int
+
+(** Key-popularity distributions for the YCSB-style workload suite
+    (see [docs/WORKLOADS.md]).  Each names a rule for drawing a
+    {e position} in a key-age array: position 0 is the oldest (bulk-load)
+    key, position [n - 1] the most recent insert.
+
+    - [Uniform]: every live key equally likely.
+    - [Zipfian]: rank drawn by {!zipf_rank}; with [scrambled] the rank
+      is passed through {!scramble} so the hot keys are spread over the
+      key space rather than forming one contiguous leaf run.
+    - [Latest]: like Zipfian but anchored at the insert frontier — rank
+      0 is the {e newest} key, so the hot set follows inserts.
+    - [Hotspot]: with probability [hot_op_frac] a uniform draw from the
+      first [hot_frac] fraction of positions, otherwise a uniform draw
+      from the rest. *)
+type dist =
+  | Uniform
+  | Zipfian of { theta : float; scrambled : bool }
+  | Latest of { theta : float }
+  | Hotspot of { hot_frac : float; hot_op_frac : float }
+
+(** The YCSB default Zipfian constant, 0.99. *)
+val default_theta : float
+
+(** Short human-readable name, e.g. ["scrambled-zipf 0.99"]. *)
+val dist_name : dist -> string
+
+(** Parse a CLI distribution name ([uniform], [zipfian] (scrambled),
+    [zipf-seq] (unscrambled), [latest], [hotspot]); [theta] (default
+    {!default_theta}) parameterises the skewed ones. *)
+val dist_of_string : ?theta:float -> string -> (dist, string) result
+
+(** [draw_pos dist rng ~n] draws one position in [\[0, n)] under [dist].
+    For [Latest], pass the current insert frontier as [n].
+    @raise Invalid_argument if [n <= 0] or the distribution's
+    parameters are out of range. *)
+val draw_pos : dist -> Prng.t -> n:int -> int

@@ -19,6 +19,18 @@ let int t bound =
   if bound <= 0 then invalid_arg "Prng.int";
   Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
 
+(* Uniform float in [0, 1) from the top 53 bits (the full double
+   mantissa), so the smallest nonzero value is 2^-53. *)
+let float t =
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+(* Exponentially distributed value with the given [mean]; inverse-CDF
+   over a [float] draw (the 1 - u flip keeps log's argument nonzero). *)
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Prng.exponential";
+  -. mean *. log (1. -. float t)
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -9,5 +9,14 @@ val next : t -> int64
 (** Uniform int in [0, bound); bound > 0. *)
 val int : t -> int -> int
 
+(** Uniform float in [0, 1), with the full 53-bit double resolution. *)
+val float : t -> float
+
+(** [exponential t ~mean] draws from the exponential distribution with
+    the given mean (inverse-CDF method) — inter-arrival times of a
+    Poisson process at rate [1 /. mean].
+    @raise Invalid_argument if [mean <= 0.]. *)
+val exponential : t -> mean:float -> float
+
 (** In-place Fisher-Yates shuffle. *)
 val shuffle : t -> 'a array -> unit

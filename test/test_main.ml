@@ -10,6 +10,7 @@ let () =
       ("faults", Test_faults.suite);
       ("tuning", Test_tuning.suite);
       ("workload", Test_workload.suite);
+      ("ycsb", Test_ycsb.suite);
       ("indexes", Test_indexes.suite);
       ("core-extra", Test_core_extra.suite);
       ("dbsim", Test_dbsim.suite);
