@@ -159,7 +159,9 @@ let chaos_cmd =
     let cells, table =
       Chaos.run_all ~seed ~log_mirrors ?log_rate ?scrub_bw scale
     in
+    let shadow_cells, shadow_table = Chaos.shadow_meta_leg ~seed scale in
     Table.print Format.std_formatter table;
+    Table.print Format.std_formatter shadow_table;
     let failures =
       List.concat_map
         (fun c ->
@@ -169,13 +171,23 @@ let chaos_cmd =
                 c.Chaos.label m)
             c.Chaos.failures)
         cells
+      @ List.concat_map
+          (fun c ->
+            List.map
+              (fun m ->
+                Printf.sprintf "%s/%s: %s"
+                  (Setup.kind_name c.Chaos.s_kind)
+                  c.Chaos.s_label m)
+              c.Chaos.s_failures)
+          shadow_cells
     in
     List.iter (fun m -> Fmt.epr "FAIL %s@." m) failures;
     if failures = [] then begin
       let repaired = List.fold_left (fun a c -> a + c.Chaos.repaired) 0 cells in
       let detected = List.fold_left (fun a c -> a + c.Chaos.detected) 0 cells in
       Fmt.pr "chaos OK: %d cells, %d pages repaired, %d errors detected, 0 oracle failures@."
-        (List.length cells) repaired detected;
+        (List.length cells + List.length shadow_cells)
+        repaired detected;
       `Ok ()
     end
     else `Error (false, Printf.sprintf "%d oracle failures" (List.length failures))

@@ -380,6 +380,175 @@ let run_all ?seed ?log_mirrors ?log_rate ?scrub_bw scale =
   in
   (cells, table)
 
+(* ------------------- shadow-metadata damage leg ---------------------- *)
+
+(* The legs above rot data pages and log mirrors; this one rots the
+   shadow-paging subsystem's own metadata — the persisted indirection
+   tables and superblocks ({!Fpb_snapshot.Page_map}).  The workload runs
+   with fuzzy checkpoints so several generations flip, then the live
+   generation's superblock (or its table slot, or both superblocks) is
+   deterministically damaged and the machine power-cuts.
+
+   The oracle: with one generation damaged, {!Fpb_snapshot.Shadow.recover}
+   must fall back to the prior complete generation
+   ([pagemap.superblock_fallbacks > 0]) and still land on every committed
+   operation — the WAL replays the wider gap from the older cut.  With
+   both superblocks gone, plain WAL recovery is the safety net
+   ([ckpt.plain_recoveries = 1]) and still loses nothing.  Corrupt
+   metadata may cost a fallback, never data. *)
+
+module Shadow = Fpb_snapshot.Shadow
+module Page_map = Fpb_snapshot.Page_map
+
+type shadow_cell = {
+  s_kind : Setup.kind;
+  s_label : string;
+  s_flips : int;
+  s_fallbacks : int;  (* pagemap.superblock_fallbacks *)
+  s_plain : int;  (* ckpt.plain_recoveries *)
+  s_remaps : int;  (* pagemap.remaps *)
+  s_committed : int;
+  s_failures : string list;
+}
+
+let run_shadow_cell kind pairs ops ~target =
+  let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+  let shadow = Shadow.attach ~meta:(Index_sig.meta idx) wal sys.Setup.pool in
+  let n_ops = List.length ops in
+  let ckpt_every = max 1 (n_ops / 4) in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let m = Hashtbl.create 1024 in
+  Array.iter (fun (k, v) -> Hashtbl.replace m k v) pairs;
+  let wrong = ref 0 in
+  List.iteri
+    (fun i op ->
+      let opn = i + 1 in
+      (match op with
+      | Search k ->
+          if Index_sig.search idx k <> Hashtbl.find_opt m k then incr wrong
+      | Ins (k, v) ->
+          ignore (Index_sig.insert idx k v);
+          Hashtbl.replace m k v
+      | Del k ->
+          ignore (Index_sig.delete idx k);
+          Hashtbl.remove m k);
+      Wal.commit wal ~op:opn ~meta:(Index_sig.meta idx);
+      if opn mod ckpt_every = 0 then begin
+        Shadow.checkpoint_begin shadow;
+        while
+          not (Shadow.checkpoint_tick ~pages:4 shadow
+                 ~meta:(Index_sig.meta idx))
+        do
+          ()
+        done
+      end)
+    ops;
+  if !wrong > 0 then fail "%d operations silently returned wrong answers" !wrong;
+  let map = Shadow.map shadow in
+  let live = Shadow.current_generation shadow - 1 in
+  let live_slot = live land 1 in
+  let label =
+    match target with
+    | `Superblock ->
+        Page_map.inject_damage map (Page_map.Superblock live_slot)
+          (Page_map.Flip_bit { off = 9; bit = 2 });
+        "sb bit-rot"
+    | `Table ->
+        Page_map.inject_damage map (Page_map.Table live_slot)
+          (Page_map.Zero_span { off = 16; len = 128 });
+        "table zero-span"
+    | `Both_superblocks ->
+        Page_map.inject_damage map (Page_map.Superblock 0)
+          (Page_map.Flip_bit { off = 9; bit = 2 });
+        Page_map.inject_damage map (Page_map.Superblock 1)
+          (Page_map.Zero_span { off = 0; len = 8 });
+        "both sbs gone"
+  in
+  Wal.crash_now wal;
+  let r = Shadow.recover shadow in
+  if r.Wal.committed_ops <> n_ops then
+    fail "recovery found %d committed ops, expected %d" r.Wal.committed_ops
+      n_ops;
+  Index_sig.restore_meta idx r.Wal.meta;
+  (try Index_sig.check idx with Failure msg -> fail "structural check: %s" msg);
+  let want =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] |> List.sort compare
+  in
+  if key_set idx <> want then fail "key set differs from model";
+  let kv = Shadow.kv shadow in
+  let g name = Option.value ~default:0 (List.assoc_opt name kv) in
+  let fallbacks = g "pagemap.superblock_fallbacks" in
+  let plain = g "ckpt.plain_recoveries" in
+  (match target with
+  | `Superblock | `Table ->
+      if fallbacks = 0 then
+        fail "damaged live metadata but recovery never fell back a generation";
+      if plain > 0 then
+        fail "fell through to plain WAL recovery with an intact prior \
+             generation"
+  | `Both_superblocks ->
+      if plain = 0 then
+        fail "both superblocks damaged yet a generation was trusted");
+  Telemetry.add_kv kv;
+  Shadow.detach shadow;
+  Wal.detach wal;
+  {
+    s_kind = kind;
+    s_label = label;
+    s_flips = g "ckpt.flips";
+    s_fallbacks = fallbacks;
+    s_plain = plain;
+    s_remaps = g "pagemap.remaps";
+    s_committed = r.Wal.committed_ops;
+    s_failures = List.rev !failures;
+  }
+
+let shadow_meta_leg ?(seed = 42) scale =
+  let n_bulk, n_ops, _, _ = params scale in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun target -> run_shadow_cell kind pairs ops ~target)
+          [ `Superblock; `Table; `Both_superblocks ])
+      Setup.all_kinds
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Setup.kind_name c.s_kind;
+          c.s_label;
+          Table.cell_i c.s_flips;
+          Table.cell_i c.s_fallbacks;
+          Table.cell_i c.s_plain;
+          Table.cell_i c.s_remaps;
+          Table.cell_i c.s_committed;
+          Table.cell_i (List.length c.s_failures);
+        ])
+      cells
+  in
+  let table =
+    Table.make ~id:"chaos-shadow-meta"
+      ~title:
+        "Shadow-metadata damage (live superblock / table slot / both \
+         superblocks rotted, then power cut; recovery must fall back a \
+         generation — or to plain WAL replay — and lose nothing)"
+      ~header:
+        [
+          "index"; "leg"; "flips"; "fallbacks"; "plain"; "remaps";
+          "committed"; "failures";
+        ]
+      rows
+  in
+  (cells, table)
+
 (* Scrub-bandwidth sweep: the same faulty foreground workload at
    increasing scrub rates.  Foreground latency (ns/op over the workload
    span, which the paced ticks share) rises with bandwidth; pages the
@@ -533,10 +702,14 @@ let throttle_sweep ?(seed = 42) scale =
    lands detection/repair counters in BENCH_results.json. *)
 let run scale =
   let cells, table = run_all scale in
+  let shadow_cells, shadow_table = shadow_meta_leg scale in
   let sweep_cells, sweep = scrub_sweep scale in
   let throttle = throttle_sweep scale in
   let fails =
     List.fold_left (fun a c -> a + List.length c.failures) 0 (cells @ sweep_cells)
+    + List.fold_left
+        (fun a c -> a + List.length c.s_failures)
+        0 shadow_cells
   in
   if fails > 0 then Telemetry.add "chaos.oracle_failures" fails;
-  [ table; sweep; throttle ]
+  [ table; shadow_table; sweep; throttle ]

@@ -182,20 +182,180 @@ let run_kind ?(seed = 42) scale kind =
     failures = !failures;
   }
 
-(* Run every index structure; returns results and a summary table. *)
+(* ---------------- shadow-paging flip-boundary sweep ------------------ *)
+
+(* The byte-level sweep above cannot reach the shadow subsystem's
+   metadata writes (table slots and superblocks live on their own disk,
+   outside the WAL byte stream), so the flip boundaries get their own
+   sweep: the same deterministic scenario runs with fuzzy checkpoints,
+   and a [Shadow.crash_point] is armed on one chosen checkpoint — crash
+   mid-writeback, with a partially written table, with a torn
+   superblock, or after the flip but before the WAL checkpoint record.
+   [Shadow.recover] must land on a complete (superblock, table) pair —
+   falling back a generation past the damage — and replay to exactly the
+   committed prefix.
+
+   The oracle here is even simpler than the byte sweep's: the WAL runs
+   with its default group-commit threshold of 0, so every commit is
+   flushed before [Wal.commit] returns, and the expected committed
+   prefix is just the last operation whose commit call completed before
+   the armed crash fired. *)
+
+module Shadow = Fpb_snapshot.Shadow
+
+(* Crash points armed at each checkpoint ordinal.  [Table_partial
+   max_int] persists the whole table but no superblock — the flip's
+   publish never happened, same recovery class as a torn superblock. *)
+let shadow_crash_points =
+  [
+    (Shadow.Writeback_partial 1, "writeback-partial-1");
+    (Shadow.Writeback_partial 3, "writeback-partial-3");
+    (Shadow.Table_partial 0, "table-empty");
+    (Shadow.Table_partial 64, "table-torn");
+    (Shadow.Table_partial max_int, "table-full-no-sb");
+    (Shadow.Superblock_torn, "superblock-torn");
+    (Shadow.After_flip, "after-flip");
+  ]
+
+(* Run the scenario with the shadow layer attached and fuzzy checkpoints
+   (begin + bounded ticks) at the usual cadence; arm [crash_point] on
+   the [crash_ckpt]-th one ([0] never arms).  Returns the system crashed
+   (at the armed point, or via a power cut at the end if it never fired)
+   plus the committed-op count the crash must preserve. *)
+let run_shadow_scenario kind pairs ops ~ckpt_every ~crash_ckpt ~crash_point =
+  let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+  let shadow = Shadow.attach ~meta:(Index_sig.meta idx) wal sys.Setup.pool in
+  let committed = ref 0 in
+  let ckpt_no = ref 0 in
+  (try
+     List.iteri
+       (fun i op ->
+         let opn = i + 1 in
+         apply idx op;
+         Wal.commit wal ~op:opn ~meta:(Index_sig.meta idx);
+         committed := opn;
+         if ckpt_every > 0 && opn mod ckpt_every = 0 then begin
+           incr ckpt_no;
+           if !ckpt_no = crash_ckpt then
+             Shadow.set_crash_point shadow (Some crash_point);
+           Shadow.checkpoint_begin shadow;
+           while
+             not (Shadow.checkpoint_tick ~pages:4 shadow
+                    ~meta:(Index_sig.meta idx))
+           do
+             ()
+           done
+         end)
+       ops
+   with Wal.Crashed -> ());
+  if not (Wal.is_crashed wal) then Wal.crash_now wal;
+  (sys, idx, shadow, !committed)
+
+let check_shadow_point kind pairs ops ~ckpt_every ~crash_ckpt ~crash_point
+    ~label =
+  let _sys, idx, shadow, committed =
+    run_shadow_scenario kind pairs ops ~ckpt_every ~crash_ckpt ~crash_point
+  in
+  let wal = Shadow.wal shadow in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  (try
+     let r = Shadow.recover shadow in
+     if r.Wal.committed_ops <> committed then
+       err "recovered %d committed ops, expected %d" r.Wal.committed_ops
+         committed;
+     (match Wal.verify_images wal with
+     | Ok () -> ()
+     | Error m -> err "durable image check: %s" m);
+     Index_sig.restore_meta idx r.Wal.meta;
+     (try Index_sig.check idx
+      with Failure m -> err "structural check: %s" m);
+     let got = ref [] in
+     Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
+     let got = List.sort compare !got in
+     let want = model_after pairs ops committed in
+     if got <> want then
+       err "key set mismatch: %d entries recovered, %d expected"
+         (List.length got) (List.length want);
+     (* Availability: re-apply the lost suffix and take one more fuzzy
+        checkpoint — the recovered mapping, free-block lists and
+        generation chain must all still work. *)
+     try
+       List.iteri
+         (fun i op ->
+           let opn = i + 1 in
+           if opn > committed then begin
+             apply idx op;
+             Wal.commit wal ~op:opn ~meta:(Index_sig.meta idx)
+           end)
+         ops;
+       Shadow.checkpoint_sync shadow ~meta:(Index_sig.meta idx);
+       (try Index_sig.check idx
+        with Failure m -> err "post-continuation structural check: %s" m);
+       let got = ref [] in
+       Index_sig.iter idx (fun k v -> got := (k, v) :: !got);
+       let got = List.sort compare !got in
+       let want = model_after pairs ops (List.length ops) in
+       if got <> want then
+         err "post-continuation key set mismatch: %d entries, %d expected"
+           (List.length got) (List.length want)
+     with e -> err "workload continuation raised: %s" (Printexc.to_string e)
+   with e -> err "recovery raised: %s" (Printexc.to_string e));
+  List.rev_map (fun m -> (label, m)) !errors
+
+let run_shadow_kind ?(seed = 42) scale kind =
+  let n_bulk, n_ops, ckpt_every, _ = params scale in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  (* Golden run (no armed point): sanity-check the fuzzy scenario itself
+     and learn how many checkpoints it takes. *)
+  let _sys, idx, shadow, golden_committed =
+    run_shadow_scenario kind pairs ops ~ckpt_every ~crash_ckpt:0
+      ~crash_point:Shadow.After_flip
+  in
+  if golden_committed <> List.length ops then
+    failwith "shadow golden run did not commit every operation";
+  Index_sig.check idx;
+  let log_bytes = Wal.log_bytes (Shadow.wal shadow) in
+  let n_ckpts = if ckpt_every > 0 then List.length ops / ckpt_every else 0 in
+  let failures = ref [] in
+  let points = ref 0 in
+  for c = 1 to n_ckpts do
+    List.iter
+      (fun (crash_point, name) ->
+        incr points;
+        let label = Printf.sprintf "ckpt%d/%s" c name in
+        failures :=
+          !failures
+          @ check_shadow_point kind pairs ops ~ckpt_every ~crash_ckpt:c
+              ~crash_point ~label)
+      shadow_crash_points
+  done;
+  { kind; points = !points; torn = 0; log_bytes; failures = !failures }
+
+(* Run every index structure; returns results and a summary table.  Each
+   kind appears twice: the WAL byte-boundary sweep and the shadow
+   flip-boundary sweep. *)
 let run_all ?seed scale =
   let results = List.map (run_kind ?seed scale) Setup.all_kinds in
+  let shadow_results = List.map (run_shadow_kind ?seed scale) Setup.all_kinds in
+  let row name r =
+    [
+      name;
+      Table.cell_i r.points;
+      Table.cell_i r.torn;
+      Table.cell_i r.log_bytes;
+      Table.cell_i (List.length r.failures);
+    ]
+  in
   let rows =
-    List.map
-      (fun r ->
-        [
-          Setup.kind_name r.kind;
-          Table.cell_i r.points;
-          Table.cell_i r.torn;
-          Table.cell_i r.log_bytes;
-          Table.cell_i (List.length r.failures);
-        ])
-      results
+    List.map (fun r -> row (Setup.kind_name r.kind) r) results
+    @ List.map
+        (fun r -> row (Setup.kind_name r.kind ^ " (shadow)") r)
+        shadow_results
   in
   let table =
     Table.make ~id:"crashtest"
@@ -203,4 +363,4 @@ let run_all ?seed scale =
       ~header:[ "index"; "crash points"; "torn pages"; "log bytes"; "failures" ]
       rows
   in
-  (results, table)
+  (results @ shadow_results, table)

@@ -47,6 +47,10 @@ let all : entry list =
       run = Exp_ycsb.run };
     { id = "faults"; describes = "Extension: media-fault chaos (checksums, retry, scrub, WAL repair)";
       run = Chaos.run };
+    { id = "checkpoint";
+      describes =
+        "Extension: shadow-paging fuzzy checkpoints, replay bound, snapshots";
+      run = Exp_checkpoint.run };
   ]
 
 (* Exact id, or a unique prefix of one ("fig3" finds fig3b; "fig18" is

@@ -1,0 +1,567 @@
+(* Shadow-paging checkpoint & snapshot coordinator.
+
+   The classic sharp checkpoint ([Wal.checkpoint]) stalls every writer
+   for a whole-pool write-back plus a data-durability barrier.  This
+   layer replaces it with a fuzzy protocol in the shadow-paging
+   tradition (System R's shadow pages, LFS-style relocation, the
+   ZFS/WAFL "uberblock" flip):
+
+   - {b begin} captures a cut — the WAL's per-stripe marks plus the
+     allocator state — and a worklist of every page whose durable image
+     lags its newest committed state (pool-dirty pages and pages a
+     deferred write-back left stale);
+   - {b tick} hardens a bounded number of worklist pages per call
+     ([Wal.harden_page]), interleaved with foreground operations —
+     writers never wait for the pass;
+   - {b flip}, once the worklist drains, encodes the logical→physical
+     indirection table, writes it to the non-live table slot, and
+     publishes it with one superblock sector write ({!Page_map}); only
+     this final step stalls the writer, and it is a handful of
+     sequential metadata writes, not a pool drain.
+
+   Copy-on-write keeps the flipped image intact: the {!Page_store}
+   remapper relocates a page to a fresh physical block on its first
+   write after a flip whenever its current block is referenced by a
+   retained table ([table_refs]), so checkpointed blocks are never
+   overwritten in place.  Blocks are reclaimed when the last retaining
+   generation retires.
+
+   Generation content is frozen lazily.  At flip time only the pages
+   whose durable images lag the flip have their committed bytes copied
+   ([Wal.committed_image]); afterwards the WAL's pre-log observer hands
+   the layer each page's pre-update committed content on its first
+   post-flip logging.  Because flips happen between operations and every
+   operation logs its pages at commit, both sources yield exactly the
+   committed-at-flip bytes, so a {!snapshot} opened at a checkpoint
+   reads an operation-consistent image while updates (and further
+   checkpoints) proceed beside it.  Pages never logged after the flip
+   fall back to the WAL's current durable image, which is then
+   content-identical to the flip-time state.
+
+   Recovery ({!recover}) loads the newest valid (superblock, table) pair
+   — a torn superblock or partially written table falls back to the
+   previous generation — restores the checkpointed mapping, and replays
+   the WAL only from the loaded table's cut: replay is bounded by the
+   work since the last flip, not the log's full history.  If neither
+   superblock is readable, plain WAL recovery is the safety net. *)
+
+open Fpb_simmem
+open Fpb_storage
+module Wal = Fpb_wal.Wal
+module Counter = Fpb_obs.Counter
+module Histogram = Fpb_obs.Histogram
+
+(* A retained checkpoint generation: its persisted table entries plus
+   the lazily frozen committed-at-flip page images.  [images] stands in
+   for reading the generation's frozen physical blocks (the store keeps
+   only logical bytes); copy-on-write guarantees those blocks still hold
+   these bytes on disk. *)
+type gen_state = {
+  gen : int;
+  entries : Page_map.entry array;
+  images : (int, Bytes.t * int) Hashtbl.t;
+  marks : int array;
+  alloc : int * int list;
+  op : int;
+  meta : int list;
+  mutable pins : int;
+}
+
+(* An in-progress fuzzy checkpoint between [checkpoint_begin] and its
+   flip. *)
+type progress = {
+  cut_marks : int array;
+  cut_alloc : int * int list;
+  mutable worklist : int list;
+  mutable hardened : int;
+}
+
+type crash_point =
+  | Writeback_partial of int
+      (** crash after that many worklist pages hardened *)
+  | Table_partial of int
+      (** crash with only that many bytes of the shadow table written *)
+  | Superblock_torn  (** crash with half the superblock sector written *)
+  | After_flip
+      (** table and superblock durable; crash before the WAL checkpoint
+          record moves the replay start point *)
+
+type stats = {
+  begins : Counter.t;  (* ckpt.begins *)
+  flips : Counter.t;  (* ckpt.flips *)
+  hardened : Counter.t;  (* ckpt.pages_hardened *)
+  captures : Counter.t;  (* ckpt.captures *)
+  retired : Counter.t;  (* ckpt.retired_gens *)
+  recoveries : Counter.t;  (* ckpt.recoveries *)
+  plain_recoveries : Counter.t;  (* ckpt.plain_recoveries *)
+  remaps : Counter.t;  (* pagemap.remaps *)
+  blocks_allocated : Counter.t;  (* pagemap.blocks_allocated *)
+  blocks_freed : Counter.t;  (* pagemap.blocks_freed *)
+  snap_opens : Counter.t;  (* snapshot.opens *)
+  snap_reads : Counter.t;  (* snapshot.reads *)
+  snap_closes : Counter.t;  (* snapshot.closes *)
+}
+
+type t = {
+  wal : Wal.t;
+  pool : Buffer_pool.t;
+  store : Page_store.t;
+  clock : Clock.t;
+  map : Page_map.t;
+  mutable current_gen : int;
+  page_gen : (int, int) Hashtbl.t;  (* page -> last generation remapped *)
+  table_refs : (int * int, int) Hashtbl.t;
+      (* (disk, phys) -> number of retained tables referencing it *)
+  mutable retained : gen_state list;  (* newest first *)
+  mutable progress : progress option;
+  mutable crash_point : crash_point option;
+  flip_stall : Histogram.t;  (* ckpt.flip_stall_ns *)
+  stats : stats;
+}
+
+(* How many recent generations stay retained beyond pinned snapshots:
+   the current one (recovery's base) plus its predecessor (the fallback
+   when the newest superblock or table is damaged). *)
+let keep_gens = 2
+
+(* ----------------------- copy-on-write remapping --------------------- *)
+
+(* First write to a page after a flip: if its current block is
+   referenced by a retained table, relocate the page to a fresh block on
+   the same disk so the checkpointed image survives; otherwise nothing
+   frozen lives there and the write may proceed in place.  Runs from
+   [Page_store.write_location] on every disk-write path. *)
+let remap t id =
+  let g = try Hashtbl.find t.page_gen id with Not_found -> 0 in
+  if g < t.current_gen then begin
+    Hashtbl.replace t.page_gen id t.current_gen;
+    let disk, phys = Page_store.location t.store id in
+    if Hashtbl.mem t.table_refs (disk, phys) then begin
+      let phys' = Page_store.alloc_block t.store ~disk in
+      Page_store.relocate t.store id ~disk ~phys:phys';
+      Counter.incr t.stats.remaps;
+      Counter.incr t.stats.blocks_allocated
+    end
+  end
+
+(* WAL pre-log observer: the page's pre-update committed content, fired
+   on its first logging of each commit.  Freeze it into every retained
+   generation that does not have the page yet — flips happen between
+   operations, so this is exactly the page's committed-at-flip state.
+   One copy is shared across generations (images are never mutated). *)
+let capture t page pre =
+  match t.retained with
+  | [] -> ()
+  | retained ->
+      let copied = ref None in
+      List.iter
+        (fun st ->
+          if
+            page < Array.length st.entries
+            && not (Hashtbl.mem st.images page)
+          then begin
+            (match !copied with
+            | Some _ -> ()
+            | None ->
+                copied :=
+                  Some
+                    (match pre with
+                    | Some (b, lsn) -> Some (Bytes.copy b, lsn)
+                    | None -> None));
+            match !copied with
+            | Some (Some img) ->
+                Hashtbl.replace st.images page img;
+                Counter.incr t.stats.captures
+            | _ -> ()
+          end)
+        retained
+
+(* --------------------------- gen retirement -------------------------- *)
+
+(* Drop one retained generation's block references; a block whose last
+   reference goes away is reusable unless it is still some page's
+   current location (the page was never rewritten after that flip). *)
+let release_gen t st =
+  Array.iteri
+    (fun id e ->
+      if id > 0 then begin
+        let key = (e.Page_map.disk, e.Page_map.phys) in
+        match Hashtbl.find_opt t.table_refs key with
+        | None -> ()
+        | Some 1 ->
+            Hashtbl.remove t.table_refs key;
+            if Page_store.location t.store id <> key then begin
+              Page_store.free_block t.store ~disk:e.Page_map.disk
+                ~phys:e.Page_map.phys;
+              Counter.incr t.stats.blocks_freed
+            end
+        | Some n -> Hashtbl.replace t.table_refs key (n - 1)
+      end)
+    st.entries
+
+let retire_unpinned t =
+  let rec go i = function
+    | [] -> []
+    | st :: rest ->
+        if i < keep_gens || st.pins > 0 then st :: go (i + 1) rest
+        else begin
+          release_gen t st;
+          Counter.incr t.stats.retired;
+          go (i + 1) rest
+        end
+  in
+  t.retained <- go 0 t.retained
+
+(* --------------------------- the checkpoint -------------------------- *)
+
+let checkpoint_in_progress t = t.progress <> None
+
+let worklist_remaining t =
+  match t.progress with None -> 0 | Some p -> List.length p.worklist
+
+(* Capture the cut and the worklist.  The flush first makes every
+   acknowledged commit durable before the cut marks freeze, so a scan
+   from the cut covers exactly the later records. *)
+let checkpoint_begin t =
+  (match t.progress with
+  | Some _ -> invalid_arg "Shadow.checkpoint_begin: checkpoint in progress"
+  | None -> ());
+  if Wal.in_operation t.wal then
+    invalid_arg "Shadow.checkpoint_begin: called mid-operation";
+  Wal.flush t.wal;
+  let cut_marks = Wal.current_marks t.wal in
+  let cut_alloc =
+    (Page_store.total_pages t.store, Page_store.free_list t.store)
+  in
+  let worklist =
+    List.sort_uniq compare
+      (Buffer_pool.dirty_pages t.pool @ Wal.stale_pages t.wal)
+  in
+  t.progress <- Some { cut_marks; cut_alloc; worklist; hardened = 0 };
+  Counter.incr t.stats.begins
+
+(* The only stalling step: freeze committed content for pages whose
+   durable images lag the flip, encode the indirection table from the
+   current locations, write it to the non-live slot, publish it with one
+   superblock write, and move the WAL's replay start point to the cut. *)
+let flip t ~meta =
+  let p =
+    match t.progress with
+    | Some p -> p
+    | None -> invalid_arg "Shadow.flip: no checkpoint in progress"
+  in
+  let t0 = Clock.now t.clock in
+  let images = Hashtbl.create 32 in
+  let lagging =
+    List.sort_uniq compare
+      (Buffer_pool.dirty_pages t.pool @ Wal.stale_pages t.wal)
+  in
+  List.iter
+    (fun pg ->
+      match Wal.committed_image t.wal pg with
+      | Some img ->
+          Hashtbl.replace images pg img;
+          Counter.incr t.stats.captures
+      | None -> ())
+    lagging;
+  let total = Page_store.total_pages t.store in
+  let entries =
+    Array.init (total + 1) (fun id ->
+        if id = 0 then { Page_map.disk = -1; phys = -1; lsn = 0 }
+        else
+          let disk, phys = Page_store.location t.store id in
+          { Page_map.disk; phys; lsn = Wal.page_durable_lsn t.wal id })
+  in
+  let gen = t.current_gen in
+  let op = Wal.last_committed_op t.wal in
+  let tb =
+    {
+      Page_map.gen; entries; marks = p.cut_marks; alloc = p.cut_alloc;
+      op; meta;
+    }
+  in
+  let blob = Page_map.encode_table tb in
+  let slot = gen land 1 in
+  (match t.crash_point with
+  | Some (Table_partial n) ->
+      t.crash_point <- None;
+      Page_map.write_table t.map ~slot ~len:n blob;
+      Wal.crash_now t.wal;
+      raise Wal.Crashed
+  | _ -> Page_map.write_table t.map ~slot blob);
+  let table_len = Bytes.length blob in
+  let crc = Page_map.table_crc blob in
+  (match t.crash_point with
+  | Some Superblock_torn ->
+      t.crash_point <- None;
+      Page_map.write_superblock t.map ~gen ~slot ~table_len ~crc ~torn:true ();
+      Wal.crash_now t.wal;
+      raise Wal.Crashed
+  | _ -> Page_map.write_superblock t.map ~gen ~slot ~table_len ~crc ());
+  (match t.crash_point with
+  | Some After_flip ->
+      t.crash_point <- None;
+      Wal.crash_now t.wal;
+      raise Wal.Crashed
+  | _ -> ());
+  (* Replay now starts at the cut; everything the fuzzy pass did not
+     harden is covered by records after it. *)
+  Wal.external_checkpoint t.wal ~marks:p.cut_marks ~alloc:p.cut_alloc ~meta;
+  let st =
+    { gen; entries; images; marks = p.cut_marks; alloc = p.cut_alloc;
+      op; meta; pins = 0 }
+  in
+  Array.iteri
+    (fun id e ->
+      if id > 0 then begin
+        let key = (e.Page_map.disk, e.Page_map.phys) in
+        Hashtbl.replace t.table_refs key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.table_refs key))
+      end)
+    entries;
+  t.retained <- st :: t.retained;
+  retire_unpinned t;
+  t.current_gen <- gen + 1;
+  t.progress <- None;
+  Counter.incr t.stats.flips;
+  Histogram.record t.flip_stall (Clock.now t.clock - t0)
+
+(* Harden up to [pages] worklist pages; once the worklist drains, flip.
+   Returns whether the checkpoint completed.  A page that cannot harden
+   yet (its operation is still in flight) goes to the back of the list
+   and the tick yields. *)
+let checkpoint_tick ?(pages = 8) t ~meta =
+  match t.progress with
+  | None -> invalid_arg "Shadow.checkpoint_tick: no checkpoint in progress"
+  | Some p ->
+      let budget = ref pages in
+      let blocked = ref false in
+      while (not !blocked) && !budget > 0 && p.worklist <> [] do
+        match p.worklist with
+        | [] -> ()
+        | page :: rest ->
+            if Wal.harden_page t.wal page then begin
+              p.worklist <- rest;
+              p.hardened <- p.hardened + 1;
+              Counter.incr t.stats.hardened;
+              decr budget;
+              match t.crash_point with
+              | Some (Writeback_partial n) when p.hardened >= n ->
+                  t.crash_point <- None;
+                  Wal.crash_now t.wal;
+                  raise Wal.Crashed
+              | _ -> ()
+            end
+            else begin
+              p.worklist <- rest @ [ page ];
+              blocked := true
+            end
+      done;
+      if p.worklist = [] then begin
+        flip t ~meta;
+        true
+      end
+      else false
+
+(* Begin + drain + flip in one blocking call: the initial checkpoint at
+   attach, and the post-recovery re-baseline. *)
+let checkpoint_sync t ~meta =
+  checkpoint_begin t;
+  while not (checkpoint_tick ~pages:max_int t ~meta) do
+    ()
+  done
+
+(* ------------------------------ snapshots ---------------------------- *)
+
+type snapshot = { owner : t; st : gen_state; mutable closed : bool }
+
+let open_at_checkpoint t =
+  match t.retained with
+  | [] -> invalid_arg "Shadow.open_at_checkpoint: no checkpoint yet"
+  | st :: _ ->
+      st.pins <- st.pins + 1;
+      Counter.incr t.stats.snap_opens;
+      { owner = t; st; closed = false }
+
+let snapshot_gen s = s.st.gen
+let snapshot_op s = s.st.op
+let snapshot_meta s = s.st.meta
+let snapshot_pages s = Array.length s.st.entries - 1
+
+(* The page's committed-at-flip bytes (a fresh copy), charged as a read
+   of its frozen physical block; [None] for a page outside the
+   generation (allocated after the flip) or never materialised in it. *)
+let read s page =
+  if s.closed then invalid_arg "Shadow.read: snapshot closed";
+  let t = s.owner in
+  if page <= 0 || page >= Array.length s.st.entries then None
+  else begin
+    Counter.incr t.stats.snap_reads;
+    let e = s.st.entries.(page) in
+    let done_at =
+      Disk_model.read (Buffer_pool.disks t.pool) ~disk:e.Page_map.disk
+        ~phys:e.Page_map.phys ()
+    in
+    Clock.advance_to t.clock done_at;
+    match Hashtbl.find_opt s.st.images page with
+    | Some (b, _) -> Some (Bytes.copy b)
+    | None -> (
+        (* never logged since the flip: the current durable image still
+           holds the flip-time bytes (write-backs of an untouched page
+           are content-identical) *)
+        match Wal.durable_image t.wal page with
+        | Some (b, _) -> Some b
+        | None -> None)
+  end
+
+let close s =
+  if not s.closed then begin
+    s.closed <- true;
+    s.st.pins <- s.st.pins - 1;
+    Counter.incr s.owner.stats.snap_closes;
+    retire_unpinned s.owner
+  end
+
+(* ------------------------------ recovery ----------------------------- *)
+
+let set_crash_point t cp = t.crash_point <- cp
+
+(* Reboot from the durable state: load the newest valid (superblock,
+   table) pair — stepping back a generation past any damage — restore
+   the checkpointed mapping, replay the WAL from the table's cut, then
+   re-baseline with a fresh checkpoint.  With both superblocks
+   unreadable, plain WAL recovery is the safety net. *)
+let recover t =
+  let t0 = Clock.now t.clock in
+  Page_store.set_remapper t.store None;
+  t.progress <- None;
+  t.crash_point <- None;
+  let result =
+    match Page_map.load t.map with
+    | Some (tb, _fallbacks) ->
+        Counter.incr t.stats.recoveries;
+        (* the loaded generation's frozen images: its retained state if we
+           still hold it (the simulation's stand-in for reading the
+           frozen blocks, which copy-on-write kept intact) *)
+        let images =
+          match
+            List.find_opt (fun st -> st.gen = tb.Page_map.gen) t.retained
+          with
+          | Some st -> st.images
+          | None -> Hashtbl.create 0
+        in
+        let total = Page_store.total_pages t.store in
+        Array.iteri
+          (fun id e ->
+            if id > 0 && id <= total then
+              Page_store.relocate t.store id ~disk:e.Page_map.disk
+                ~phys:e.Page_map.phys)
+          tb.Page_map.entries;
+        let load_page id =
+          if id >= Array.length tb.Page_map.entries then None
+          else
+            match Hashtbl.find_opt images id with
+            | Some (b, lsn) -> Some (b, lsn)
+            | None -> Wal.durable_image t.wal id
+        in
+        Wal.set_recovery_base t.wal
+          (Some
+             {
+               Wal.load_page;
+               base_marks = tb.Page_map.marks;
+               base_alloc = tb.Page_map.alloc;
+             });
+        let r = Wal.recover t.wal in
+        Wal.set_recovery_base t.wal None;
+        t.current_gen <- tb.Page_map.gen + 1;
+        (* a crash between the superblock flip and the WAL checkpoint
+           record can leave no post-cut commit to scan: the table itself
+           then carries the newest committed operation *)
+        if r.Wal.committed_ops >= tb.Page_map.op then r
+        else
+          { r with Wal.committed_ops = tb.Page_map.op; meta = tb.Page_map.meta }
+    | None ->
+        Counter.incr t.stats.plain_recoveries;
+        Wal.set_recovery_base t.wal None;
+        let r = Wal.recover t.wal in
+        t.current_gen <- t.current_gen + 1;
+        r
+  in
+  (* block refcounts and generation images died with the machine; the
+     free-block lists rebuild from the restored mapping *)
+  Page_store.rebuild_free_blocks t.store;
+  Hashtbl.reset t.table_refs;
+  Hashtbl.reset t.page_gen;
+  t.retained <- [];
+  Page_store.set_remapper t.store (Some (fun id -> remap t id));
+  checkpoint_sync t ~meta:result.Wal.meta;
+  { result with Wal.recovery_ns = Clock.now t.clock - t0 }
+
+(* ------------------------------ lifecycle ---------------------------- *)
+
+let attach ~meta wal pool =
+  let store = Buffer_pool.store pool in
+  let sim = Buffer_pool.sim pool in
+  let clock = sim.Sim.clock in
+  let t =
+    {
+      wal;
+      pool;
+      store;
+      clock;
+      map = Page_map.create ~page_size:(Page_store.page_size store) clock;
+      current_gen = 1;
+      page_gen = Hashtbl.create 256;
+      table_refs = Hashtbl.create 256;
+      retained = [];
+      progress = None;
+      crash_point = None;
+      flip_stall = Histogram.make "ckpt.flip_stall_ns";
+      stats =
+        {
+          begins = Counter.make "ckpt.begins";
+          flips = Counter.make "ckpt.flips";
+          hardened = Counter.make "ckpt.pages_hardened";
+          captures = Counter.make "ckpt.captures";
+          retired = Counter.make "ckpt.retired_gens";
+          recoveries = Counter.make "ckpt.recoveries";
+          plain_recoveries = Counter.make "ckpt.plain_recoveries";
+          remaps = Counter.make "pagemap.remaps";
+          blocks_allocated = Counter.make "pagemap.blocks_allocated";
+          blocks_freed = Counter.make "pagemap.blocks_freed";
+          snap_opens = Counter.make "snapshot.opens";
+          snap_reads = Counter.make "snapshot.reads";
+          snap_closes = Counter.make "snapshot.closes";
+        };
+    }
+  in
+  Page_store.set_remapper store (Some (fun id -> remap t id));
+  Wal.set_pre_log_observer wal (Some (fun page pre -> capture t page pre));
+  checkpoint_sync t ~meta;
+  t
+
+let detach t =
+  Page_store.set_remapper t.store None;
+  Wal.set_pre_log_observer t.wal None
+
+let wal t = t.wal
+let map t = t.map
+let current_generation t = t.current_gen
+let retained_generations t = List.map (fun st -> st.gen) t.retained
+let flip_stall t = t.flip_stall
+let stats t = t.stats
+
+let counters t =
+  [
+    t.stats.begins; t.stats.flips; t.stats.hardened; t.stats.captures;
+    t.stats.retired; t.stats.recoveries; t.stats.plain_recoveries;
+    t.stats.remaps; t.stats.blocks_allocated; t.stats.blocks_freed;
+    t.stats.snap_opens; t.stats.snap_reads; t.stats.snap_closes;
+  ]
+
+let kv t = List.map Counter.kv (counters t) @ Page_map.kv t.map
+
+let reset_stats t =
+  List.iter Counter.reset (counters t);
+  Histogram.reset t.flip_stall;
+  Page_map.reset_stats t.map

@@ -1,0 +1,152 @@
+(** Shadow-paging checkpoint & snapshot coordinator.
+
+    Replaces the sharp checkpoint's whole-pool stall with a fuzzy
+    protocol: {!checkpoint_begin} captures a cut (WAL marks + allocator
+    state) and a worklist of lagging pages; {!checkpoint_tick} hardens a
+    bounded number of them per call, interleaved with foreground
+    operations; once the worklist drains, the {e flip} encodes the
+    logical→physical indirection table, writes it to the non-live table
+    slot and publishes it with one superblock sector write
+    ({!Page_map}).  Only the flip stalls the writer
+    ([ckpt.flip_stall_ns]).
+
+    Copy-on-write protects the published image: the first write to a
+    page after a flip relocates it to a fresh physical block whenever
+    its current block is referenced by a retained table, so
+    {!open_at_checkpoint} can serve an operation-consistent frozen image
+    to long scans while updates — and further checkpoints — proceed
+    beside it.
+
+    {!recover} loads the newest valid (superblock, table) pair — a torn
+    superblock or partial table write falls back to the previous
+    generation — and replays the WAL only from that table's cut: replay
+    is bounded by the work since the last flip.  With both superblocks
+    unreadable, plain WAL recovery is the safety net. *)
+
+type t
+
+(** Crash-point injection at the flip boundaries (the crashtest sweep).
+    Each fires once, crashes the WAL ({!Fpb_wal.Wal.crash_now}) and
+    raises {!Fpb_wal.Wal.Crashed}. *)
+type crash_point =
+  | Writeback_partial of int
+      (** crash after that many worklist pages hardened *)
+  | Table_partial of int
+      (** crash with only that many bytes of the shadow table written *)
+  | Superblock_torn  (** crash with half the superblock sector written *)
+  | After_flip
+      (** table and superblock durable; crash before the WAL checkpoint
+          record moves the replay start point *)
+
+type stats = {
+  begins : Fpb_obs.Counter.t;  (** [ckpt.begins] *)
+  flips : Fpb_obs.Counter.t;  (** [ckpt.flips] *)
+  hardened : Fpb_obs.Counter.t;  (** [ckpt.pages_hardened] *)
+  captures : Fpb_obs.Counter.t;  (** [ckpt.captures] *)
+  retired : Fpb_obs.Counter.t;  (** [ckpt.retired_gens] *)
+  recoveries : Fpb_obs.Counter.t;  (** [ckpt.recoveries] *)
+  plain_recoveries : Fpb_obs.Counter.t;  (** [ckpt.plain_recoveries] *)
+  remaps : Fpb_obs.Counter.t;  (** [pagemap.remaps] *)
+  blocks_allocated : Fpb_obs.Counter.t;  (** [pagemap.blocks_allocated] *)
+  blocks_freed : Fpb_obs.Counter.t;  (** [pagemap.blocks_freed] *)
+  snap_opens : Fpb_obs.Counter.t;  (** [snapshot.opens] *)
+  snap_reads : Fpb_obs.Counter.t;  (** [snapshot.reads] *)
+  snap_closes : Fpb_obs.Counter.t;  (** [snapshot.closes] *)
+}
+
+(** [attach ~meta wal pool] creates the metadata disk, installs the
+    copy-on-write remapper on the page store and the pre-log observer on
+    the WAL, and takes (synchronously) the initial checkpoint, so a
+    consistent generation exists from the start.  The WAL must already
+    be attached to [pool]. *)
+val attach : meta:int list -> Fpb_wal.Wal.t -> Fpb_storage.Buffer_pool.t -> t
+
+(** Remove the remapper and the observer. *)
+val detach : t -> unit
+
+(** {2 Fuzzy checkpoint} *)
+
+(** Capture the cut (per-stripe WAL marks + allocator state) and the
+    worklist (pool-dirty pages plus pages a deferred write-back left
+    stale).  Raises [Invalid_argument] mid-operation or with a
+    checkpoint already in progress. *)
+val checkpoint_begin : t -> unit
+
+(** Harden up to [pages] (default 8) worklist pages; once the worklist
+    drains, flip.  Returns whether the checkpoint completed.  [meta] is
+    the index root metadata to persist should this tick flip.  A page
+    whose operation is still in flight goes to the back of the list and
+    the tick yields. *)
+val checkpoint_tick : ?pages:int -> t -> meta:int list -> bool
+
+(** Begin + drain + flip in one blocking call. *)
+val checkpoint_sync : t -> meta:int list -> unit
+
+val checkpoint_in_progress : t -> bool
+
+(** Worklist pages not yet hardened by the in-progress checkpoint. *)
+val worklist_remaining : t -> int
+
+(** {2 Snapshots} *)
+
+type snapshot
+
+(** Pin the newest flipped generation: its image stays readable — and
+    its blocks unreclaimed — until {!close}.  Raises [Invalid_argument]
+    before the first flip (attach always performs one). *)
+val open_at_checkpoint : t -> snapshot
+
+(** The page's committed-at-flip bytes (a fresh copy), charged as a read
+    of its frozen physical block; [None] for a page outside the
+    generation. *)
+val read : snapshot -> int -> Bytes.t option
+
+val close : snapshot -> unit
+val snapshot_gen : snapshot -> int
+
+(** Last committed operation number at the snapshot's flip. *)
+val snapshot_op : snapshot -> int
+
+(** Index root metadata at the snapshot's flip. *)
+val snapshot_meta : snapshot -> int list
+
+(** Pages the generation covers (ids [1..n]). *)
+val snapshot_pages : snapshot -> int
+
+(** {2 Crash & recovery} *)
+
+(** Arm (or disarm) a one-shot crash point. *)
+val set_crash_point : t -> crash_point option -> unit
+
+(** Reboot from the durable state: load the newest valid (superblock,
+    table) pair, restore the checkpointed mapping, replay the WAL from
+    the loaded cut, rebuild the free-block lists, and re-baseline with a
+    fresh synchronous checkpoint.  Returns the WAL's recovery report
+    with [recovery_ns] covering the whole pass. *)
+val recover : t -> Fpb_wal.Wal.recovery
+
+(** {2 Introspection} *)
+
+val wal : t -> Fpb_wal.Wal.t
+
+(** The persistence layer, for damage injection and [pagemap.*]
+    counters. *)
+val map : t -> Page_map.t
+
+(** Generation the NEXT flip will publish. *)
+val current_generation : t -> int
+
+(** Retained generation numbers, newest first. *)
+val retained_generations : t -> int list
+
+(** Flip-stall distribution ([ckpt.flip_stall_ns]): simulated time each
+    flip blocked its caller. *)
+val flip_stall : t -> Fpb_obs.Histogram.t
+
+val stats : t -> stats
+val counters : t -> Fpb_obs.Counter.t list
+
+(** [ckpt.*], [snapshot.*] and [pagemap.*] counter values. *)
+val kv : t -> (string * int) list
+
+val reset_stats : t -> unit

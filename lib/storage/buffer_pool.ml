@@ -339,7 +339,7 @@ let wait_until t when_ =
    consistent sector checksums) with the newest logged LSN. *)
 let write_back t p =
   (match t.wal with Some h -> h.before_page_write p | None -> ());
-  let disk, phys = Page_store.location t.store p in
+  let disk, phys = Page_store.write_location t.store p in
   Disk_model.write t.disks ~disk ~phys;
   let lsn = match t.wal with Some h -> h.page_lsn p | None -> 0 in
   Sim.busy_crc t.sim ~bytes:(Page_store.page_size t.store);
@@ -731,6 +731,30 @@ let flush_dirty t =
           write_back t p
         end
   done
+
+(* Write back ONE dirty page if it is resident and dirty; returns whether
+   a write happened.  The unit of work for a paced (fuzzy) checkpoint,
+   which hardens pages a few at a time between client operations instead
+   of draining the whole pool in one stall. *)
+let write_back_page t page =
+  match frame_of_page t page with
+  | Some f when t.dirty.(f) ->
+      t.dirty.(f) <- false;
+      write_back t page;
+      true
+  | _ -> false
+
+let is_dirty t page =
+  match frame_of_page t page with Some f -> t.dirty.(f) | None -> false
+
+(* Currently dirty resident pages: a fuzzy checkpoint's initial worklist. *)
+let dirty_pages t =
+  let acc = ref [] in
+  for f = t.capacity - 1 downto 0 do
+    if t.dirty.(f) && t.frames.(f) <> Page_store.nil then
+      acc := t.frames.(f) :: !acc
+  done;
+  !acc
 
 (* Crash semantics: discard every frame WITHOUT writing anything back and
    reset pins, in-flight reads and prefetcher state.  Dirty page contents

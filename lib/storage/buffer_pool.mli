@@ -197,6 +197,16 @@ val clear : t -> unit
     of a sharp checkpoint. *)
 val flush_dirty : t -> unit
 
+(** Write back one page if it is resident and dirty; returns whether a
+    write happened.  The unit of work for a paced (fuzzy) checkpoint. *)
+val write_back_page : t -> int -> bool
+
+(** Whether the page is resident with its dirty bit set. *)
+val is_dirty : t -> int -> bool
+
+(** Currently dirty resident pages: a fuzzy checkpoint's worklist. *)
+val dirty_pages : t -> int list
+
 (** Discard every frame WITHOUT write-back and reset pins, in-flight reads
     and prefetcher state: the pool's contents after a machine crash. *)
 val drop_all : t -> unit

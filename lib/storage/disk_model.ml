@@ -294,6 +294,11 @@ let counters t =
     t.c_fault_corrupt;
   ]
 
+(* Completion time of the last submitted request across the farm: a
+   durability barrier (e.g. a sharp checkpoint's data fsync) waits until
+   here before declaring the queued writes stable. *)
+let drain t = Array.fold_left max 0 t.free_at
+
 let kv t = List.map Counter.kv (counters t)
 let reads t = Counter.value t.c_reads
 let writes t = Counter.value t.c_writes

@@ -97,6 +97,11 @@ val write_runs : t -> int
 (** Total time disks spent servicing requests. *)
 val busy_ns : t -> int
 
+(** Completion time (absolute ns) of the last submitted request across
+    the farm: a durability barrier — e.g. a sharp checkpoint's data
+    fsync — waits until here. *)
+val drain : t -> int
+
 (** The underlying named counters ([disk.reads], [disk.writes],
     [disk.busy_ns] in simulated nanoseconds, and the injection tallies
     [disk.fault.transient_read], [disk.fault.transient_write],

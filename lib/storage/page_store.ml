@@ -40,7 +40,9 @@ type t = {
   mutable free : int list;
   mutable allocated : int;  (* live pages *)
   next_phys : int array;  (* per disk *)
+  free_phys : int list array;  (* per disk: reusable physical blocks *)
   mutable on_free : (int -> unit) list;  (* freed-page observers *)
+  mutable remapper : (int -> unit) option;  (* shadow-paging write hook *)
 }
 
 let nil = 0
@@ -53,7 +55,8 @@ let create ~page_size ~n_disks =
   Vec.push headers { crcs = [||]; lsn = 0 };
   Vec.push location (-1, -1);
   { page_size; n_disks; pages; headers; location; free = []; allocated = 0;
-    next_phys = Array.make n_disks 0; on_free = [] }
+    next_phys = Array.make n_disks 0; free_phys = Array.make n_disks [];
+    on_free = []; remapper = None }
 
 let page_size t = t.page_size
 
@@ -168,6 +171,70 @@ let bytes t id =
   Vec.get t.pages id
 
 let location t id = Vec.get t.location id
+
+(* --- Physical-block management for shadow paging. ---------------------
+
+   By default the logical->physical mapping is the identity-ish round
+   robin fixed at allocation, but a shadow-paging layer can manage
+   physical blocks itself: allocate fresh blocks, point a logical page at
+   a new block (copy-on-write relocation), and return superseded blocks
+   for reuse.  The store keeps a per-disk free-block list so relocation
+   does not leak physical space across checkpoint generations. *)
+
+(* Allocate a physical block on [disk]: reuse a freed block if one is
+   available, else extend the disk (high-water mark grows). *)
+let alloc_block t ~disk =
+  match t.free_phys.(disk) with
+  | phys :: rest ->
+      t.free_phys.(disk) <- rest;
+      phys
+  | [] ->
+      let phys = t.next_phys.(disk) in
+      t.next_phys.(disk) <- phys + 1;
+      phys
+
+(* Return a physical block for reuse (no logical page may still map to
+   it — the shadow layer's refcounts guarantee that). *)
+let free_block t ~disk ~phys = t.free_phys.(disk) <- phys :: t.free_phys.(disk)
+
+(* Point logical page [id] at a new physical block.  The old block is NOT
+   freed here: under shadow paging it may still back a checkpointed
+   image, so ownership transfers to the caller. *)
+let relocate t id ~disk ~phys =
+  if id = nil then invalid_arg "Page_store.relocate: nil";
+  Vec.set t.location id (disk, phys)
+
+(* Rebuild the per-disk free-block lists from the live mapping: every
+   block below a disk's high-water mark not referenced by any page's
+   current location becomes reusable.  Crash recovery calls this after
+   restoring the checkpointed mapping, when the shadow layer's block
+   refcounts died with the machine. *)
+let rebuild_free_blocks t =
+  let used = Hashtbl.create 256 in
+  for id = 1 to Vec.length t.pages - 1 do
+    Hashtbl.replace used (Vec.get t.location id) ()
+  done;
+  for disk = 0 to t.n_disks - 1 do
+    let acc = ref [] in
+    for phys = t.next_phys.(disk) - 1 downto 0 do
+      if not (Hashtbl.mem used (disk, phys)) then acc := phys :: !acc
+    done;
+    t.free_phys.(disk) <- !acc
+  done
+
+(* Install (or clear) the copy-on-write remapper.  When set, it runs
+   before every location lookup made for a disk WRITE (see
+   [write_location]); the shadow layer uses it to relocate the page to a
+   fresh block on its first write after a checkpoint, so the
+   checkpointed image is never overwritten in place. *)
+let set_remapper t f = t.remapper <- f
+
+(* Location to write the page at: gives the remapper a chance to
+   copy-on-write-relocate first.  Every path that writes a page image to
+   disk must use this instead of [location]. *)
+let write_location t id =
+  (match t.remapper with None -> () | Some f -> f id);
+  Vec.get t.location id
 
 (* Inverse of [location] under round-robin allocation: the page currently
    mapped at (disk, phys), or nil if none was ever allocated there.  Used

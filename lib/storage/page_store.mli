@@ -79,6 +79,35 @@ val bytes : t -> int -> Bytes.t
 (** (disk, physical page number) of a page. *)
 val location : t -> int -> int * int
 
+(** Location to write the page at: runs the registered copy-on-write
+    remapper (if any) before the lookup, so a shadow-paging layer can
+    relocate the page to a fresh block on its first write after a
+    checkpoint.  Every disk-write path must use this, not {!location}. *)
+val write_location : t -> int -> int * int
+
+(** Install (or clear) the copy-on-write remapper consulted by
+    {!write_location}. *)
+val set_remapper : t -> (int -> unit) option -> unit
+
+(** Allocate a physical block on [disk] (reuses freed blocks first, else
+    extends the disk).  Shadow-paging support. *)
+val alloc_block : t -> disk:int -> int
+
+(** Return a physical block for reuse.  The caller guarantees no logical
+    page or retained checkpoint still references it. *)
+val free_block : t -> disk:int -> phys:int -> unit
+
+(** Point logical page [id] at a new physical block.  Ownership of the
+    old block transfers to the caller (it may still back a checkpointed
+    image). *)
+val relocate : t -> int -> disk:int -> phys:int -> unit
+
+(** Rebuild the per-disk free-block lists from the live mapping: every
+    block below a disk's high-water mark not referenced by any page's
+    current location becomes reusable.  For crash recovery, after the
+    checkpointed mapping is restored. *)
+val rebuild_free_blocks : t -> unit
+
 (** Inverse of [location]: the page at (disk, phys), or [nil]. *)
 val page_at : t -> disk:int -> phys:int -> int
 

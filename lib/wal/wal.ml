@@ -318,8 +318,31 @@ type t = {
   (* crash injection *)
   mutable crash_at : int option;
   mutable crashed : bool;
+  mutable recovery_base : base option;
+      (* shadow-paging recovery base: when set, recovery reboots page
+         contents and its scan/allocator start point from here (the
+         persisted checkpoint generation) instead of the WAL's own
+         durable images *)
+  mutable pre_log : (int -> (Bytes.t * int) option -> unit) option;
+      (* observer called before [log_page] advances a page's logging
+         state, with the page's newest *committed* content and its LSN
+         (the bytes are NOT copied and are invalidated by the logging
+         that follows — the observer must copy what it keeps).  The
+         shadow layer uses this to freeze the page's pre-update content
+         into checkpoint generations that still lack it. *)
   stats : stats;
   commit_latency : Histogram.t;
+  checkpoint_stall : Histogram.t;
+}
+
+(* What a shadow-paging layer hands recovery: the page images the live
+   on-disk indirection table reaches ([load_page], None = page not in
+   the checkpointed generation), the per-stripe log offsets of the cut
+   the flip covered, and the allocator state at that cut. *)
+and base = {
+  load_page : int -> (Bytes.t * int) option;
+  base_marks : int array;
+  base_alloc : int * int list;
 }
 
 let ensure t page =
@@ -520,6 +543,18 @@ let diff_span a b =
    checkpoint (torn-page repair depends on this), a shadow diff after. *)
 let log_page t page =
   let cur = Page_store.bytes t.store page in
+  (match t.pre_log with
+  | Some f ->
+      let pre =
+        match Vec.get t.shadow page with
+        | Some sh -> Some (sh, Vec.get t.mem_lsn page)
+        | None -> (
+            match Vec.get t.disk_img page with
+            | Some img -> Some (img, Vec.get t.disk_lsn page)
+            | None -> None)
+      in
+      f page pre
+  | None -> ());
   let first = not (Hashtbl.mem t.logged_since_ckpt page) in
   (match (if first then None else Vec.get t.shadow page) with
   | None ->
@@ -559,6 +594,7 @@ let checkpoint t ~meta =
   if t.crashed then raise Crashed;
   if Hashtbl.length t.touched > 0 then
     invalid_arg "Wal.checkpoint: called mid-operation";
+  let t0 = Clock.now t.clock in
   (* Commits must be durable before any durable image moves forward. *)
   flush t;
   Buffer_pool.flush_dirty t.pool;
@@ -568,11 +604,16 @@ let checkpoint t ~meta =
       if Vec.get t.disk_lsn page < Vec.get t.mem_lsn page then begin
         set_disk_img t page (Page_store.bytes t.store page);
         Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
-        let disk, phys = Page_store.location t.store page in
+        let disk, phys = Page_store.write_location t.store page in
         Disk_model.write t.data_disks ~disk ~phys;
         Page_store.stamp ~lsn:(Vec.get t.mem_lsn page) t.store page
       end)
     t.logged_since_ckpt;
+  (* A sharp checkpoint declares the data durable: wait for every queued
+     data write to hit the platters before sealing the record.  This
+     barrier (plus the whole-pool drain above) IS the writer stall the
+     fuzzy checkpoint exists to eliminate. *)
+  Clock.advance_to t.clock (Disk_model.drain t.data_disks);
   let marks = Array.copy t.stripe_sealed in
   append t (Checkpoint { lsn = fresh_lsn t; op = t.last_op; meta });
   flush t;
@@ -582,7 +623,110 @@ let checkpoint t ~meta =
   t.ckpt_marks <- marks;
   t.alloc_snapshot <-
     (Page_store.total_pages t.store, Page_store.free_list t.store);
+  Hashtbl.reset t.logged_since_ckpt;
+  Histogram.record t.checkpoint_stall (Clock.now t.clock - t0)
+
+(* ---------------- shadow-paging (fuzzy checkpoint) support ----------- *)
+
+(* Per-stripe sealed extents right now: the "cut" a fuzzy checkpoint
+   captures at begin time.  A scan from these marks sees exactly the
+   records sealed after the capture. *)
+let current_marks t = Array.copy t.stripe_sealed
+
+let last_committed_op t = t.last_op
+
+(* The page's durable image and its LSN (a private copy), None if the
+   page was never written back.  The shadow layer freezes these bytes
+   into a checkpoint generation before the first post-flip overwrite. *)
+let durable_image t page =
+  ensure t page;
+  match Vec.get t.disk_img page with
+  | Some img -> Some (Bytes.copy img, Vec.get t.disk_lsn page)
+  | None -> None
+
+let page_durable_lsn t page =
+  ensure t page;
+  Vec.get t.disk_lsn page
+
+(* The page's newest COMMITTED content and its LSN (a private copy): the
+   last-logged shadow if the page was ever logged, else the durable
+   image.  At flip time the shadow layer freezes these bytes for pages
+   whose durable images lag the flip (dirtied or left stale after the
+   worklist was captured), so a snapshot of the generation is
+   operation-consistent rather than a fuzzy mixture of harden times. *)
+let committed_image t page =
+  ensure t page;
+  match Vec.get t.shadow page with
+  | Some sh -> Some (Bytes.copy sh, Vec.get t.mem_lsn page)
+  | None -> (
+      match Vec.get t.disk_img page with
+      | Some img -> Some (Bytes.copy img, Vec.get t.disk_lsn page)
+      | None -> None)
+
+(* Whether an operation is in flight (pages touched since the last
+   commit): checkpoint cuts must not be taken mid-operation. *)
+let in_operation t = Hashtbl.length t.touched > 0
+
+(* Bring one page's durable image up to its newest committed state: the
+   unit of work of a fuzzy checkpoint's paced write-back.  Returns false
+   — try again later — while the page carries uncommitted (in-flight)
+   changes; a redo-only image may never run ahead of the sealed log. *)
+let harden_page t page =
+  if t.crashed then raise Crashed;
+  if Hashtbl.mem t.touched page then false
+  else begin
+    ensure t page;
+    if Buffer_pool.is_dirty t.pool page then
+      (* write_back_page runs the WAL hooks: log force first, then the
+         image refresh (the page is not touched, so it is not deferred) *)
+      ignore (Buffer_pool.write_back_page t.pool page : bool)
+    else if Vec.get t.disk_lsn page < Vec.get t.mem_lsn page then begin
+      (* a deferred write-back left the image stale: re-write it now *)
+      flush t;
+      set_disk_img t page (Page_store.bytes t.store page);
+      Vec.set t.disk_lsn page (Vec.get t.mem_lsn page);
+      let disk, phys = Page_store.write_location t.store page in
+      Disk_model.write t.data_disks ~disk ~phys;
+      Page_store.stamp ~lsn:(Vec.get t.mem_lsn page) t.store page
+    end;
+    true
+  end
+
+(* Pages whose durable image is behind their newest logged state (the
+   deferred-write-back set): the fuzzy checkpoint's worklist beyond the
+   pool's dirty frames.  A full scan, NOT the [logged_since_ckpt] set —
+   that set is cleared by every flip, and a page left stale across a
+   flip must still make the next checkpoint's worklist (its log records
+   predate the next cut, so replay would no longer cover it). *)
+let stale_pages t =
+  let total = Page_store.total_pages t.store in
+  ensure t total;
+  let acc = ref [] in
+  for id = total downto 1 do
+    if Vec.get t.disk_lsn id < Vec.get t.mem_lsn id then acc := id :: !acc
+  done;
+  !acc
+
+(* A checkpoint whose data half was performed OUTSIDE the WAL (the
+   shadow layer's fuzzy pass + superblock flip): seal the record, make
+   it durable, and move the recovery start point to the CUT captured at
+   checkpoint begin — not to now — because the hardened images are only
+   guaranteed to cover commits up to the cut; everything after it is
+   covered by replay.  [marks]/[alloc] are the cut's [current_marks] and
+   (total_pages, free_list). *)
+let external_checkpoint t ~marks ~alloc ~meta =
+  if t.crashed then raise Crashed;
+  if Hashtbl.length t.touched > 0 then
+    invalid_arg "Wal.external_checkpoint: called mid-operation";
+  append t (Checkpoint { lsn = fresh_lsn t; op = t.last_op; meta });
+  flush t;
+  t.ckpt_marks <- marks;
+  t.alloc_snapshot <- alloc;
   Hashtbl.reset t.logged_since_ckpt
+
+let set_recovery_base t b = t.recovery_base <- b
+let set_pre_log_observer t f = t.pre_log <- f
+let checkpoint_stall t = t.checkpoint_stall
 
 (* ------------------------- fault injection -------------------------- *)
 
@@ -964,7 +1108,7 @@ let repair_page t ?(bad_sectors = []) page =
           set_disk_img t page dst;
           Vec.set t.disk_lsn page !lsn;
           Vec.set t.mem_lsn page !lsn;
-          let disk, phys = Page_store.location t.store page in
+          let disk, phys = Page_store.write_location t.store page in
           Disk_model.write t.data_disks ~disk ~phys;
           Page_store.stamp ~lsn:!lsn t.store page;
           `Repaired
@@ -1007,21 +1151,47 @@ let recover t =
   Counter.incr t.stats.recoveries;
   Buffer_pool.drop_all t.pool;
   Sim.flush_cache t.sim;
-  (* The machine reboots with exactly the durable disk contents. *)
+  (* The machine reboots with exactly the durable disk contents.  Under
+     shadow paging the recovery base supplies them: the page images the
+     persisted indirection table reaches (the checkpointed generation),
+     which also become the WAL's durable images going forward. *)
   let total = Page_store.total_pages t.store in
   ensure t total;
-  for id = 1 to total do
-    let b = Page_store.bytes t.store id in
-    (match Vec.get t.disk_img id with
-    | Some img -> Bytes.blit img 0 b 0 t.page_size
-    | None -> Bytes.fill b 0 t.page_size '\000');
-    Vec.set t.mem_lsn id (Vec.get t.disk_lsn id)
-  done;
-  (* Scan the durable log from the last checkpoint: each log page read is
-     charged through the fault schedule, with mirror fallback (and heal)
-     on damage. *)
+  (match t.recovery_base with
+  | None ->
+      for id = 1 to total do
+        let b = Page_store.bytes t.store id in
+        (match Vec.get t.disk_img id with
+        | Some img -> Bytes.blit img 0 b 0 t.page_size
+        | None -> Bytes.fill b 0 t.page_size '\000');
+        Vec.set t.mem_lsn id (Vec.get t.disk_lsn id)
+      done
+  | Some base ->
+      for id = 1 to total do
+        let b = Page_store.bytes t.store id in
+        match base.load_page id with
+        | Some (img, lsn) ->
+            Bytes.blit img 0 b 0 t.page_size;
+            set_disk_img t id img;
+            Vec.set t.disk_lsn id lsn;
+            Vec.set t.mem_lsn id lsn
+        | None ->
+            Bytes.fill b 0 t.page_size '\000';
+            Vec.set t.disk_img id None;
+            Vec.set t.disk_lsn id 0;
+            Vec.set t.mem_lsn id 0
+      done);
+  (* Scan the durable log from the last checkpoint (under shadow paging,
+     from the cut the persisted generation covers): each log page read
+     is charged through the fault schedule, with mirror fallback (and
+     heal) on damage. *)
+  let scan_from =
+    match t.recovery_base with
+    | Some base -> base.base_marks
+    | None -> t.ckpt_marks
+  in
   let records, scanned, torn, damaged =
-    scan_committed t ~charge:true ~from:t.ckpt_marks
+    scan_committed t ~charge:true ~from:scan_from
   in
   (* Redo: re-apply records newer than the page's durable image. *)
   let committed = ref 0 and meta = ref [] in
@@ -1115,7 +1285,11 @@ let recover t =
      Pages allocated by uncommitted operations (beyond the committed
      high-water mark, or allocated without a following commit) return to
      the free list zeroed, so a continued workload can reuse them. *)
-  let snap_total, snap_free = t.alloc_snapshot in
+  let snap_total, snap_free =
+    match t.recovery_base with
+    | Some base -> base.base_alloc
+    | None -> t.alloc_snapshot
+  in
   let free_set = Hashtbl.create 64 in
   List.iter (fun id -> Hashtbl.replace free_set id ()) snap_free;
   let committed_total = ref snap_total in
@@ -1230,8 +1404,11 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
       last_writeback = Page_store.nil;
       crash_at = None;
       crashed = false;
+      recovery_base = None;
+      pre_log = None;
       stats = make_stats ();
       commit_latency = Histogram.make "wal.commit_latency_ns";
+      checkpoint_stall = Histogram.make "wal.checkpoint.stall_ns";
     }
   in
   (* Everything that exists at attach time is the durable base. *)
@@ -1312,4 +1489,5 @@ let kv t = List.map Counter.kv (stats_counters t.stats)
 
 let reset_stats t =
   List.iter Counter.reset (stats_counters t.stats);
-  Histogram.reset t.commit_latency
+  Histogram.reset t.commit_latency;
+  Histogram.reset t.checkpoint_stall

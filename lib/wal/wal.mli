@@ -219,6 +219,88 @@ val checkpoint : t -> meta:int list -> unit
     an empty pending list. *)
 val flush : t -> unit
 
+(** {2 Shadow-paging (fuzzy checkpoint) support}
+
+    A shadow-paging layer ({!Fpb_snapshot.Shadow}) performs the data half
+    of a checkpoint itself — paced write-back to copy-on-write blocks,
+    then an atomic superblock flip — and uses these hooks to coordinate
+    with the log. *)
+
+(** Per-stripe sealed extents right now: the "cut" a fuzzy checkpoint
+    captures when it begins.  A log scan from these marks sees exactly
+    the records sealed after the capture. *)
+val current_marks : t -> int array
+
+(** Last committed operation number. *)
+val last_committed_op : t -> int
+
+(** The page's durable image and the LSN it reflects (a private copy);
+    [None] if it was never written back. *)
+val durable_image : t -> int -> (Bytes.t * int) option
+
+(** LSN of the page's durable image (0 if none). *)
+val page_durable_lsn : t -> int -> int
+
+(** The page's newest {e committed} content and its LSN (a private copy):
+    the last-logged shadow if the page was ever logged, else its durable
+    image.  The shadow layer freezes these at flip time for pages whose
+    durable images lag the flip, keeping snapshots operation-consistent. *)
+val committed_image : t -> int -> (Bytes.t * int) option
+
+(** Whether an operation is in flight (pages touched since the last
+    commit).  Checkpoint cuts must not be taken mid-operation. *)
+val in_operation : t -> bool
+
+(** Bring one page's durable image up to its newest {e committed} state
+    (pool write-back if dirty, direct image refresh if a deferred
+    write-back left it stale): the unit of work of a paced fuzzy
+    checkpoint.  Returns [false] — retry later — while the page carries
+    uncommitted in-flight changes. *)
+val harden_page : t -> int -> bool
+
+(** Pages whose durable image lags their newest logged state: the fuzzy
+    checkpoint's worklist beyond the pool's dirty frames. *)
+val stale_pages : t -> int list
+
+(** Seal and force a checkpoint record for a checkpoint whose data half
+    was performed outside the WAL, moving the recovery start point to
+    the {e cut} captured when that checkpoint began: [marks] is the
+    cut's {!current_marks}, [alloc] its (total_pages, free_list).
+    Replay covers everything after the cut, so images hardened by the
+    external pass need only reflect commits up to it. *)
+val external_checkpoint :
+  t -> marks:int array -> alloc:int * int list -> meta:int list -> unit
+
+(** What a shadow-paging layer hands {!recover}: page images reachable
+    from the persisted indirection table ([load_page], [None] = not in
+    the checkpointed generation), the cut's per-stripe log marks, and
+    the allocator state at that cut. *)
+type base = {
+  load_page : int -> (Bytes.t * int) option;
+  base_marks : int array;
+  base_alloc : int * int list;
+}
+
+(** Install (or clear) the recovery base.  While set, {!recover} reboots
+    page contents, its log-scan start point and its allocator base from
+    it instead of the WAL's own durable images. *)
+val set_recovery_base : t -> base option -> unit
+
+(** Install (or clear) the pre-log observer, called once per page per
+    commit {e before} the page's logging state advances, with the page's
+    newest committed content and its LSN ([None] if the page has neither
+    been logged nor written back).  The bytes are not copied — the
+    observer must copy what it keeps.  The shadow layer uses this to
+    freeze pre-update content into checkpoint generations lacking it. *)
+val set_pre_log_observer :
+  t -> (int -> (Bytes.t * int) option -> unit) option -> unit
+
+(** Sharp-checkpoint writer-stall distribution
+    ([wal.checkpoint.stall_ns]): simulated time each {!checkpoint} call
+    blocked its caller (log force + whole-pool write-back + data
+    durability barrier). *)
+val checkpoint_stall : t -> Fpb_obs.Histogram.t
+
 (** Total bytes ever sealed / durably flushed. *)
 val log_bytes : t -> int
 

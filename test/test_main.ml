@@ -7,6 +7,7 @@ let () =
       ("simmem", Test_simmem.suite);
       ("storage", Test_storage.suite);
       ("wal", Test_wal.suite);
+      ("snapshot", Test_snapshot.suite);
       ("faults", Test_faults.suite);
       ("tuning", Test_tuning.suite);
       ("workload", Test_workload.suite);
