@@ -76,7 +76,9 @@ let exp_cmd =
                 t.Unix.tm_sec
             in
             Report.write path (Report.make ~scale ~timestamp [ o ]));
-        `Ok ()
+        (match o.Registry.aborted with
+        | Some why -> `Error (false, e.Registry.id ^ " aborted: " ^ why)
+        | None -> `Ok ())
     | None -> `Error (false, "unknown experiment id: " ^ id)
   in
   Cmd.v (Cmd.info "exp" ~doc:"Run one experiment")
@@ -244,7 +246,52 @@ let ycsb_cmd =
       & info [ "pool" ] ~doc:"Buffer-pool frames (default: half the tree)")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed") in
-  let run mix dist theta clients keys ops tiny rate fixed pool seed =
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"NS"
+          ~doc:
+            "Per-operation deadline in simulated ns, measured from first \
+             arrival (open loop only)")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy" ]
+          ~doc:
+            "Admission policy at arrival: admit-all, queue-cap or deadline \
+             (open loop only)")
+  in
+  let qcap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ]
+          ~doc:"Per-client queue bound for --policy queue-cap")
+  in
+  let retry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "retry" ]
+          ~doc:
+            "Client retry discipline for shed/expired ops: none, immediate, \
+             fixed, backoff or backoff-jitter (open loop only)")
+  in
+  let retry_budget =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-budget" ] ~doc:"Retries per op before it is dropped")
+  in
+  let retry_base =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "retry-base" ] ~docv:"NS"
+          ~doc:"Base retry delay (simulated ns) for fixed/backoff")
+  in
+  let run mix dist theta clients keys ops tiny rate fixed pool seed deadline
+      policy qcap retry retry_budget retry_base =
     let open Fpb_btree_common in
     let open Fpb_experiments in
     let module W = Fpb_workload in
@@ -258,95 +305,152 @@ let ycsb_cmd =
           | None -> Ok (W.Mix.default_dist mix)
           | Some s -> W.Keygen.dist_of_string ~theta s
         in
-        match dist_r with
-        | Error e -> `Error (false, e)
-        | Ok dist ->
+        let admission_r =
+          match policy with
+          | None -> Ok None
+          | Some s ->
+              Result.map Option.some (W.Admission.of_string ~queue_cap:qcap s)
+        in
+        let retry_r =
+          match retry with
+          | None -> Ok None
+          | Some s ->
+              Result.map Option.some
+                (W.Retry.of_string ~budget:retry_budget ~base_ns:retry_base s)
+        in
+        match (dist_r, admission_r, retry_r) with
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+        | Ok dist, Ok admission, Ok retry ->
             let rng = W.Prng.create seed in
             let pairs = W.Keygen.bulk_pairs rng keys in
             let page_size = 4096 in
             let pool_pages =
               match pool with
-              | Some p -> max 24 p
+              (* no floor beyond 1: undersized pools are exactly how you
+                 demo the typed Overloaded refusal *)
+              | Some p -> max 1 p
               | None ->
                   let sys = Setup.make ~n_disks:4 ~page_size () in
                   let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
                   max 24 (Index_sig.page_count idx / 2)
             in
             let sys =
-              Setup.make ~n_disks:4 ~pool_pages ~n_shards:4 ~page_size ()
+              Setup.make ~n_disks:4 ~pool_pages
+                ~n_shards:(min 4 pool_pages) ~page_size ()
             in
-            let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
-            let wal =
-              Fpb_wal.Wal.attach ~group_commit_bytes:(1 lsl 16)
-                ~meta:(Index_sig.meta idx) sys.Setup.pool
-            in
-            let gen = W.Mix.generator ~dist ~seed:(seed + 1) mix pairs in
-            let warm = W.Prng.create (seed + 2) in
-            for _ = 1 to 2 * pool_pages do
-              ignore
-                (Index_sig.search idx
-                   (fst pairs.(W.Keygen.draw_pos dist warm ~n:keys)))
-            done;
-            Fpb_storage.Buffer_pool.reset_stats sys.Setup.pool;
             let committed = ref 0 in
-            let commit () =
-              incr committed;
-              Fpb_wal.Wal.commit wal ~op:!committed ~meta:(Index_sig.meta idx)
-            in
-            let op ~client:(_ : int) ~seq:(_ : int) =
-              W.Mix.execute idx ~commit (W.Mix.next gen)
-            in
-            Fmt.pr "mix %s, %s, %d keys, %d ops, %d clients, pool %d frames@."
-              mix.W.Mix.name (W.Keygen.dist_name dist) keys ops clients
-              pool_pages;
-            let report name (h : Fpb_obs.Histogram.t) =
-              Fmt.pr "  %-12s p50 %8d  p90 %8d  p99 %8d  p999 %8d  (ns)@." name
-                (Fpb_obs.Histogram.percentile h 50.)
-                (Fpb_obs.Histogram.percentile h 90.)
-                (Fpb_obs.Histogram.percentile h 99.)
-                (Fpb_obs.Histogram.percentile h 99.9)
-            in
-            (match rate with
-            | None ->
-                let s =
-                  W.Clients.run ~sim:sys.Setup.sim ~n_clients:clients
-                    ~ops_per_client:(max 1 (ops / clients)) op
-                in
+            match
+              (* build + warm + drive, all under the pool's typed
+                 overload escape: a deliberately undersized pool can
+                 refuse even the bulkload's pinned descent *)
+              let idx = Run.build sys Setup.Disk_first pairs ~fill:0.8 in
+              let wal =
+                Fpb_wal.Wal.attach ~group_commit_bytes:(1 lsl 16)
+                  ~meta:(Index_sig.meta idx) sys.Setup.pool
+              in
+              let gen = W.Mix.generator ~dist ~seed:(seed + 1) mix pairs in
+              let warm = W.Prng.create (seed + 2) in
+              for _ = 1 to 2 * pool_pages do
+                ignore
+                  (Index_sig.search idx
+                     (fst pairs.(W.Keygen.draw_pos dist warm ~n:keys)))
+              done;
+              Fpb_storage.Buffer_pool.reset_stats sys.Setup.pool;
+              let commit () =
+                incr committed;
+                Fpb_wal.Wal.commit wal ~op:!committed ~meta:(Index_sig.meta idx)
+              in
+              let op ~client:(_ : int) ~seq:(_ : int) =
+                W.Mix.execute idx ~commit (W.Mix.next gen)
+              in
+              Fmt.pr "mix %s, %s, %d keys, %d ops, %d clients, pool %d frames@."
+                mix.W.Mix.name (W.Keygen.dist_name dist) keys ops clients
+                pool_pages;
+              let report name (h : Fpb_obs.Histogram.t) =
+                Fmt.pr "  %-12s p50 %8d  p90 %8d  p99 %8d  p999 %8d  (ns)@."
+                  name
+                  (Fpb_obs.Histogram.percentile h 50.)
+                  (Fpb_obs.Histogram.percentile h 90.)
+                  (Fpb_obs.Histogram.percentile h 99.)
+                  (Fpb_obs.Histogram.percentile h 99.9)
+              in
+              (match rate with
+              | None ->
+                  let s =
+                    W.Clients.run ~sim:sys.Setup.sim ~n_clients:clients
+                      ~ops_per_client:(max 1 (ops / clients)) op
+                  in
+                  Fmt.pr
+                    "closed loop: %.1f ops per simulated second, makespan %.3f s@."
+                    s.W.Clients.throughput_ops_per_s
+                    (float_of_int s.W.Clients.makespan_ns /. 1e9);
+                  report "latency" s.W.Clients.latency
+              | Some rate ->
+                  let discipline =
+                    if fixed then W.Arrival.Fixed else W.Arrival.Poisson
+                  in
+                  let s =
+                    W.Arrival.run ~sim:sys.Setup.sim ~n_clients:clients
+                      ~n_ops:ops ~rate_ops_per_s:rate ~discipline
+                      ~seed:(seed + 3) ?deadline_ns:deadline ?admission ?retry
+                      op
+                  in
+                  Fmt.pr
+                    "open loop (%s): offered %.1f, achieved %.1f ops per \
+                     simulated second, goodput %.1f@."
+                    (W.Arrival.discipline_name s.W.Arrival.discipline)
+                    s.W.Arrival.offered_ops_per_s
+                    s.W.Arrival.throughput_ops_per_s
+                    s.W.Arrival.goodput_ops_per_s;
+                  Fmt.pr
+                    "  completed %d (good %d), shed %d, expired %d, retries \
+                     %d, dropped %d@."
+                    s.W.Arrival.completed s.W.Arrival.good s.W.Arrival.shed
+                    s.W.Arrival.expired s.W.Arrival.retries s.W.Arrival.dropped;
+                  Fmt.pr
+                    "  backlog peak %d at %.6f s; above watermark (%d) for \
+                     %.6f s@."
+                    s.W.Arrival.max_backlog
+                    (float_of_int s.W.Arrival.backlog_peak_at_ns /. 1e9)
+                    s.W.Arrival.backlog_watermark
+                    (float_of_int s.W.Arrival.time_above_watermark_ns /. 1e9);
+                  report "latency" s.W.Arrival.latency;
+                  report "queue" s.W.Arrival.queue_ns;
+                  report "service" s.W.Arrival.service_ns);
+              Index_sig.check idx;
+              let p = Fpb_storage.Buffer_pool.stats sys.Setup.pool in
+              let v c = Fpb_obs.Counter.value c in
+              let hits = v p.Fpb_storage.Buffer_pool.hits
+              and misses = v p.Fpb_storage.Buffer_pool.misses in
+              let r, u, i, s, m = W.Mix.drawn_counts gen in
+              Fmt.pr
+                "ops drawn: %d read, %d update, %d insert, %d scan, %d rmw; \
+                 pool hit rate %.1f%%@."
+                r u i s m
+                (100. *. float_of_int hits
+                /. float_of_int (max 1 (hits + misses)))
+            with
+            | () -> `Ok ()
+            | exception Fpb_storage.Buffer_pool.Overloaded { page; scans } ->
+                (* typed refusal from the storage layer: diagnose and
+                   report the partial run instead of a backtrace *)
+                let p = Fpb_storage.Buffer_pool.stats sys.Setup.pool in
+                let v c = Fpb_obs.Counter.value c in
                 Fmt.pr
-                  "closed loop: %.1f ops per simulated second, makespan %.3f s@."
-                  s.W.Clients.throughput_ops_per_s
-                  (float_of_int s.W.Clients.makespan_ns /. 1e9);
-                report "latency" s.W.Clients.latency
-            | Some rate ->
-                let discipline =
-                  if fixed then W.Arrival.Fixed else W.Arrival.Poisson
-                in
-                let s =
-                  W.Arrival.run ~sim:sys.Setup.sim ~n_clients:clients
-                    ~n_ops:ops ~rate_ops_per_s:rate ~discipline ~seed:(seed + 3)
-                    op
-                in
+                  "overloaded: the %d-frame pool refused page %d after %d \
+                   victim scans (every frame pinned)@."
+                  pool_pages page scans;
                 Fmt.pr
-                  "open loop (%s): offered %.1f, achieved %.1f ops per \
-                   simulated second, max backlog %d@."
-                  (W.Arrival.discipline_name s.W.Arrival.discipline)
-                  s.W.Arrival.offered_ops_per_s s.W.Arrival.throughput_ops_per_s
-                  s.W.Arrival.max_backlog;
-                report "latency" s.W.Arrival.latency;
-                report "queue" s.W.Arrival.queue_ns;
-                report "service" s.W.Arrival.service_ns);
-            Index_sig.check idx;
-            let p = Fpb_storage.Buffer_pool.stats sys.Setup.pool in
-            let v c = Fpb_obs.Counter.value c in
-            let hits = v p.Fpb_storage.Buffer_pool.hits
-            and misses = v p.Fpb_storage.Buffer_pool.misses in
-            let r, u, i, s, m = W.Mix.drawn_counts gen in
-            Fmt.pr
-              "ops drawn: %d read, %d update, %d insert, %d scan, %d rmw; \
-               pool hit rate %.1f%%@."
-              r u i s m
-              (100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
-            `Ok ())
+                  "partial stats: %d committed ops; pool.overloaded %d, \
+                   hits %d, misses %d@."
+                  !committed
+                  (v p.Fpb_storage.Buffer_pool.overloaded)
+                  (v p.Fpb_storage.Buffer_pool.hits)
+                  (v p.Fpb_storage.Buffer_pool.misses);
+                `Error
+                  ( false,
+                    "buffer pool overloaded — raise --pool, or shed load \
+                     with --policy/--deadline" ))
   in
   Cmd.v
     (Cmd.info "ycsb"
@@ -358,7 +462,8 @@ let ycsb_cmd =
     Term.(
       ret
         (const run $ mix $ dist $ theta $ clients $ keys $ ops $ tiny $ rate
-       $ fixed $ pool $ seed))
+       $ fixed $ pool $ seed $ deadline $ policy $ qcap $ retry $ retry_budget
+       $ retry_base))
 
 let demo_cmd =
   let run () =

@@ -51,6 +51,11 @@ let all : entry list =
       describes =
         "Extension: shadow-paging fuzzy checkpoints, replay bound, snapshots";
       run = Exp_checkpoint.run };
+    { id = "overload";
+      describes =
+        "Extension: overload control — admission, deadlines, retry storms, \
+         graceful degradation";
+      run = Exp_overload.run };
   ]
 
 (* Exact id, or a unique prefix of one ("fig3" finds fig3b; "fig18" is
@@ -71,15 +76,37 @@ type outcome = {
   tables : Table.t list;
   metrics : Fpb_obs.Registry.t;
   wall_s : float;
+  aborted : string option;
+      (* typed overload escape: the experiment was cut short by
+         [Buffer_pool.Overloaded]; tables produced so far and collected
+         metrics are kept — partial results beat a backtrace *)
 }
 
 let run_entry scale e =
   let t0 = Unix.gettimeofday () in
-  let metrics, tables = Telemetry.with_collector (fun () -> e.run scale) in
-  { entry = e; tables; metrics; wall_s = Unix.gettimeofday () -. t0 }
+  let aborted = ref None in
+  let metrics, tables =
+    Telemetry.with_collector (fun () ->
+        try e.run scale
+        with Fpb_storage.Buffer_pool.Overloaded { page; scans } ->
+          aborted :=
+            Some
+              (Printf.sprintf
+                 "buffer pool overloaded (page %d refused after %d victim \
+                  scans) — results are partial"
+                 page scans);
+          [])
+  in
+  {
+    entry = e; tables; metrics; wall_s = Unix.gettimeofday () -. t0;
+    aborted = !aborted;
+  }
 
 let run_and_print ppf scale e =
   let o = run_entry scale e in
   List.iter (Table.print ppf) o.tables;
+  (match o.aborted with
+  | Some why -> Fmt.pf ppf "%s ABORTED: %s@." e.id why
+  | None -> ());
   Fmt.pf ppf "(%s finished in %.1fs wall clock)@." e.id o.wall_s;
   o

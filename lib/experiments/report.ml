@@ -24,13 +24,16 @@ let table_json (t : Table.t) =
 
 let outcome_json (o : Registry.outcome) =
   J.Obj
-    [
-      ("id", J.Str o.Registry.entry.Registry.id);
-      ("describes", J.Str o.entry.describes);
-      ("wall_s", J.Float o.wall_s);
-      ("metrics", Fpb_obs.Registry.to_json o.metrics);
-      ("tables", J.List (List.map table_json o.tables));
-    ]
+    ([
+       ("id", J.Str o.Registry.entry.Registry.id);
+       ("describes", J.Str o.entry.describes);
+       ("wall_s", J.Float o.wall_s);
+       ("metrics", Fpb_obs.Registry.to_json o.metrics);
+       ("tables", J.List (List.map table_json o.tables));
+     ]
+    @ match o.aborted with
+      | Some why -> [ ("aborted", J.Str why) ]
+      | None -> [])
 
 let make ~scale ~timestamp ?(bechamel = []) outcomes =
   J.Obj

@@ -100,6 +100,7 @@ type stats = {
   snap_opens : Counter.t;  (* snapshot.opens *)
   snap_reads : Counter.t;  (* snapshot.reads *)
   snap_closes : Counter.t;  (* snapshot.closes *)
+  yields : Counter.t;  (* ckpt.yields *)
 }
 
 type t = {
@@ -115,6 +116,7 @@ type t = {
   mutable retained : gen_state list;  (* newest first *)
   mutable progress : progress option;
   mutable crash_point : crash_point option;
+  mutable backpressure : (unit -> bool) option;
   flip_stall : Histogram.t;  (* ckpt.flip_stall_ns *)
   stats : stats;
 }
@@ -334,7 +336,16 @@ let checkpoint_tick ?(pages = 8) t ~meta =
   match t.progress with
   | None -> invalid_arg "Shadow.checkpoint_tick: no checkpoint in progress"
   | Some p ->
-      let budget = ref pages in
+      (* Under foreground backpressure the tick hardens nothing — the
+         checkpoint's write-back I/O is exactly what a loaded system
+         should stop paying for — but a worklist that is already empty
+         still flips: the flip is metadata-only and holding it open
+         would delay the recovery-start advance for no I/O saved. *)
+      let yielding =
+        match t.backpressure with None -> false | Some f -> f ()
+      in
+      if yielding then Counter.incr t.stats.yields;
+      let budget = ref (if yielding then 0 else pages) in
       let blocked = ref false in
       while (not !blocked) && !budget > 0 && p.worklist <> [] do
         match p.worklist with
@@ -516,6 +527,7 @@ let attach ~meta wal pool =
       retained = [];
       progress = None;
       crash_point = None;
+      backpressure = None;
       flip_stall = Histogram.make "ckpt.flip_stall_ns";
       stats =
         {
@@ -532,6 +544,7 @@ let attach ~meta wal pool =
           snap_opens = Counter.make "snapshot.opens";
           snap_reads = Counter.make "snapshot.reads";
           snap_closes = Counter.make "snapshot.closes";
+          yields = Counter.make "ckpt.yields";
         };
     }
   in
@@ -546,6 +559,7 @@ let detach t =
 
 let wal t = t.wal
 let map t = t.map
+let set_backpressure t f = t.backpressure <- f
 let current_generation t = t.current_gen
 let retained_generations t = List.map (fun st -> st.gen) t.retained
 let flip_stall t = t.flip_stall
@@ -557,6 +571,7 @@ let counters t =
     t.stats.retired; t.stats.recoveries; t.stats.plain_recoveries;
     t.stats.remaps; t.stats.blocks_allocated; t.stats.blocks_freed;
     t.stats.snap_opens; t.stats.snap_reads; t.stats.snap_closes;
+    t.stats.yields;
   ]
 
 let kv t = List.map Counter.kv (counters t) @ Page_map.kv t.map

@@ -52,6 +52,9 @@ type stats = {
   snap_opens : Fpb_obs.Counter.t;  (** [snapshot.opens] *)
   snap_reads : Fpb_obs.Counter.t;  (** [snapshot.reads] *)
   snap_closes : Fpb_obs.Counter.t;  (** [snapshot.closes] *)
+  yields : Fpb_obs.Counter.t;
+      (** [ckpt.yields]: checkpoint ticks that hardened nothing because
+          the backpressure probe reported foreground load *)
 }
 
 (** [attach ~meta wal pool] creates the metadata disk, installs the
@@ -76,8 +79,18 @@ val checkpoint_begin : t -> unit
     drains, flip.  Returns whether the checkpoint completed.  [meta] is
     the index root metadata to persist should this tick flip.  A page
     whose operation is still in flight goes to the back of the list and
-    the tick yields. *)
+    the tick yields.  While the backpressure probe (see
+    {!set_backpressure}) reports foreground load the tick hardens
+    nothing (counted under [ckpt.yields]); an already-drained worklist
+    still flips — the flip is metadata-only. *)
 val checkpoint_tick : ?pages:int -> t -> meta:int list -> bool
+
+(** Install (or with [None] remove) a backpressure probe consulted by
+    every {!checkpoint_tick}.  [true] means the foreground is loaded
+    and the checkpoint's write-back I/O should yield.  Do not leave a
+    permanently-true probe installed across {!checkpoint_sync} or
+    {!recover} — their blocking drain would never finish. *)
+val set_backpressure : t -> (unit -> bool) option -> unit
 
 (** Begin + drain + flip in one blocking call. *)
 val checkpoint_sync : t -> meta:int list -> unit

@@ -55,6 +55,8 @@ type stats = {
   repair_attempts : Counter.t;
   repair_repaired : Counter.t;
   repair_failed : Counter.t;
+  overloaded : Counter.t;  (* demand requests refused as [Overloaded] *)
+  overload_wait_ns : Counter.t;  (* time spent in bounded victim rescans *)
 }
 
 let make_stats () =
@@ -77,6 +79,8 @@ let make_stats () =
     repair_attempts = Counter.make "repair.attempts";
     repair_repaired = Counter.make "repair.repaired";
     repair_failed = Counter.make "repair.failed";
+    overloaded = Counter.make "pool.overloaded";
+    overload_wait_ns = Counter.make "pool.overload_wait_ns";
   }
 
 let stats_counters s =
@@ -85,7 +89,7 @@ let stats_counters s =
     s.prefetch_dropped; s.io_wait_ns; s.shard_conflicts; s.shard_waits_ns;
     s.retry_read; s.retry_wait_ns; s.err_transient; s.err_latent;
     s.err_checksum; s.err_unrecoverable; s.repair_attempts;
-    s.repair_repaired; s.repair_failed;
+    s.repair_repaired; s.repair_failed; s.overloaded; s.overload_wait_ns;
   ]
 
 let stats_kv s = List.map Counter.kv (stats_counters s)
@@ -164,6 +168,18 @@ type shard = {
   mutable waits_ns : int;
 }
 
+(* How a demand request behaves when every frame is pinned: rescan the
+   victim sweep a bounded number of times, each preceded by a wait
+   charged to simulated time (in-flight reads may land, pins may expire
+   in simulated time), then give up with a typed [Overloaded] so the
+   caller can shed the request instead of crashing. *)
+type overload_policy = {
+  victim_rescans : int;  (* rescans after the first failed sweep *)
+  rescan_wait_ns : int;  (* simulated wait before each rescan *)
+}
+
+let default_overload_policy = { victim_rescans = 2; rescan_wait_ns = 200_000 }
+
 type t = {
   sim : Sim.t;
   store : Page_store.t;
@@ -177,6 +193,7 @@ type t = {
   prefetcher_free : int array;  (* per prefetcher: time it becomes idle *)
   prefetch_request_busy : int;  (* cycles to enqueue a prefetch request *)
   mutable readahead : int;  (* sequential readahead depth (0 = off) *)
+  mutable overload : overload_policy;
   mutable wal : wal_hooks option;
   mutable retry : retry_policy;
   mutable repair :
@@ -186,6 +203,19 @@ type t = {
 }
 
 exception Pool_exhausted
+
+exception Overloaded of { page : int; scans : int }
+
+let () =
+  Printexc.register_printer (function
+    | Overloaded { page; scans } ->
+        Some
+          (Printf.sprintf
+             "Buffer_pool.Overloaded(page %d: every frame pinned after %d \
+              victim scan%s)"
+             page scans
+             (if scans = 1 then "" else "s"))
+    | _ -> None)
 
 (* Deterministic multiplicative mix so shard choice decorrelates from the
    round-robin disk striping ((id-1) mod n_disks) and from any sequential
@@ -274,6 +304,7 @@ let create ?(n_prefetchers = 8) ?(prefetch_request_busy = 200) ?(n_shards = 1)
       prefetcher_free = Array.make (max 1 n_prefetchers) 0;
       prefetch_request_busy;
       readahead = 0;
+      overload = default_overload_policy;
       wal = None;
       retry = default_retry_policy;
       repair = None;
@@ -292,6 +323,13 @@ let set_retry_policy t policy =
   t.retry <- policy
 
 let retry_policy t = t.retry
+
+let set_overload_policy t policy =
+  if policy.victim_rescans < 0 || policy.rescan_wait_ns < 0 then
+    invalid_arg "Buffer_pool.set_overload_policy";
+  t.overload <- policy
+
+let overload_policy t = t.overload
 
 let stats t = t.stats
 let sim t = t.sim
@@ -480,6 +518,28 @@ let victim_frame_waiting t sh =
       victim_frame t sh
     end
 
+(* Demand-path frame acquisition with graceful degradation: when the
+   sweep finds every frame pinned, retry it a bounded number of times
+   with a wait charged to simulated time (an in-flight read may land or
+   a pin expire in the meantime), then surface a typed [Overloaded]
+   (counted under [pool.overloaded]) so the caller sheds the request
+   instead of dying on a raw [Pool_exhausted]. *)
+let victim_frame_demand t sh page =
+  let rec go scans =
+    try victim_frame_waiting t sh
+    with Pool_exhausted ->
+      if scans > t.overload.victim_rescans then begin
+        Counter.incr t.stats.overloaded;
+        raise (Overloaded { page; scans })
+      end
+      else begin
+        Counter.add t.stats.overload_wait_ns t.overload.rescan_wait_ns;
+        wait_until t (Clock.now t.sim.Sim.clock + t.overload.rescan_wait_ns);
+        go (scans + 1)
+      end
+  in
+  go 1
+
 (* Drop an unpinned frame whose page turned out unusable (failed
    verification on arrival): forget the mapping without write-back. *)
 let drop_frame t sh frame page =
@@ -597,7 +657,12 @@ let get t page =
       latch_release t sh;
       region_of_frame t frame page
   | None ->
-      let frame = victim_frame_waiting t sh in
+      let frame =
+        try victim_frame_demand t sh page
+        with Overloaded _ as e ->
+          latch_release t sh;
+          raise e
+      in
       let disk, phys = Page_store.location t.store page in
       Counter.incr t.stats.misses;
       latch_release t sh;
@@ -670,7 +735,15 @@ let create_page t =
   let page = Page_store.alloc t.store in
   let sh = shard_of t page in
   latch_acquire t sh;
-  let frame = victim_frame_waiting t sh in
+  let frame =
+    try victim_frame_demand t sh page
+    with Overloaded _ as e ->
+      (* the page was allocated but can never be installed: give it back
+         before surfacing the overload *)
+      latch_release t sh;
+      Page_store.free t.store page;
+      raise e
+  in
   t.frames.(frame) <- page;
   Hashtbl.replace sh.table page frame;
   t.ref_bit.(frame) <- true;

@@ -64,6 +64,12 @@ type stats = {
   repair_attempts : Fpb_obs.Counter.t;  (** [repair.attempts] *)
   repair_repaired : Fpb_obs.Counter.t;  (** [repair.repaired] *)
   repair_failed : Fpb_obs.Counter.t;  (** [repair.failed] *)
+  overloaded : Fpb_obs.Counter.t;
+      (** [pool.overloaded]: demand requests refused with {!Overloaded}
+          after the bounded victim rescans *)
+  overload_wait_ns : Fpb_obs.Counter.t;
+      (** [pool.overload_wait_ns]: simulated time spent waiting between
+          victim rescans on a pinned-full pool *)
 }
 
 (** Durability hooks installed by the write-ahead log.  The pool announces
@@ -111,10 +117,32 @@ exception
 
 type t
 
-(** Raised when every frame is pinned.  A [get] or [create_page] that finds
-    only in-flight prefetches first waits for the earliest completion and
-    retries; the exception means genuine exhaustion. *)
+(** Raised internally when a victim sweep finds every frame pinned.  A
+    [get] or [create_page] that finds only in-flight prefetches first
+    waits for the earliest completion and retries; demand requests that
+    hit genuine exhaustion surface the typed {!Overloaded} (after the
+    bounded rescans of the {!overload_policy}) — [Pool_exhausted] itself
+    escapes only from maintenance entry points such as {!clear}. *)
 exception Pool_exhausted
+
+(** The pool is out of frames for a demand request: every frame stayed
+    pinned across [scans] victim sweeps (each but the first preceded by
+    a simulated-time wait).  This is a load signal, not a failure —
+    callers are expected to shed or retry the {e operation}, not crash;
+    counted under [pool.overloaded]. *)
+exception Overloaded of { page : int; scans : int }
+
+(** How a demand request degrades on a pinned-full pool: up to
+    [victim_rescans] additional sweeps, each preceded by a
+    [rescan_wait_ns] wait charged to the simulated clock (and to
+    [pool.overload_wait_ns]), before {!Overloaded} is raised. *)
+type overload_policy = { victim_rescans : int; rescan_wait_ns : int }
+
+(** 2 rescans, 0.2 ms apart. *)
+val default_overload_policy : overload_policy
+
+val set_overload_policy : t -> overload_policy -> unit
+val overload_policy : t -> overload_policy
 
 (** [n_shards] (default 1) splits the page table, CLOCK replacement and
     frame arena into that many independent shards; must lie in

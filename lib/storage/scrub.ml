@@ -98,14 +98,38 @@ type sched = {
   mutable pages_per_tick : int;
   mutable cursor : int;  (* next page ID to consider *)
   mutable cumulative : report;
+  mutable backpressure : (unit -> bool) option;
+  mutable yields : int;  (* ticks skipped under backpressure *)
 }
 
 let scheduler ?(pages_per_tick = 1) pool =
-  { pool; pages_per_tick; cursor = 1; cumulative = empty }
+  {
+    pool;
+    pages_per_tick;
+    cursor = 1;
+    cumulative = empty;
+    backpressure = None;
+    yields = 0;
+  }
 
 let set_bandwidth s n = s.pages_per_tick <- max 0 n
+let set_backpressure s f = s.backpressure <- f
+let yields s = s.yields
+
+(* A tick under foreground pressure does nothing at all: the scrubber is
+   the lowest-priority citizen, and the cheapest way to help a loaded
+   system is to stop issuing background I/O entirely until the backlog
+   drains.  The cursor does not move, so no coverage is lost — the same
+   pages are checked once pressure lifts. *)
+let under_pressure s =
+  match s.backpressure with None -> false | Some f -> f ()
 
 let tick s =
+  if under_pressure s then begin
+    s.yields <- s.yields + 1;
+    empty
+  end
+  else begin
   let store = Buffer_pool.store s.pool in
   let high = Page_store.total_pages store in
   let r = ref empty in
@@ -127,6 +151,7 @@ let tick s =
   let r = { !r with unrecoverable = List.rev !r.unrecoverable } in
   s.cumulative <- merge s.cumulative r;
   r
+  end
 
 let total s = s.cumulative
 

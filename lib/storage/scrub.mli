@@ -49,9 +49,22 @@ val scheduler : ?pages_per_tick:int -> Buffer_pool.t -> sched
     scrubber. *)
 val set_bandwidth : sched -> int -> unit
 
+(** Install (or with [None] remove) a backpressure probe.  While it
+    returns [true] — e.g. the foreground backlog is above its watermark
+    — every {!tick} yields: no pages are checked, the cursor does not
+    move, and the yield is counted.  The cheapest graceful-degradation
+    lever: a loaded system stops paying for background I/O first. *)
+val set_backpressure : sched -> (unit -> bool) option -> unit
+
+(** Ticks skipped because the backpressure probe said the foreground
+    was loaded. *)
+val yields : sched -> int
+
 (** Check up to [pages_per_tick] live pages at the cursor (wrapping past
     the high-water mark) and return this tick's report.  Never raises:
-    pages the pool cannot currently serve are counted as [deferred]. *)
+    pages the pool cannot currently serve are counted as [deferred], and
+    a tick under backpressure returns {!empty} without moving the
+    cursor. *)
 val tick : sched -> report
 
 (** Cumulative report across every tick so far. *)

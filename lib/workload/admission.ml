@@ -1,0 +1,36 @@
+(* Admission control for the open-loop arrival driver.
+
+   The decision runs at arrival, before the op consumes service time.
+   [Admit_all] is the PR-6 behaviour (unbounded queues); [Queue_cap]
+   bounds each client's FIFO; [Deadline_aware] is the CoDel-style early
+   drop — refuse an op whose projected queueing delay already exceeds
+   its remaining deadline budget, because serving it would waste
+   capacity on an answer nobody is waiting for any more. *)
+
+type t = Admit_all | Queue_cap of int | Deadline_aware
+
+let name = function
+  | Admit_all -> "admit-all"
+  | Queue_cap c -> Printf.sprintf "queue-cap(%d)" c
+  | Deadline_aware -> "deadline"
+
+let of_string ?(queue_cap = 64) s =
+  match String.lowercase_ascii s with
+  | "admit-all" | "all" | "none" -> Ok Admit_all
+  | "queue-cap" | "cap" -> Ok (Queue_cap queue_cap)
+  | "deadline" | "deadline-aware" -> Ok Deadline_aware
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown admission policy %S (want admit-all, queue-cap or \
+            deadline)"
+           s)
+
+let admit t ~queue_depth ~projected_wait_ns ~slack_ns =
+  match t with
+  | Admit_all -> true
+  | Queue_cap cap -> queue_depth < cap
+  | Deadline_aware -> (
+      match slack_ns with
+      | None -> true
+      | Some slack -> projected_wait_ns <= slack)

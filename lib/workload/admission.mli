@@ -1,0 +1,36 @@
+(** Admission control for the open-loop arrival driver.
+
+    An overloaded open-loop system has exactly three choices for an
+    arriving operation: queue it (unbounded queues — latency explodes),
+    reject it at the door (bounded queues — latency stays bounded, some
+    work is refused), or reject it only when queueing it would be
+    pointless (deadline-aware — the op would miss its deadline anyway,
+    so serving it wastes capacity).  The policy decides at {e arrival},
+    before the op consumes any service time; rejected ops count as
+    [arrival.shed], never as completions.  See [docs/WORKLOADS.md]. *)
+
+type t =
+  | Admit_all  (** unbounded queues: the PR-6 behaviour, no defense *)
+  | Queue_cap of int
+      (** reject when the target client's queue already holds this many
+          waiting ops (the classic bounded listen queue) *)
+  | Deadline_aware
+      (** reject when the projected wait — the server's current backlog
+          scaled by its service-time estimate — already exceeds the
+          op's remaining deadline budget, so the op would expire in the
+          queue (CoDel-style early drop).  With no deadline configured
+          this admits everything. *)
+
+val name : t -> string
+
+(** Parse ["admit-all"], ["queue-cap"] (capacity [queue_cap], default
+    64) or ["deadline"] (case-insensitive). *)
+val of_string : ?queue_cap:int -> string -> (t, string) result
+
+(** [admit t ~queue_depth ~projected_wait_ns ~slack_ns] decides one
+    arrival.  [queue_depth] is the number of ops already waiting on the
+    target client's queue, [projected_wait_ns] the estimated time the
+    new op would spend queued, and [slack_ns] the time remaining until
+    its deadline ([None] when no deadline is configured). *)
+val admit :
+  t -> queue_depth:int -> projected_wait_ns:int -> slack_ns:int option -> bool

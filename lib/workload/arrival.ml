@@ -1,4 +1,5 @@
-(* Open-loop arrival driver over the discrete-event clock.
+(* Open-loop arrival driver over the discrete-event clock, with
+   overload control.
 
    Where [Clients.run] is closed-loop — each client issues its next
    operation the moment the previous one completes, so offered load
@@ -10,28 +11,54 @@
    round-robin to one of [n_clients] per-client FIFO queues; a client
    serves its queue one operation at a time.
 
-   Per-operation latency is recorded from *arrival*, not dispatch:
-   latency = queueing delay (arrival -> dispatch) + service time
-   (dispatch -> completion).  Below saturation the queueing term is ~0
-   and open-loop latency matches the closed-loop histogram; past
-   saturation queues grow without bound over the run and p99/p999
-   explode — the behaviour a closed-loop driver structurally cannot
-   show, because its arrival process stalls with the system.
+   Past saturation an undefended open-loop system has unbounded queues
+   and an exploding tail, so the driver carries the standard defenses:
+
+   - every op may carry a *deadline* ([~deadline_ns], absolute from its
+     first arrival); completions within it are *goodput*, completions
+     past it are answers nobody is waiting for any more;
+   - an *admission policy* ([Admission.t]) decides at arrival whether
+     to queue the op or shed it ([arrival.shed]); the deadline-aware
+     policy projects the queueing delay from an EWMA of observed
+     service times and refuses ops that would expire in the queue, and
+     additionally drops an admitted op at dispatch if its deadline has
+     already passed ([arrival.expired]) rather than waste service time;
+   - a *client retry policy* ([Retry.t]) optionally re-enters shed or
+     expired ops after a delay ([arrival.retries]), with a bounded
+     per-op budget — this is the knob that reproduces (and cures) the
+     classic retry-storm metastable failure;
+   - [~rate_change:(j, r)] switches the arrival rate to [r] from the
+     [j]-th op on, and reports that second phase's goodput separately
+     ([stats.recovery]), so "offered load dropped below capacity but
+     the system stayed saturated" is directly measurable.
+
+   Per-operation latency is recorded from *first arrival*, not
+   dispatch: latency = queueing (and retry) delay + service time.
 
    Scheduling is the same conservative discrete-event discipline as
-   [Clients.run]: each client's next dispatch time is
-   max(its previous completion, its next arrival); the driver always
-   runs the client with the smallest dispatch time, rewinding the
-   shared clock there ([Clock.set]).  That minimum is a global minimum
-   over everything still to execute, so contention on shared resources
-   (disks, pool-shard latches, the log), which keep absolute free-at
-   times, resolves as a truly concurrent execution would. *)
+   [Clients.run]: each client's next dispatch time is max(its previous
+   completion, its queue head's arrival); the driver always executes
+   the globally earliest pending event — the next arrival (fresh or
+   retry re-entry) or the earliest dispatch — rewinding the shared
+   clock there ([Clock.set]).  Decision times are non-decreasing, so
+   the backlog-over-time accounting (peak instant, time above the
+   watermark) is exact. *)
 
 open Fpb_simmem
 
 type discipline = Poisson | Fixed
 
 let discipline_name = function Poisson -> "poisson" | Fixed -> "fixed"
+
+type window = {
+  w_offered : int;
+  w_completed : int;
+  w_good : int;
+  w_shed : int;
+  w_dropped : int;
+  w_span_ns : int;
+  w_goodput_ops_per_s : float;
+}
 
 type stats = {
   clients : int;
@@ -44,22 +71,56 @@ type stats = {
   service_ns : Fpb_obs.Histogram.t;
   throughput_ops_per_s : float;
   max_backlog : int;
+  backlog_peak_at_ns : int;
+  time_above_watermark_ns : int;
+  backlog_watermark : int;
+  completed : int;
+  good : int;
+  shed : int;
+  expired : int;
+  retries : int;
+  dropped : int;
+  goodput_ops_per_s : float;
+  deadline_ns : int option;
+  recovery : window option;
 }
 
+(* Retry re-entries, ordered by (time, seq).  A [Set] works as a priority
+   queue here because an op has at most one pending re-entry, so the
+   (time, seq, failures) triples are unique. *)
+module Reentry = Set.Make (struct
+  type t = int * int * int (* time, seq, failures so far *)
+
+  let compare = compare
+end)
+
 let run ~sim ~n_clients ~n_ops ~rate_ops_per_s ?(discipline = Poisson)
-    ?(seed = 4242) op =
+    ?(seed = 4242) ?deadline_ns ?(admission = Admission.Admit_all)
+    ?(retry = Retry.none) ?rate_change ?backlog_watermark ?live_backlog op =
   if n_clients < 1 then invalid_arg "Arrival.run: n_clients < 1";
   if n_ops < 0 then invalid_arg "Arrival.run: n_ops < 0";
   if rate_ops_per_s <= 0. then invalid_arg "Arrival.run: rate <= 0";
+  (match deadline_ns with
+  | Some d when d <= 0 -> invalid_arg "Arrival.run: deadline <= 0"
+  | _ -> ());
+  (match rate_change with
+  | Some (j, r) when j < 0 || j > n_ops || r <= 0. ->
+      invalid_arg "Arrival.run: bad rate_change"
+  | _ -> ());
   let clock = sim.Sim.clock in
   let t0 = Clock.now clock in
   (* The arrival schedule is fixed up front: it is the load, independent
      of how the system keeps up. *)
   let rng = Prng.create seed in
-  let mean_gap_ns = 1e9 /. rate_ops_per_s in
   let arrivals = Array.make (max 1 n_ops) t0 in
   let t = ref (float_of_int t0) in
   for j = 0 to n_ops - 1 do
+    let rate =
+      match rate_change with
+      | Some (j0, r2) when j >= j0 -> r2
+      | _ -> rate_ops_per_s
+    in
+    let mean_gap_ns = 1e9 /. rate in
     let gap =
       match discipline with
       | Poisson -> Prng.exponential rng ~mean:mean_gap_ns
@@ -68,47 +129,200 @@ let run ~sim ~n_clients ~n_ops ~rate_ops_per_s ?(discipline = Poisson)
     t := !t +. gap;
     arrivals.(j) <- int_of_float !t
   done;
+  let deadline_of j =
+    match deadline_ns with None -> max_int | Some d -> arrivals.(j) + d
+  in
   let latency = Fpb_obs.Histogram.make "arrival.latency_ns" in
   let queue_ns = Fpb_obs.Histogram.make "arrival.queue_ns" in
   let service_ns = Fpb_obs.Histogram.make "arrival.service_ns" in
-  (* Client i serves arrivals i, i + n_clients, ... in order. *)
-  let next = Array.init n_clients (fun i -> i) in
+  (* Per-client FIFO queues of admitted ops: (seq, failures, enq time). *)
+  let queues = Array.init n_clients (fun _ -> Queue.create ()) in
   let free = Array.make n_clients t0 in
-  let completed = ref 0 in
-  let arrived = ref 0 in (* arrivals.(0 .. !arrived-1) <= current dispatch *)
-  let max_backlog = ref 0 in
+  let fails = Array.make (max 1 n_ops) 0 in
+  let reentries = ref Reentry.empty in
+  let next_fresh = ref 0 in
+  (* Counters. *)
+  let completed = ref 0 and good = ref 0 in
+  let shed = ref 0 and expired = ref 0 in
+  let retries = ref 0 and dropped = ref 0 in
+  (* Phase-2 (recovery window) accounting, by original seq. *)
+  let p2_from = match rate_change with Some (j, _) -> j | None -> max_int in
+  let p2_completed = ref 0 and p2_good = ref 0 in
+  let p2_shed = ref 0 and p2_dropped = ref 0 in
+  (* Backlog = ops admitted and waiting (not yet dispatched).  Decision
+     times are non-decreasing, so piecewise-constant accounting between
+     them is exact. *)
+  let wm = match backlog_watermark with Some w -> w | None -> 4 * n_clients in
+  let backlog = ref 0 in
+  let max_backlog = ref 0 and backlog_peak_at = ref 0 in
+  let above_ns = ref 0 in
+  let last_t = ref t0 in
+  let note_time now =
+    if now > !last_t then begin
+      if !backlog > wm then above_ns := !above_ns + (now - !last_t);
+      last_t := now
+    end
+  in
+  let set_backlog now b =
+    note_time now;
+    backlog := b;
+    (match live_backlog with Some r -> r := b | None -> ());
+    if b > !max_backlog then begin
+      max_backlog := b;
+      backlog_peak_at := now - t0
+    end
+  in
+  (* Service-time EWMA feeding the deadline-aware projected wait. *)
+  let est_service = ref 0 in
+  let observe_service s =
+    est_service := if !est_service = 0 then s else ((7 * !est_service) + s) / 8
+  in
   let last_finish = ref t0 in
-  while !completed < n_ops do
+  (* A shed or expired op consults the client retry policy: re-enter
+     after a delay, or drop for good once the budget is spent. *)
+  let fail_op now seq =
+    fails.(seq) <- fails.(seq) + 1;
+    match Retry.delay_ns retry rng ~failures:fails.(seq) with
+    | Some d ->
+        incr retries;
+        reentries := Reentry.add (now + d, seq, fails.(seq)) !reentries
+    | None ->
+        incr dropped;
+        if seq >= p2_from then incr p2_dropped
+  in
+  let process_arrival now seq =
+    let c = seq mod n_clients in
+    let q = queues.(c) in
+    let depth = Queue.length q in
+    let projected_wait_ns =
+      max 0 (free.(c) - now) + (depth * !est_service)
+    in
+    let slack_ns =
+      match deadline_ns with
+      | None -> None
+      | Some _ -> Some (deadline_of seq - now)
+    in
+    if Admission.admit admission ~queue_depth:depth ~projected_wait_ns
+         ~slack_ns
+    then begin
+      Queue.add (seq, now) q;
+      set_backlog now (!backlog + 1)
+    end
+    else begin
+      incr shed;
+      if seq >= p2_from then incr p2_shed;
+      note_time now;
+      fail_op now seq
+    end
+  in
+  (* Earliest pending arrival: the fresh schedule is already sorted, the
+     retry re-entries live in the ordered set. *)
+  let next_arrival () =
+    let fresh =
+      if !next_fresh < n_ops then Some (arrivals.(!next_fresh), `Fresh)
+      else None
+    in
+    let re =
+      match Reentry.min_elt_opt !reentries with
+      | Some (t, seq, f) -> Some (t, `Re (t, seq, f))
+      | None -> None
+    in
+    match (fresh, re) with
+    | None, None -> None
+    | Some a, None -> Some a
+    | None, Some r -> Some r
+    | Some (ta, _), Some (tr, _) when tr < ta -> re
+    | Some a, Some _ -> Some a
+  in
+  (* Earliest dispatch over clients with non-empty queues. *)
+  let next_dispatch () =
     let c = ref (-1) and c_start = ref max_int in
     for i = 0 to n_clients - 1 do
-      if next.(i) < n_ops then begin
-        let start = max free.(i) arrivals.(next.(i)) in
+      if not (Queue.is_empty queues.(i)) then begin
+        let _, enq = Queue.peek queues.(i) in
+        let start = max free.(i) enq in
         if start < !c_start then begin
           c := i;
           c_start := start
         end
       end
     done;
-    let i = !c and start = !c_start in
-    let j = next.(i) in
-    while !arrived < n_ops && arrivals.(!arrived) <= start do
-      incr arrived
-    done;
-    let backlog = !arrived - !completed in
-    if backlog > !max_backlog then max_backlog := backlog;
-    Clock.set clock start;
-    op ~client:i ~seq:j;
-    let finish = Clock.now clock in
-    Fpb_obs.Histogram.record latency (finish - arrivals.(j));
-    Fpb_obs.Histogram.record queue_ns (start - arrivals.(j));
-    Fpb_obs.Histogram.record service_ns (finish - start);
-    free.(i) <- finish;
-    if finish > !last_finish then last_finish := finish;
-    next.(i) <- j + n_clients;
-    incr completed
+    if !c < 0 then None else Some (!c_start, !c)
+  in
+  let pop_arrival = function
+    | `Fresh ->
+        let seq = !next_fresh in
+        incr next_fresh;
+        (arrivals.(seq), seq)
+    | `Re ((t, seq, f) as e) ->
+        reentries := Reentry.remove e !reentries;
+        ignore (f : int);
+        (t, seq)
+  in
+  let dispatch start i =
+    let seq, enq = Queue.pop queues.(i) in
+    set_backlog start (!backlog - 1);
+    let deadline = deadline_of seq in
+    (* Deadline-aware shedding extends to dispatch: an op whose deadline
+       already passed is dropped, not served — the other policies model
+       a server that cannot see client deadlines and serves it late. *)
+    if admission = Admission.Deadline_aware && start > deadline then begin
+      incr expired;
+      fail_op start seq
+    end
+    else begin
+      Clock.set clock start;
+      op ~client:i ~seq;
+      let finish = Clock.now clock in
+      Fpb_obs.Histogram.record latency (finish - arrivals.(seq));
+      Fpb_obs.Histogram.record queue_ns (start - enq);
+      Fpb_obs.Histogram.record service_ns (finish - start);
+      observe_service (finish - start);
+      free.(i) <- finish;
+      if finish > !last_finish then last_finish := finish;
+      incr completed;
+      let in_deadline = finish <= deadline in
+      if in_deadline then incr good else if deadline < max_int then incr expired;
+      if seq >= p2_from then begin
+        incr p2_completed;
+        if in_deadline then incr p2_good
+      end
+    end
+  in
+  let running = ref true in
+  while !running do
+    match (next_arrival (), next_dispatch ()) with
+    | None, None -> running := false
+    | Some (ta, src), Some (td, _) when ta <= td ->
+        let now, seq = pop_arrival src in
+        process_arrival now seq
+    | Some (_, src), None ->
+        let now, seq = pop_arrival src in
+        process_arrival now seq
+    | _, Some (start, i) -> dispatch start i
   done;
   Clock.set clock !last_finish;
+  note_time !last_finish;
   let makespan_ns = !last_finish - t0 in
+  let per_s n span = if span = 0 then 0. else float_of_int n *. 1e9 /. float_of_int span in
+  let recovery =
+    match rate_change with
+    | None -> None
+    | Some (j0, _) ->
+        let span =
+          if j0 < n_ops then max 0 (!last_finish - arrivals.(j0)) else 0
+        in
+        Some
+          {
+            w_offered = n_ops - j0;
+            w_completed = !p2_completed;
+            w_good = !p2_good;
+            w_shed = !p2_shed;
+            w_dropped = !p2_dropped;
+            w_span_ns = span;
+            w_goodput_ops_per_s = per_s !p2_good span;
+          }
+  in
   {
     clients = n_clients;
     ops = n_ops;
@@ -118,8 +332,18 @@ let run ~sim ~n_clients ~n_ops ~rate_ops_per_s ?(discipline = Poisson)
     latency;
     queue_ns;
     service_ns;
-    throughput_ops_per_s =
-      (if makespan_ns = 0 then 0.
-       else float_of_int n_ops *. 1e9 /. float_of_int makespan_ns);
+    throughput_ops_per_s = per_s !completed makespan_ns;
     max_backlog = !max_backlog;
+    backlog_peak_at_ns = !backlog_peak_at;
+    time_above_watermark_ns = !above_ns;
+    backlog_watermark = wm;
+    completed = !completed;
+    good = !good;
+    shed = !shed;
+    expired = !expired;
+    retries = !retries;
+    dropped = !dropped;
+    goodput_ops_per_s = per_s !good makespan_ns;
+    deadline_ns;
+    recovery;
   }

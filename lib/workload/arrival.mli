@@ -1,4 +1,5 @@
-(** Open-loop arrival driver over the discrete-event clock.
+(** Open-loop arrival driver over the discrete-event clock, with
+    overload control.
 
     Where {!Clients.run} is closed-loop (each client issues its next
     operation when the previous one completes, so offered load adapts
@@ -9,15 +10,17 @@
     population of independent users.  Arrivals are appended round-robin
     to [n_clients] per-client FIFO queues; each client serves its queue
     one operation at a time under the same conservative discrete-event
-    discipline as {!Clients.run} (run the client with the smallest
-    dispatch time; shared resources keep absolute free-at times, so
-    contention resolves as in a truly concurrent execution).
+    discipline as {!Clients.run}.
 
-    Latency is recorded from {e arrival}, not dispatch: below
-    saturation the queueing term is ~0, past saturation queues grow
-    throughout the run and p99/p999 explode — the overload signature a
-    closed-loop driver structurally cannot produce.  See
-    [docs/WORKLOADS.md] for the closed- vs. open-loop semantics. *)
+    Past saturation an undefended open-loop system has unbounded queues
+    and an exploding tail, so the driver carries the standard defenses:
+    per-op {e deadlines} ([deadline_ns]), a pluggable {e admission
+    policy} ({!Admission.t}) that sheds at arrival, a {e client retry
+    policy} ({!Retry.t}) that re-enters shed/expired ops with a bounded
+    budget (the retry-storm knob), and a two-phase rate schedule
+    ([rate_change]) whose second phase is reported separately so
+    metastable failures are measurable.  Latency is recorded from the
+    op's {e first arrival}.  See [docs/WORKLOADS.md]. *)
 
 (** Inter-arrival law: [Poisson] (exponential gaps, the memoryless
     many-independent-users model) or [Fixed] (constant gap, a paced
@@ -26,34 +29,77 @@ type discipline = Poisson | Fixed
 
 val discipline_name : discipline -> string
 
+(** Stats over the second phase of a [rate_change] run — the {e
+    recovery window}, classified by the op's original arrival index. *)
+type window = {
+  w_offered : int;  (** fresh arrivals in the window *)
+  w_completed : int;
+  w_good : int;  (** completed within their deadline *)
+  w_shed : int;  (** admission rejections of window ops (events) *)
+  w_dropped : int;  (** window ops that died with their retry budget *)
+  w_span_ns : int;  (** first window arrival to last completion *)
+  w_goodput_ops_per_s : float;
+}
+
 type stats = {
   clients : int;
-  ops : int;
+  ops : int;  (** fresh (non-retry) arrivals offered *)
   discipline : discipline;
-  offered_ops_per_s : float;  (** the configured arrival rate *)
+  offered_ops_per_s : float;  (** the configured (phase-1) arrival rate *)
   makespan_ns : int;  (** first arrival to last completion *)
   latency : Fpb_obs.Histogram.t;
-      (** per-op arrival → completion ([arrival.latency_ns]) —
-          queueing delay included *)
+      (** per completed op, first arrival → completion
+          ([arrival.latency_ns]) — queueing and retry delay included *)
   queue_ns : Fpb_obs.Histogram.t;
-      (** per-op arrival → dispatch ([arrival.queue_ns]) *)
+      (** per dispatched attempt, (re-)enqueue → dispatch
+          ([arrival.queue_ns]) *)
   service_ns : Fpb_obs.Histogram.t;
-      (** per-op dispatch → completion ([arrival.service_ns]) *)
+      (** per dispatched attempt, dispatch → completion
+          ([arrival.service_ns]) *)
   throughput_ops_per_s : float;  (** completed ops / makespan *)
   max_backlog : int;
-      (** peak number of operations arrived but not yet completed — the
-          high-water queue depth *)
+      (** peak number of admitted ops waiting in queues *)
+  backlog_peak_at_ns : int;
+      (** when (relative to the run start) the backlog first reached
+          [max_backlog] — localises the overload window *)
+  time_above_watermark_ns : int;
+      (** simulated time the backlog spent strictly above
+          [backlog_watermark] *)
+  backlog_watermark : int;  (** the watermark used (default 4×clients) *)
+  completed : int;  (** ops actually serviced *)
+  good : int;  (** completed within their deadline (= [completed] when
+                   no deadline is set) *)
+  shed : int;  (** admission rejections (events; retries re-offer) *)
+  expired : int;
+      (** deadline misses: dropped at dispatch under [Deadline_aware],
+          or completed past the deadline under the other policies *)
+  retries : int;  (** re-entries scheduled by the retry policy *)
+  dropped : int;  (** ops that never completed: retry budget exhausted *)
+  goodput_ops_per_s : float;  (** [good] / makespan *)
+  deadline_ns : int option;
+  recovery : window option;  (** phase-2 stats of a [rate_change] run *)
 }
 
 (** [run ~sim ~n_clients ~n_ops ~rate_ops_per_s op] generates the
-    arrival schedule ([seed], default 4242, fixes it deterministically),
-    dispatches [op ~client ~seq] for each arrival in conservative
-    virtual-time order ([op] must advance the simulated clock by the
-    operation's duration), and returns the latency/queue/service
-    histograms and throughput.  [seq] is the arrival's global index, in
-    arrival order.
-    @raise Invalid_argument if [n_clients < 1], [n_ops < 0] or
-    [rate_ops_per_s <= 0.]. *)
+    arrival schedule ([seed], default 4242, fixes it — and any retry
+    jitter — deterministically), dispatches [op ~client ~seq] for each
+    admitted arrival in conservative virtual-time order ([op] must
+    advance the simulated clock by the operation's duration), and
+    returns the stats above.  [seq] is the op's global index in
+    first-arrival order.
+
+    [deadline_ns] arms per-op deadlines (absolute from first arrival);
+    [admission] (default {!Admission.Admit_all}) gates arrivals;
+    [retry] (default {!Retry.none}) re-enters shed/expired ops;
+    [rate_change = (j, r)] switches the arrival rate to [r] from op [j]
+    on and fills [stats.recovery]; [backlog_watermark] (default
+    [4 * n_clients]) sets the time-above-watermark threshold;
+    [live_backlog], when given, is kept equal to the current queued-op
+    count while the run executes — background work (scrub, fuzzy
+    checkpoints) can read it to yield under foreground pressure.
+    @raise Invalid_argument if [n_clients < 1], [n_ops < 0],
+    [rate_ops_per_s <= 0.], [deadline_ns <= 0] or [rate_change] is out
+    of range. *)
 val run :
   sim:Fpb_simmem.Sim.t ->
   n_clients:int ->
@@ -61,5 +107,11 @@ val run :
   rate_ops_per_s:float ->
   ?discipline:discipline ->
   ?seed:int ->
+  ?deadline_ns:int ->
+  ?admission:Admission.t ->
+  ?retry:Retry.t ->
+  ?rate_change:int * float ->
+  ?backlog_watermark:int ->
+  ?live_backlog:int ref ->
   (client:int -> seq:int -> unit) ->
   stats

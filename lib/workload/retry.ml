@@ -1,0 +1,62 @@
+(* Client-side retry policy for shed or expired operations.
+
+   The amplification factor of a retry discipline is what decides
+   whether an overload is transient or metastable: every op may re-offer
+   itself up to [budget] times, so a stream of fresh arrivals at rate r
+   can present up to r * (budget + 1) to the admission gate.  A short
+   fixed delay with a generous budget keeps that amplified load
+   synchronised and concentrated (the storm); exponential backoff with
+   full jitter spreads it thin, and a small budget caps it. *)
+
+type discipline =
+  | No_retry
+  | Immediate
+  | Fixed of int
+  | Backoff of { base_ns : int; mult : int; jitter : bool }
+
+type t = { discipline : discipline; budget : int }
+
+let none = { discipline = No_retry; budget = 0 }
+
+let name t =
+  match t.discipline with
+  | No_retry -> "none"
+  | Immediate -> Printf.sprintf "immediate(b%d)" t.budget
+  | Fixed d -> Printf.sprintf "fixed(%dns,b%d)" d t.budget
+  | Backoff { base_ns; mult; jitter } ->
+      Printf.sprintf "backoff(%dns,x%d%s,b%d)" base_ns mult
+        (if jitter then ",jitter" else "")
+        t.budget
+
+let of_string ?(budget = 3) ?(base_ns = 1_000_000) s =
+  match String.lowercase_ascii s with
+  | "none" -> Ok none
+  | "immediate" -> Ok { discipline = Immediate; budget }
+  | "fixed" -> Ok { discipline = Fixed base_ns; budget }
+  | "backoff" ->
+      Ok { discipline = Backoff { base_ns; mult = 2; jitter = false }; budget }
+  | "backoff-jitter" | "jitter" ->
+      Ok { discipline = Backoff { base_ns; mult = 2; jitter = true }; budget }
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown retry discipline %S (want none, immediate, fixed, \
+            backoff or backoff-jitter)"
+           s)
+
+let delay_ns t rng ~failures =
+  if failures < 1 then invalid_arg "Retry.delay_ns: failures < 1";
+  match t.discipline with
+  | No_retry -> None
+  | _ when failures > t.budget -> None
+  | Immediate -> Some 0
+  | Fixed d -> Some (max 0 d)
+  | Backoff { base_ns; mult; jitter } ->
+      (* Clamp the exponent so the delay stays far from overflow even
+         under a qcheck-sized budget. *)
+      let exp = min (failures - 1) 24 in
+      let d = ref (max 1 base_ns) in
+      for _ = 1 to exp do
+        if !d < max_int / max 1 mult then d := !d * max 1 mult
+      done;
+      Some (if jitter then Prng.int rng (!d + 1) else !d)

@@ -1,0 +1,44 @@
+(** Client-side retry policy for shed or expired operations.
+
+    When an open-loop arrival is refused (admission shed) or misses its
+    deadline, real clients do not simply vanish: they retry.  Naive
+    retries convert one refusal into several re-offers, which is how a
+    transient overload turns into a {e metastable} failure — offered
+    load drops back below capacity, but the accumulated retry pool
+    keeps the system saturated, refusing fresh work, which creates yet
+    more retries.  The standard cures, both modelled here, are a
+    bounded per-op retry {e budget} (caps the amplification factor at
+    [budget + 1]) and exponential backoff with {e jitter} (spreads the
+    re-offers thin instead of re-synchronising them).  See
+    [docs/WORKLOADS.md]. *)
+
+type discipline =
+  | No_retry
+  | Immediate  (** re-enter at the same instant; burns budget fastest *)
+  | Fixed of int  (** constant delay (ns) between attempts *)
+  | Backoff of { base_ns : int; mult : int; jitter : bool }
+      (** delay [base_ns * mult^(failures-1)], exponent clamped so the
+          delay never overflows; with [jitter], each delay is drawn
+          uniformly from [\[0, d\]] (AWS-style "full jitter") *)
+
+type t = {
+  discipline : discipline;
+  budget : int;  (** max re-entries per op; 0 means never retry *)
+}
+
+(** No retries at all: [{ discipline = No_retry; budget = 0 }]. *)
+val none : t
+
+val name : t -> string
+
+(** Parse ["none"], ["immediate"], ["fixed"], ["backoff"] or
+    ["backoff-jitter"] (case-insensitive).  [budget] defaults to 3,
+    [base_ns] (fixed delay / backoff base) to 1_000_000 (1 ms). *)
+val of_string : ?budget:int -> ?base_ns:int -> string -> (t, string) result
+
+(** [delay_ns t rng ~failures] is the re-entry delay after the
+    [failures]-th consecutive failure (1-based), or [None] when the
+    budget is exhausted (always [None] for {!No_retry}).  Jitter draws
+    from [rng], so a fixed seed gives a fixed schedule.
+    @raise Invalid_argument if [failures < 1]. *)
+val delay_ns : t -> Prng.t -> failures:int -> int option

@@ -12,6 +12,7 @@ let () =
       ("tuning", Test_tuning.suite);
       ("workload", Test_workload.suite);
       ("ycsb", Test_ycsb.suite);
+      ("overload", Test_overload.suite);
       ("indexes", Test_indexes.suite);
       ("core-extra", Test_core_extra.suite);
       ("dbsim", Test_dbsim.suite);

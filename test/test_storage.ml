@@ -98,8 +98,9 @@ let test_buffer_pool_pinned_exhaustion () =
   let p3 = Page_store.alloc store in
   ignore (Buffer_pool.get pool p1);
   ignore (Buffer_pool.get pool p2);
-  Alcotest.check_raises "exhausted" Buffer_pool.Pool_exhausted (fun () ->
-      ignore (Buffer_pool.get pool p3));
+  Alcotest.check_raises "exhausted"
+    (Buffer_pool.Overloaded { page = p3; scans = 3 })
+    (fun () -> ignore (Buffer_pool.get pool p3));
   Buffer_pool.unpin pool p2;
   ignore (Buffer_pool.get pool p3);
   Buffer_pool.unpin pool p3;
