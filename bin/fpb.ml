@@ -49,6 +49,12 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List reproducible tables/figures") Term.(const run $ const ())
 
+let iso_timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
 let exp_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Paper-sized trees") in
@@ -69,13 +75,8 @@ let exp_cmd =
         (match json with
         | None -> ()
         | Some path ->
-            let timestamp =
-              let t = Unix.gmtime (Unix.gettimeofday ()) in
-              Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
-                (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
-                t.Unix.tm_sec
-            in
-            Report.write path (Report.make ~scale ~timestamp [ o ]));
+            Report.write path
+              (Report.make ~scale ~timestamp:(iso_timestamp ()) [ o ]));
         (match o.Registry.aborted with
         | Some why -> `Error (false, e.Registry.id ^ " aborted: " ^ why)
         | None -> `Ok ())
@@ -105,17 +106,52 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Build every index variant and verify structural invariants")
     Term.(const run $ keys $ page)
 
+(* Serialise a standalone harness run (crashtest, chaos) in the same
+   JSON shape `fpb exp --json` emits: one outcome whose [aborted] field
+   carries the failure summary when the oracles broke, so CI can assert
+   on a single convention for every leg. *)
+let write_harness_json ~path ~scale ~id ~describes ~tables ~metrics ~wall_s
+    ~failures =
+  let open Fpb_experiments in
+  let entry = { Registry.id; describes; run = (fun _ -> []) } in
+  let aborted =
+    match failures with
+    | [] -> None
+    | fs -> Some (Printf.sprintf "%d checker failures" (List.length fs))
+  in
+  let o = { Registry.entry; tables; metrics; wall_s; aborted } in
+  Report.write path (Report.make ~scale ~timestamp:(iso_timestamp ()) [ o ])
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the report as JSON to $(docv) (\"-\" for stdout)")
+
 let crashtest_cmd =
   let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test-sized scenario") in
   let full = Arg.(value & flag & info [ "full" ] ~doc:"Large scenario") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed") in
-  let run tiny full seed =
+  let run tiny full seed json =
     let open Fpb_experiments in
     let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
-    let results, table = Crashtest.run_all ~seed scale in
+    let t0 = Unix.gettimeofday () in
+    let metrics, (results, table) =
+      Telemetry.with_collector (fun () -> Crashtest.run_all ~seed scale)
+    in
     Table.print Format.std_formatter table;
     let failures = List.concat_map (fun r -> r.Crashtest.failures) results in
     List.iter (fun (label, msg) -> Fmt.epr "FAIL %s: %s@." label msg) failures;
+    (match json with
+    | None -> ()
+    | Some path ->
+        write_harness_json ~path ~scale ~id:"crashtest"
+          ~describes:
+            "Crash fault injection: WAL byte boundaries, shadow flip \
+             boundaries, replication kill sweep"
+          ~tables:[ table ] ~metrics ~wall_s:(Unix.gettimeofday () -. t0)
+          ~failures);
     if failures = [] then begin
       Fmt.pr "crashtest OK: %d crash points, 0 checker failures@."
         (List.fold_left (fun a r -> a + r.Crashtest.points) 0 results);
@@ -128,8 +164,11 @@ let crashtest_cmd =
        ~doc:
          "Fault-injection sweep: crash the simulated machine at every log \
           record boundary (and torn mid-record/torn-page variants), recover, \
-          and verify every index structure")
-    Term.(ret (const run $ tiny $ full $ seed))
+          and verify every index structure; the replication sweep re-runs \
+          every record boundary as a primary kill and verifies failover \
+          loses no acked commit under semi-sync and exactly the unacked \
+          suffix under async")
+    Term.(ret (const run $ tiny $ full $ seed $ json_arg))
 
 let chaos_cmd =
   let tiny = Arg.(value & flag & info [ "tiny" ] ~doc:"Smoke-test-sized scenario") in
@@ -155,15 +194,23 @@ let chaos_cmd =
       & info [ "scrub-bw" ]
           ~doc:"Scrub bandwidth in pages per tick; 0 pauses the scrubber")
   in
-  let run tiny full seed log_mirrors log_rate scrub_bw =
+  let run tiny full seed log_mirrors log_rate scrub_bw json =
     let open Fpb_experiments in
     let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
-    let cells, table =
-      Chaos.run_all ~seed ~log_mirrors ?log_rate ?scrub_bw scale
+    let t0 = Unix.gettimeofday () in
+    let metrics, (cells, table, shadow_cells, shadow_table, replica_cells, replica_table)
+        =
+      Telemetry.with_collector (fun () ->
+          let cells, table =
+            Chaos.run_all ~seed ~log_mirrors ?log_rate ?scrub_bw scale
+          in
+          let shadow_cells, shadow_table = Chaos.shadow_meta_leg ~seed scale in
+          let replica_cells, replica_table = Chaos.replica_leg ~seed scale in
+          (cells, table, shadow_cells, shadow_table, replica_cells, replica_table))
     in
-    let shadow_cells, shadow_table = Chaos.shadow_meta_leg ~seed scale in
     Table.print Format.std_formatter table;
     Table.print Format.std_formatter shadow_table;
+    Table.print Format.std_formatter replica_table;
     let failures =
       List.concat_map
         (fun c ->
@@ -182,13 +229,32 @@ let chaos_cmd =
                   c.Chaos.s_label m)
               c.Chaos.s_failures)
           shadow_cells
+      @ List.concat_map
+          (fun c ->
+            List.map
+              (fun m ->
+                Printf.sprintf "%s/%s: %s"
+                  (Setup.kind_name c.Chaos.r_kind)
+                  c.Chaos.r_label m)
+              c.Chaos.r_failures)
+          replica_cells
     in
     List.iter (fun m -> Fmt.epr "FAIL %s@." m) failures;
+    (match json with
+    | None -> ()
+    | Some path ->
+        write_harness_json ~path ~scale ~id:"chaos"
+          ~describes:
+            "Media-fault chaos: transient/latent/corruption disk faults, \
+             shadow checkpoint meta faults, replication failover under a \
+             lossy reordering link"
+          ~tables:[ table; shadow_table; replica_table ]
+          ~metrics ~wall_s:(Unix.gettimeofday () -. t0) ~failures);
     if failures = [] then begin
       let repaired = List.fold_left (fun a c -> a + c.Chaos.repaired) 0 cells in
       let detected = List.fold_left (fun a c -> a + c.Chaos.detected) 0 cells in
       Fmt.pr "chaos OK: %d cells, %d pages repaired, %d errors detected, 0 oracle failures@."
-        (List.length cells + List.length shadow_cells)
+        (List.length cells + List.length shadow_cells + List.length replica_cells)
         repaired detected;
       `Ok ()
     end
@@ -201,8 +267,12 @@ let chaos_cmd =
           disks injecting transient errors, latent sectors and silent \
           corruption; verify checksums detect all damage, the WAL repairs \
           covered pages (including from a mirrored log under log-disk \
-          faults), and scrub finds nothing unrecoverable")
-    Term.(ret (const run $ tiny $ full $ seed $ log_mirrors $ log_rate $ scrub_bw))
+          faults), scrub finds nothing unrecoverable, and replication \
+          failover over a lossy reordering link loses no acked commit")
+    Term.(
+      ret
+        (const run $ tiny $ full $ seed $ log_mirrors $ log_rate $ scrub_bw
+       $ json_arg))
 
 let ycsb_cmd =
   let mix = Arg.(value & opt string "A" & info [ "mix" ] ~doc:"YCSB core mix (A..F)") in

@@ -698,11 +698,211 @@ let throttle_sweep ?(seed = 42) scale =
         Table.cell_i backoffs; Table.cell_i raises ];
     ]
 
+(* --------------- replication failover under link chaos ---------------- *)
+
+(* The crashtest kill sweep exercises every record boundary over healthy
+   links; this leg does the converse — one mid-workload kill per cell,
+   but over a lossy, reordering link, with the full mixed workload (and
+   its model oracle) running before and after the failover.  Loss and
+   reordering must never change WHAT a replica holds (in-order delivery
+   + retransmission make every durable prefix a prefix of the shipped
+   stream), only WHEN — so the same promotion oracles hold: semi-sync
+   promotion preserves every acked commit, async promotion lands exactly
+   on the most advanced replica's durable prefix. *)
+
+module Replica = Fpb_replica.Replica
+module Net = Fpb_replica.Net
+
+let lossy_profile =
+  {
+    Net.default_profile with
+    Net.loss = 0.05;
+    rto_ns = 1_000_000;
+    reorder_p = 0.1;
+    reorder_extra_ns = 300_000;
+  }
+
+type replica_cell = {
+  r_kind : Setup.kind;
+  r_label : string;
+  r_acked : int;  (* commits acked by the kill horizon *)
+  r_promoted : int;  (* promotion's committed op *)
+  r_truncated : int;  (* staged records the promotion dropped *)
+  r_drops : int;  (* net.drops over all links *)
+  r_reorders : int;  (* net.reorders *)
+  r_failures : string list;
+}
+
+(* The committed key set after the first [c] ops (searches are no-ops). *)
+let model_upto pairs ops c =
+  let m = Hashtbl.create 1024 in
+  Array.iter (fun (k, v) -> Hashtbl.replace m k v) pairs;
+  List.iteri
+    (fun i op ->
+      if i < c then
+        match op with
+        | Search _ -> ()
+        | Ins (k, v) -> Hashtbl.replace m k v
+        | Del k -> Hashtbl.remove m k)
+    ops;
+  m
+
+let sorted_model m =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [] |> List.sort compare
+
+let run_replica_cell kind pairs ops ~mode =
+  let sys = Setup.make ~n_disks:2 ~pool_pages:96 ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+  let group =
+    Replica.create
+      ~config:{ Replica.default_config with Replica.mode }
+      ~prng:(Fpb_workload.Prng.create 0xfa11)
+      ~profiles:[ lossy_profile; lossy_profile ]
+      (wal, sys.Setup.pool)
+  in
+  let n_ops = List.length ops in
+  let kill_at = n_ops / 2 in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let m = ref (model_upto pairs ops 0) in
+  let wrong = ref 0 in
+  let apply_op idx wal opn op =
+    (match op with
+    | Search k ->
+        if Index_sig.search idx k <> Hashtbl.find_opt !m k then incr wrong
+    | Ins (k, v) ->
+        ignore (Index_sig.insert idx k v);
+        Hashtbl.replace !m k v
+    | Del k ->
+        ignore (Index_sig.delete idx k);
+        Hashtbl.remove !m k);
+    Wal.commit wal ~op:opn ~meta:(Index_sig.meta idx)
+  in
+  List.iteri
+    (fun i op -> if i < kill_at then apply_op idx wal (i + 1) op)
+    ops;
+  (* Power-cut between ops: every executed commit returned to its
+     client. *)
+  Wal.crash_now wal;
+  Replica.kill group;
+  let horizon = Option.get (Replica.killed_at group) in
+  let acked = Replica.acked_op group ~horizon in
+  let best_durable =
+    let best = ref 0 in
+    for i = 0 to Replica.n_nodes group - 1 do
+      best :=
+        max !best (Replica.node_durable_op group (Replica.node group i) ~horizon)
+    done;
+    !best
+  in
+  let p = Replica.promote group in
+  (match mode with
+  | Replica.Semi_sync _ ->
+      if p.Replica.committed_op < acked then
+        fail "promotion lost %d acked commits over the lossy link"
+          (acked - p.Replica.committed_op)
+  | Replica.Async ->
+      if p.Replica.committed_op <> best_durable then
+        fail "async promotion op %d, most-advanced durable prefix %d"
+          p.Replica.committed_op best_durable);
+  if p.Replica.committed_op > kill_at then
+    fail "promotion op %d ahead of the %d commits that ever ran"
+      p.Replica.committed_op kill_at;
+  let idx2 = Run.adopt kind p.Replica.pool ~meta:p.Replica.meta in
+  (try Index_sig.check idx2
+   with Failure msg -> fail "promoted structural check: %s" msg);
+  m := model_upto pairs ops p.Replica.committed_op;
+  if key_set idx2 <> sorted_model !m then
+    fail "promoted key set differs from the model at op %d"
+      p.Replica.committed_op;
+  (* Continue on the new primary: re-apply everything past the promoted
+     prefix (the lost suffix first, then the rest of the workload). *)
+  let g2 = Replica.resume group p in
+  List.iteri
+    (fun i op ->
+      let opn = i + 1 in
+      if opn > p.Replica.committed_op then apply_op idx2 p.Replica.wal opn op)
+    ops;
+  if !wrong > 0 then fail "%d searches silently returned wrong answers" !wrong;
+  (try Index_sig.check idx2
+   with Failure msg -> fail "post-continuation structural check: %s" msg);
+  if key_set idx2 <> sorted_model !m then
+    fail "post-continuation key set differs from model";
+  let survivor = Replica.node g2 0 in
+  let synced = Replica.sync_node g2 ~horizon:max_int survivor in
+  if synced <> n_ops then
+    fail "surviving replica converged to op %d, expected %d" synced n_ops;
+  let gkv = Replica.kv g2 in
+  let g name = Option.value ~default:0 (List.assoc_opt name gkv) in
+  Telemetry.add_kv gkv;
+  Replica.detach g2;
+  {
+    r_kind = kind;
+    r_label =
+      (match mode with
+      | Replica.Async -> "async"
+      | Replica.Semi_sync k -> Printf.sprintf "semi-sync k=%d" k);
+    r_acked = acked;
+    r_promoted = p.Replica.committed_op;
+    r_truncated = p.Replica.truncated_records;
+    r_drops = g "net.drops";
+    r_reorders = g "net.reorders";
+    r_failures = List.rev !failures;
+  }
+
+let replica_leg ?(seed = 42) scale =
+  let n_bulk, n_ops, _, _ = params scale in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun mode -> run_replica_cell kind pairs ops ~mode)
+          [ Replica.Async; Replica.Semi_sync 1 ])
+      Setup.all_kinds
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Setup.kind_name c.r_kind;
+          c.r_label;
+          Table.cell_i c.r_acked;
+          Table.cell_i c.r_promoted;
+          Table.cell_i (max 0 (c.r_acked - c.r_promoted));
+          Table.cell_i c.r_truncated;
+          Table.cell_i c.r_drops;
+          Table.cell_i c.r_reorders;
+          Table.cell_i (List.length c.r_failures);
+        ])
+      cells
+  in
+  let table =
+    Table.make ~id:"chaos-replica"
+      ~title:
+        (Printf.sprintf
+           "Failover under link chaos (5%% loss, 10%% reordering; primary \
+            killed at op %d of %d; semi-sync must lose 0 acked commits, \
+            async exactly the unacked suffix; failures must be 0)"
+           (n_ops / 2) n_ops)
+      ~header:
+        [
+          "index"; "mode"; "acked"; "promoted"; "lost"; "truncated"; "drops";
+          "reorders"; "failures";
+        ]
+      rows
+  in
+  (cells, table)
+
 (* Registry entry: the harness as an experiment, so `fpb exp faults`
    lands detection/repair counters in BENCH_results.json. *)
 let run scale =
   let cells, table = run_all scale in
   let shadow_cells, shadow_table = shadow_meta_leg scale in
+  let replica_cells, replica_table = replica_leg scale in
   let sweep_cells, sweep = scrub_sweep scale in
   let throttle = throttle_sweep scale in
   let fails =
@@ -710,6 +910,9 @@ let run scale =
     + List.fold_left
         (fun a c -> a + List.length c.s_failures)
         0 shadow_cells
+    + List.fold_left
+        (fun a c -> a + List.length c.r_failures)
+        0 replica_cells
   in
   if fails > 0 then Telemetry.add "chaos.oracle_failures" fails;
-  [ table; shadow_table; sweep; throttle ]
+  [ table; shadow_table; replica_table; sweep; throttle ]

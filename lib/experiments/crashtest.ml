@@ -336,12 +336,169 @@ let run_shadow_kind ?(seed = 42) scale kind =
   done;
   { kind; points = !points; torn = 0; log_bytes; failures = !failures }
 
+(* ------------------- replication kill sweep -------------------------- *)
+
+(* The headline replication oracle: kill the primary at EVERY record
+   boundary of the golden log.  Under [Semi_sync k] promotion must
+   preserve every client-acked commit (an op is acked once [Wal.commit]
+   returns, which the semi-sync barrier delays until k replica acks
+   cover its LSN — and the crash-cut record never ships, so a commit
+   interrupted mid-flush was never acked).  Under [Async] the loss is
+   exactly the unacked suffix: promotion lands on the most advanced
+   replica's durable prefix, computed independently by the pure
+   [node_durable_op] oracle at the kill horizon.  Either way the
+   promoted state must pass the structural checker, match the model at
+   the promoted op, and keep running (continuation + surviving-replica
+   convergence). *)
+
+module Replica = Fpb_replica.Replica
+module Net = Fpb_replica.Net
+
+let run_replica_scenario kind pairs ops ~ckpt_every ~mode ~crash_at =
+  let sys = Setup.make ~n_disks:2 ~pool_pages ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+  let group =
+    Replica.create
+      ~config:{ Replica.default_config with Replica.mode }
+      ~prng:(Fpb_workload.Prng.create 0xfa11)
+      ~profiles:[ Net.default_profile; Net.default_profile ]
+      (wal, sys.Setup.pool)
+  in
+  Wal.set_crash_at_byte wal crash_at;
+  let commit_ends = Array.make (List.length ops + 1) max_int in
+  let acked = ref 0 in
+  (try
+     List.iteri
+       (fun i op ->
+         let opn = i + 1 in
+         apply idx op;
+         Wal.commit wal ~op:opn ~meta:(Index_sig.meta idx);
+         acked := opn;
+         commit_ends.(opn) <- Wal.log_bytes wal;
+         if ckpt_every > 0 && opn mod ckpt_every = 0 then
+           Wal.checkpoint wal ~meta:(Index_sig.meta idx))
+       ops
+   with Wal.Crashed -> ());
+  (sys, idx, wal, group, commit_ends, !acked)
+
+let check_replica_point kind pairs ops ~ckpt_every ~mode ~expect point =
+  let _sys, _idx, wal, group, _ends, acked =
+    run_replica_scenario kind pairs ops ~ckpt_every ~mode
+      ~crash_at:(Some point.Crash.at_byte)
+  in
+  if not (Wal.is_crashed wal) then Wal.crash_now wal;
+  Replica.kill group;
+  let horizon = Option.get (Replica.killed_at group) in
+  let best_durable =
+    let best = ref 0 in
+    for i = 0 to Replica.n_nodes group - 1 do
+      best :=
+        max !best (Replica.node_durable_op group (Replica.node group i) ~horizon)
+    done;
+    !best
+  in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  if acked <> expect point.Crash.at_byte then
+    err "scenario acked %d ops, golden layout expected %d" acked
+      (expect point.Crash.at_byte);
+  let p = Replica.promote group in
+  (match mode with
+  | Replica.Semi_sync _ ->
+      if p.Replica.committed_op < acked then
+        err "promotion lost %d acked commits (acked %d, promoted %d)"
+          (acked - p.Replica.committed_op) acked p.Replica.committed_op
+  | Replica.Async ->
+      if p.Replica.committed_op <> best_durable then
+        err "promotion op %d, most-advanced durable prefix is %d"
+          p.Replica.committed_op best_durable;
+      if p.Replica.committed_op > acked then
+        err "promotion op %d ahead of the %d commits that ever returned"
+          p.Replica.committed_op acked);
+  let idx2 = Run.adopt kind p.Replica.pool ~meta:p.Replica.meta in
+  (try Index_sig.check idx2
+   with Failure m -> err "promoted structural check: %s" m);
+  let got = ref [] in
+  Index_sig.iter idx2 (fun k v -> got := (k, v) :: !got);
+  let got = List.sort compare !got in
+  let want = model_after pairs ops p.Replica.committed_op in
+  if got <> want then
+    err "promoted key set mismatch: %d entries, %d expected"
+      (List.length got) (List.length want);
+  (* Availability: the promoted primary re-applies the lost suffix and
+     the surviving replica, re-baselined by [resume], must converge. *)
+  (try
+     let g2 = Replica.resume group p in
+     List.iteri
+       (fun i op ->
+         let opn = i + 1 in
+         if opn > p.Replica.committed_op then begin
+           apply idx2 op;
+           Wal.commit p.Replica.wal ~op:opn ~meta:(Index_sig.meta idx2)
+         end)
+       ops;
+     (try Index_sig.check idx2
+      with Failure m -> err "post-continuation structural check: %s" m);
+     let got = ref [] in
+     Index_sig.iter idx2 (fun k v -> got := (k, v) :: !got);
+     let got = List.sort compare !got in
+     let want = model_after pairs ops (List.length ops) in
+     if got <> want then
+       err "post-continuation key set mismatch: %d entries, %d expected"
+         (List.length got) (List.length want);
+     let survivor = Replica.node g2 0 in
+     let synced = Replica.sync_node g2 ~horizon:max_int survivor in
+     if synced <> List.length ops then
+       err "surviving replica converged to op %d, expected %d" synced
+         (List.length ops);
+     Replica.detach g2
+   with e -> err "continuation raised: %s" (Printexc.to_string e));
+  List.rev_map (fun m -> (point.Crash.label, m)) !errors
+
+let run_replica_kind ?(seed = 42) scale kind mode =
+  let n_bulk, n_ops, ckpt_every, max_points = params scale in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops = gen_ops rng pairs n_ops in
+  let _sys, idx, wal, group, commit_ends, golden_acked =
+    run_replica_scenario kind pairs ops ~ckpt_every ~mode ~crash_at:None
+  in
+  if golden_acked <> List.length ops then
+    failwith "replica golden run did not commit every operation";
+  Index_sig.check idx;
+  Replica.detach group;
+  let layout = Wal.layout wal in
+  let log_bytes = Wal.log_bytes wal in
+  let expect b =
+    let c = ref 0 in
+    Array.iteri (fun i e -> if i > 0 && e <= b then incr c) commit_ends;
+    !c
+  in
+  (* Every record boundary (mid-record cuts degenerate to the boundary
+     below — the torn tail never shipped — so they add nothing here). *)
+  let points = Crash.points ~mid_record:false ~tear_every:0 ~max_points layout in
+  let failures = ref [] in
+  List.iter
+    (fun p ->
+      failures :=
+        !failures @ check_replica_point kind pairs ops ~ckpt_every ~mode ~expect p)
+    points;
+  { kind; points = List.length points; torn = 0; log_bytes;
+    failures = !failures }
+
 (* Run every index structure; returns results and a summary table.  Each
-   kind appears twice: the WAL byte-boundary sweep and the shadow
-   flip-boundary sweep. *)
+   kind appears four times: the WAL byte-boundary sweep, the shadow
+   flip-boundary sweep, and the replication kill sweep under each
+   durability mode. *)
 let run_all ?seed scale =
   let results = List.map (run_kind ?seed scale) Setup.all_kinds in
   let shadow_results = List.map (run_shadow_kind ?seed scale) Setup.all_kinds in
+  let replica_results mode =
+    List.map (fun k -> run_replica_kind ?seed scale k mode) Setup.all_kinds
+  in
+  let replica_async = replica_results Replica.Async in
+  let replica_semi = replica_results (Replica.Semi_sync 1) in
   let row name r =
     [
       name;
@@ -356,6 +513,12 @@ let run_all ?seed scale =
     @ List.map
         (fun r -> row (Setup.kind_name r.kind ^ " (shadow)") r)
         shadow_results
+    @ List.map
+        (fun r -> row (Setup.kind_name r.kind ^ " (replica async)") r)
+        replica_async
+    @ List.map
+        (fun r -> row (Setup.kind_name r.kind ^ " (replica semi-sync)") r)
+        replica_semi
   in
   let table =
     Table.make ~id:"crashtest"
@@ -363,4 +526,4 @@ let run_all ?seed scale =
       ~header:[ "index"; "crash points"; "torn pages"; "log bytes"; "failures" ]
       rows
   in
-  (results @ shadow_results, table)
+  (results @ shadow_results @ replica_async @ replica_semi, table)

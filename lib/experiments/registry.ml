@@ -56,6 +56,11 @@ let all : entry list =
         "Extension: overload control — admission, deadlines, retry storms, \
          graceful degradation";
       run = Exp_overload.run };
+    { id = "replica";
+      describes =
+        "Extension: WAL log-shipping replication — semi-sync commits, \
+         failover blackout, snapshot catch-up";
+      run = Exp_replica.run };
   ]
 
 (* Exact id, or a unique prefix of one ("fig3" finds fig3b; "fig18" is

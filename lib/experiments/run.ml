@@ -80,6 +80,24 @@ let with_levels op idx f =
       if c > 0 then Telemetry.add (Printf.sprintf "%s.level%d_accesses" prefix i) c)
     (Index_sig.level_accesses idx)
 
+(* Rebuild an index handle of [kind] on a promoted replica's pool
+   ([Fpb_replica.Replica.promotion]) and restore it from the replicated
+   root metadata.  The handle's [create] allocates fresh pages the
+   replicated page space does not own, so they are freed again — and the
+   pool dropped, since those frames are gone — before [restore_meta]
+   points the handle at the shipped root. *)
+let adopt kind pool ~meta =
+  let store = Fpb_storage.Buffer_pool.store pool in
+  let free0 = Fpb_storage.Page_store.free_list store in
+  let total0 = Fpb_storage.Page_store.total_pages store in
+  let idx = Setup.make_index kind pool in
+  let total1 = Fpb_storage.Page_store.total_pages store in
+  let extra = List.init (total1 - total0) (fun i -> total0 + 1 + i) in
+  Fpb_storage.Page_store.set_free_list store (List.sort compare (extra @ free0));
+  Fpb_storage.Buffer_pool.clear pool;
+  Index_sig.restore_meta idx meta;
+  idx
+
 let searches idx keys =
   with_levels "search" idx (fun () ->
       Array.iter (fun k -> ignore (Index_sig.search idx k)) keys)

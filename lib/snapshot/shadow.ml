@@ -61,6 +61,7 @@ type gen_state = {
   entries : Page_map.entry array;
   images : (int, Bytes.t * int) Hashtbl.t;
   marks : int array;
+  cut_lsn : int;  (* newest LSN below the cut: replay starts after it *)
   alloc : int * int list;
   op : int;
   meta : int list;
@@ -71,6 +72,7 @@ type gen_state = {
    flip. *)
 type progress = {
   cut_marks : int array;
+  cut_lsn : int;
   cut_alloc : int * int list;
   mutable worklist : int list;
   mutable hardened : int;
@@ -232,6 +234,7 @@ let checkpoint_begin t =
     invalid_arg "Shadow.checkpoint_begin: called mid-operation";
   Wal.flush t.wal;
   let cut_marks = Wal.current_marks t.wal in
+  let cut_lsn = Wal.last_lsn t.wal in
   let cut_alloc =
     (Page_store.total_pages t.store, Page_store.free_list t.store)
   in
@@ -239,7 +242,7 @@ let checkpoint_begin t =
     List.sort_uniq compare
       (Buffer_pool.dirty_pages t.pool @ Wal.stale_pages t.wal)
   in
-  t.progress <- Some { cut_marks; cut_alloc; worklist; hardened = 0 };
+  t.progress <- Some { cut_marks; cut_lsn; cut_alloc; worklist; hardened = 0 };
   Counter.incr t.stats.begins
 
 (* The only stalling step: freeze committed content for pages whose
@@ -310,8 +313,8 @@ let flip t ~meta =
      harden is covered by records after it. *)
   Wal.external_checkpoint t.wal ~marks:p.cut_marks ~alloc:p.cut_alloc ~meta;
   let st =
-    { gen; entries; images; marks = p.cut_marks; alloc = p.cut_alloc;
-      op; meta; pins = 0 }
+    { gen; entries; images; marks = p.cut_marks; cut_lsn = p.cut_lsn;
+      alloc = p.cut_alloc; op; meta; pins = 0 }
   in
   Array.iteri
     (fun id e ->
@@ -323,6 +326,14 @@ let flip t ~meta =
     entries;
   t.retained <- st :: t.retained;
   retire_unpinned t;
+  (* Log retention: everything below the *oldest* retained generation's
+     cut is no longer needed by anyone — recovery starts at the newest
+     cut, fallback recovery one generation back, snapshot replay at a
+     pinned generation's cut — so the flip advances the WAL's retention
+     floor to it and the released log space is reclaimed. *)
+  (match List.rev t.retained with
+  | oldest :: _ -> ignore (Wal.truncate_to t.wal ~marks:oldest.marks : int)
+  | [] -> ());
   t.current_gen <- gen + 1;
   t.progress <- None;
   Counter.incr t.stats.flips;
@@ -397,6 +408,8 @@ let open_at_checkpoint t =
 let snapshot_gen s = s.st.gen
 let snapshot_op s = s.st.op
 let snapshot_meta s = s.st.meta
+let snapshot_lsn s = s.st.cut_lsn
+let snapshot_alloc s = s.st.alloc
 let snapshot_pages s = Array.length s.st.entries - 1
 
 (* The page's committed-at-flip bytes (a fresh copy), charged as a read
@@ -562,6 +575,13 @@ let map t = t.map
 let set_backpressure t f = t.backpressure <- f
 let current_generation t = t.current_gen
 let retained_generations t = List.map (fun st -> st.gen) t.retained
+
+(* Newest LSN below the oldest retained generation's cut: log records at
+   or below it fall under the retention floor (0 before any flip).  A
+   shipping archive may trim itself to this — a replica lagging past it
+   must bootstrap from a snapshot instead of log replay. *)
+let retention_lsn t =
+  match List.rev t.retained with [] -> 0 | oldest :: _ -> oldest.cut_lsn
 let flip_stall t = t.flip_stall
 let stats t = t.stats
 

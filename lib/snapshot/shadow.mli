@@ -123,6 +123,14 @@ val snapshot_op : snapshot -> int
 (** Index root metadata at the snapshot's flip. *)
 val snapshot_meta : snapshot -> int list
 
+(** Newest LSN below the snapshot's cut: a consumer replaying a log on
+    top of the snapshot starts with records after it (snapshot transfer
+    for a lagging replica). *)
+val snapshot_lsn : snapshot -> int
+
+(** Allocator state (total pages, free list) at the snapshot's cut. *)
+val snapshot_alloc : snapshot -> int * int list
+
 (** Pages the generation covers (ids [1..n]). *)
 val snapshot_pages : snapshot -> int
 
@@ -151,6 +159,13 @@ val current_generation : t -> int
 
 (** Retained generation numbers, newest first. *)
 val retained_generations : t -> int list
+
+(** Newest LSN below the oldest retained generation's cut — the LSN form
+    of the retention floor every flip advances via
+    {!Fpb_wal.Wal.truncate_to} (0 before any flip).  Log records at or
+    below it may be unreadable; a replica lagging past it must bootstrap
+    from a snapshot. *)
+val retention_lsn : t -> int
 
 (** Flip-stall distribution ([ckpt.flip_stall_ns]): simulated time each
     flip blocked its caller. *)

@@ -200,12 +200,17 @@ let draw_write_fault t ~disk ~phys =
 
 (* ----------------------------- service ------------------------------ *)
 
-let service t ~earliest ~disk ~phys =
+let service t ?(append = false) ~earliest ~disk ~phys () =
   let start = max earliest t.free_at.(disk) in
+  (* [append]: log-style append — a request continuing the last served
+     page (small records packing into the same physical page) keeps the
+     head where it is, exactly like the next-page case. *)
+  let sequential =
+    phys = t.last_phys.(disk) + 1 || (append && phys = t.last_phys.(disk))
+  in
   let cost =
     t.request_overhead_ns
-    + if phys = t.last_phys.(disk) + 1 then t.transfer_ns
-      else t.seek_ns + t.transfer_ns
+    + if sequential then t.transfer_ns else t.seek_ns + t.transfer_ns
   in
   let completion = start + cost in
   t.free_at.(disk) <- completion;
@@ -221,7 +226,7 @@ let read t ?earliest ~disk ~phys () =
     match earliest with Some e -> e | None -> Clock.now t.clock
   in
   Counter.incr t.c_reads;
-  service t ~earliest ~disk ~phys
+  service t ~earliest ~disk ~phys ()
 
 (* Submit a read through the fault schedule.  The disk does the work
    (and charges busy time) whether or not the request then fails: an
@@ -234,25 +239,29 @@ let read_result t ?earliest ~disk ~phys () =
   | `Transient -> Read_error (completion, `Transient)
   | `Latent -> Read_error (completion, `Latent)
 
-let write_service t ~earliest ~disk ~phys =
+let write_service t ~append ~earliest ~disk ~phys =
   Counter.incr t.c_writes;
-  let completion = service t ~earliest ~disk ~phys in
+  let completion = service t ~append ~earliest ~disk ~phys () in
   if draw_write_fault t ~disk ~phys then
     (* controller-level retry of a transiently failed write *)
-    service t ~earliest:completion ~disk ~phys
+    service t ~append ~earliest:completion ~disk ~phys ()
   else completion
 
 (* Submit an asynchronous write-back; the caller never waits for it. *)
 let write t ~disk ~phys =
-  ignore (write_service t ~earliest:(Clock.now t.clock) ~disk ~phys)
+  ignore
+    (write_service t ~append:false ~earliest:(Clock.now t.clock) ~disk ~phys
+      : int)
 
 (* Submit a write whose completion time the caller cares about (e.g. a log
-   flush that must be durable before the committer proceeds). *)
-let write_sync t ?earliest ~disk ~phys () =
+   flush that must be durable before the committer proceeds).  [append]
+   extends sequential treatment to a same-page continuation (a
+   replica's append-only log device). *)
+let write_sync t ?earliest ?(append = false) ~disk ~phys () =
   let earliest =
     match earliest with Some e -> e | None -> Clock.now t.clock
   in
-  write_service t ~earliest ~disk ~phys
+  write_service t ~append ~earliest ~disk ~phys
 
 (* Submit [n] physically contiguous pages starting at [phys] as ONE
    write request: positioning (unless sequential with the previous

@@ -77,8 +77,13 @@ val read_result :
 val write : t -> disk:int -> phys:int -> unit
 
 (** Submit a write and return its completion time (absolute ns), for
-    callers that must wait for durability (e.g. a WAL group flush). *)
-val write_sync : t -> ?earliest:int -> disk:int -> phys:int -> unit -> int
+    callers that must wait for durability (e.g. a WAL group flush).
+    [append] (default false) marks a log-style append: a request
+    continuing on the {e same} physical page as the disk's previous one
+    also skips positioning — small records packing into one page of an
+    append-only log never move the head. *)
+val write_sync :
+  t -> ?earliest:int -> ?append:bool -> disk:int -> phys:int -> unit -> int
 
 (** Submit [n] physically contiguous pages starting at [phys] as one
     coalesced write request: positioning and the per-request overhead

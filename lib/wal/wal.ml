@@ -215,6 +215,7 @@ type stats = {
   c_damaged : Counter.t;
   repair_sectors : Counter.t;
   repair_full : Counter.t;
+  c_truncated : Counter.t;
 }
 
 let make_stats () =
@@ -241,6 +242,7 @@ let make_stats () =
     c_damaged = Counter.make "wal.damaged_records";
     repair_sectors = Counter.make "wal.repair.sectors";
     repair_full = Counter.make "wal.repair.full";
+    c_truncated = Counter.make "wal.log.truncated_bytes";
   }
 
 let stats_counters s =
@@ -250,7 +252,7 @@ let stats_counters s =
     s.flushes; s.flush_wait_ns; s.deferred_writebacks; s.crashes;
     s.torn_pages; s.recoveries; s.c_redo_records; s.c_redo_pages;
     s.c_recovery_ns; s.mirror_fallbacks; s.mirror_repairs; s.c_damaged;
-    s.repair_sectors; s.repair_full;
+    s.repair_sectors; s.repair_full; s.c_truncated;
   ]
 
 (* One mirror of one stripe of the durable log: a growable byte array.
@@ -286,7 +288,8 @@ type t = {
      Physical placement is round-robin by seal order ([seal_seq]);
      [stripe_sealed] tracks each stripe's sealed (including pending)
      extent so scan start marks can be captured per stripe. *)
-  mutable pending : (int * string) list;  (* (stripe, framed), newest first *)
+  mutable pending : (int * int * string) list;
+      (* (stripe, lsn, framed), newest first *)
   mutable pending_bytes : int;  (* sealed, not yet durable *)
   mutable seal_seq : int;  (* records ever sealed; placement = seq mod S *)
   stripe_sealed : int array;  (* per-stripe sealed extent *)
@@ -297,6 +300,10 @@ type t = {
   mutable ckpt_marks : int array;
       (* per-stripe offsets of the last durable checkpoint record's seal
          point: recovery scans each stripe from here *)
+  mutable trunc_marks : int array;
+      (* per-stripe retention floor: bytes below it have been released
+         by [truncate_to] (zeroed on every mirror) and may no longer be
+         read; always <= ckpt_marks *)
   mutable boundaries : boundary list;  (* newest first *)
   mutable batched_redo : bool;  (* sort redo write-backs by (disk, phys) *)
   mutable coalesce_redo : bool;  (* merge adjacent write-backs into runs *)
@@ -323,6 +330,16 @@ type t = {
          contents and its scan/allocator start point from here (the
          persisted checkpoint generation) instead of the WAL's own
          durable images *)
+  mutable durable_obs : (int -> string -> unit) option;
+      (* observer called once per record, in seal order, when a flush
+         makes it fully durable — (lsn, framed bytes).  A log-shipping
+         layer forwards the frames to replicas; records cut by an armed
+         crash are never reported (they died with the machine). *)
+  mutable commit_barrier : (op:int -> lsn:int -> unit) option;
+      (* called by [commit] after its (conditional) flush and before the
+         latency histogram records: a replication layer blocks here —
+         advancing the simulated clock — until its durability mode is
+         satisfied, so wal.commit_latency shows the true commit cost *)
   mutable pre_log : (int -> (Bytes.t * int) option -> unit) option;
       (* observer called before [log_page] advances a page's logging
          state, with the page's newest *committed* content and its LSN
@@ -380,6 +397,15 @@ let kind_of = function
   | Alloc _ -> `Alloc
   | Free _ -> `Free
 
+let lsn_of = function
+  | Image { lsn; _ }
+  | Delta { lsn; _ }
+  | Commit { lsn; _ }
+  | Checkpoint { lsn; _ }
+  | Alloc { lsn; _ }
+  | Free { lsn; _ } ->
+      lsn
+
 (* Seal a record into the pending list, placing it round-robin on the
    next stripe in seal order. *)
 let append t r =
@@ -387,7 +413,7 @@ let append t r =
   let size = String.length framed in
   let stripe = t.seal_seq mod n_stripes t in
   t.seal_seq <- t.seal_seq + 1;
-  t.pending <- (stripe, framed) :: t.pending;
+  t.pending <- (stripe, lsn_of r, framed) :: t.pending;
   t.pending_bytes <- t.pending_bytes + size;
   t.stripe_sealed.(stripe) <- t.stripe_sealed.(stripe) + size;
   t.sealed_bytes <- t.sealed_bytes + size;
@@ -423,7 +449,7 @@ let flush t =
     let cut = ref false in
     (try
        List.iter
-         (fun (s, framed) ->
+         (fun (s, _lsn, framed) ->
            let size = String.length framed in
            let logical_end = t.durable_len + size in
            (match t.crash_at with
@@ -464,7 +490,13 @@ let flush t =
             ms)
       t.streams;
     Clock.advance_to t.clock !completion;
-    Counter.add t.stats.flush_wait_ns (!completion - now0)
+    Counter.add t.stats.flush_wait_ns (!completion - now0);
+    (* Records are durable: hand them to the log-shipping observer in
+       seal order (the clock stands at the flush completion, so shipping
+       send times start from durability, never before it). *)
+    match t.durable_obs with
+    | Some f -> List.iter (fun (_s, lsn, framed) -> f lsn framed) records
+    | None -> ()
   end
 
 (* ----------------------------- hooks -------------------------------- *)
@@ -584,10 +616,16 @@ let commit t ~op ~meta =
   let pages = Hashtbl.fold (fun p () acc -> p :: acc) t.touched [] in
   List.iter (log_page t) (List.sort compare pages);
   Hashtbl.reset t.touched;
-  append t (Commit { lsn = fresh_lsn t; op; meta });
+  let clsn = fresh_lsn t in
+  append t (Commit { lsn = clsn; op; meta });
   t.last_op <- op;
   if t.group_commit_bytes = 0 || t.pending_bytes >= t.group_commit_bytes then
     flush t;
+  (* The replication barrier blocks (in simulated time) until the
+     configured durability mode is satisfied — e.g. k replica acks for
+     this commit's LSN — so the latency histogram below records the true
+     cost of the chosen mode. *)
+  (match t.commit_barrier with Some f -> f ~op ~lsn:clsn | None -> ());
   Histogram.record t.commit_latency (Clock.now t.clock - t0)
 
 let checkpoint t ~meta =
@@ -727,6 +765,32 @@ let external_checkpoint t ~marks ~alloc ~meta =
 let set_recovery_base t b = t.recovery_base <- b
 let set_pre_log_observer t f = t.pre_log <- f
 let checkpoint_stall t = t.checkpoint_stall
+
+(* --------------------------- log retention --------------------------- *)
+
+(* Release log space below a durable checkpoint's cut: zero every
+   mirror's bytes in [floor, marks) per stripe and advance the retention
+   floor.  Clamped to the recovery start point ([ckpt_marks]) — recovery
+   and repair scans never start below it, so nothing readable is ever
+   released.  Returns the bytes released this call. *)
+let truncate_to t ~marks =
+  if Array.length marks <> n_stripes t then
+    invalid_arg "Wal.truncate_to: stripe count mismatch";
+  let released = ref 0 in
+  for s = 0 to n_stripes t - 1 do
+    let a = t.trunc_marks.(s) in
+    let b = min marks.(s) (min t.ckpt_marks.(s) (stripe_dlen t s)) in
+    if b > a then begin
+      Array.iter (fun m -> Bytes.fill m.data a (b - a) '\000') t.streams.(s);
+      t.trunc_marks.(s) <- b;
+      released := !released + ((b - a) * Array.length t.streams.(s))
+    end
+  done;
+  Counter.add t.stats.c_truncated !released;
+  !released
+
+(* Per-stripe retention floor: offsets below it have been released. *)
+let retention_floor t = Array.copy t.trunc_marks
 
 (* ------------------------- fault injection -------------------------- *)
 
@@ -953,15 +1017,6 @@ let has_valid_beyond t ~s pos =
   done;
   !found
 
-let lsn_of = function
-  | Image { lsn; _ }
-  | Delta { lsn; _ }
-  | Commit { lsn; _ }
-  | Checkpoint { lsn; _ }
-  | Alloc { lsn; _ }
-  | Free { lsn; _ } ->
-      lsn
-
 (* Parse the durable stream from the per-stripe offsets [from]: scan
    each stripe independently (stopping at a torn or damaged record),
    merge the stripes' records by LSN, then truncate at the last
@@ -974,7 +1029,7 @@ let lsn_of = function
    records parsed, unreadable tail bytes, damaged count — nonzero means
    committed content may be unreadable: detected loss, never silently
    served). *)
-let scan_committed t ~charge ~from =
+let scan_stream t ~charge ~from =
   let ctx = make_ctx ~charge t in
   let torn = ref 0 and damaged = ref 0 in
   let per_stripe = ref [] in
@@ -1015,17 +1070,28 @@ let scan_committed t ~charge ~from =
     Clock.advance_to t.clock ctx.completion;
     if !damaged > 0 then Counter.add t.stats.c_damaged !damaged
   end;
+  (records, List.length records, !torn, !damaged)
+
+(* As [scan_stream], truncated at the last commit/checkpoint — later
+   records belong to an operation that never committed. *)
+let scan_committed t ~charge ~from =
+  let records, parsed, torn, damaged = scan_stream t ~charge ~from in
   let keep = ref 0 in
   List.iteri
     (fun i r ->
       match r with Commit _ | Checkpoint _ -> keep := i + 1 | _ -> ())
     records;
-  ( List.filteri (fun i _ -> i < !keep) records,
-    List.length records,
-    !torn,
-    !damaged )
+  (List.filteri (fun i _ -> i < !keep) records, parsed, torn, damaged)
 
 let parse_durable t = scan_committed t ~charge:false ~from:t.ckpt_marks
+
+(* Every readable durable record above the retention floor, including
+   the uncommitted tail — charge-free.  A rejoining old primary compares
+   this, by (LSN, CRC of the re-encoded frame), against the new
+   history's shipping archive to locate the fork point. *)
+let durable_records t =
+  let records, _, _, _ = scan_stream t ~charge:false ~from:t.trunc_marks in
+  records
 
 (* ------------------------------ repair ------------------------------- *)
 
@@ -1064,6 +1130,13 @@ let repair_page t ?(bad_sectors = []) page =
     let damaged = ref 0 in
     (match Vec.get t.image_marks page with
     | None -> ()
+    | Some marks when
+        Array.exists2 (fun m f -> m < f) marks t.trunc_marks ->
+        (* The page's image record fell below the retention floor: its
+           log span was released.  The durable image is still valid — a
+           checkpoint hardened it before the floor could advance past
+           the image record — so repair falls back to it alone. *)
+        ()
     | Some marks ->
         let records, _, _, dmg = scan_committed t ~charge:true ~from:marks in
         damaged := dmg;
@@ -1358,9 +1431,10 @@ let recover t =
 (* ----------------------------- lifecycle ---------------------------- *)
 
 let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
-    ?(log_mirrors = 1) ?(log_stripes = 1) ~meta pool =
+    ?(log_mirrors = 1) ?(log_stripes = 1) ?(first_lsn = 1) ~meta pool =
   if log_mirrors < 1 then invalid_arg "Wal.attach: log_mirrors < 1";
   if log_stripes < 1 then invalid_arg "Wal.attach: log_stripes < 1";
+  if first_lsn < 1 then invalid_arg "Wal.attach: first_lsn < 1";
   let sim = Buffer_pool.sim pool in
   let store = Buffer_pool.store pool in
   let page_size = Page_store.page_size store in
@@ -1387,9 +1461,10 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
       stripe_sealed = Array.make log_stripes 0;
       durable_len = 0;
       sealed_bytes = 0;
-      next_lsn = 1;
+      next_lsn = first_lsn;
       last_op = 0;
       ckpt_marks = Array.make log_stripes 0;
+      trunc_marks = Array.make log_stripes 0;
       boundaries = [];
       batched_redo = true;
       coalesce_redo = true;
@@ -1405,6 +1480,8 @@ let attach ?(group_commit_bytes = 0) ?(log_base_images = false)
       crash_at = None;
       crashed = false;
       recovery_base = None;
+      durable_obs = None;
+      commit_barrier = None;
       pre_log = None;
       stats = make_stats ();
       commit_latency = Histogram.make "wal.commit_latency_ns";
@@ -1453,6 +1530,10 @@ let detach t =
 let log_bytes t = t.sealed_bytes
 let durable_bytes t = t.durable_len
 let layout t = List.rev t.boundaries
+let last_lsn t = t.next_lsn - 1
+let record_lsn = lsn_of
+let set_durable_observer t f = t.durable_obs <- f
+let set_commit_barrier t f = t.commit_barrier <- f
 
 let verify_images t =
   let total = Page_store.total_pages t.store in

@@ -155,12 +155,16 @@ type recovery = {
     replay from the log itself rather than the snapshot.
     [log_mirrors] (default 1) is the number of mirrored log disks per
     stripe; [log_stripes] (default 1) is the number of stripes sealed
-    records are round-robined across. *)
+    records are round-robined across.  [first_lsn] (default 1) starts
+    the LSN sequence higher — a promoted replica continues its shipped
+    history's LSN space so a rejoining old primary's divergent suffix is
+    detectable by (LSN, CRC) comparison. *)
 val attach :
   ?group_commit_bytes:int ->
   ?log_base_images:bool ->
   ?log_mirrors:int ->
   ?log_stripes:int ->
+  ?first_lsn:int ->
   meta:int list ->
   Fpb_storage.Buffer_pool.t ->
   t
@@ -300,6 +304,52 @@ val set_pre_log_observer :
     blocked its caller (log force + whole-pool write-back + data
     durability barrier). *)
 val checkpoint_stall : t -> Fpb_obs.Histogram.t
+
+(** {2 Log shipping and retention}
+
+    Hooks a replication layer ({!Fpb_replica}) builds on: every record
+    that becomes durable is observable, commits can block on a
+    replication barrier, and log space below a durable checkpoint's cut
+    can be released once replicas no longer need it. *)
+
+(** Install (or clear) the durable-record observer: called once per
+    record, in seal order, when a flush makes it fully durable, with the
+    record's LSN and framed bytes (the [[len|body|crc]] frame — exactly
+    what ships to a replica).  Records cut by an armed crash boundary
+    are never reported.  The simulated clock stands at the flush
+    completion during the calls. *)
+val set_durable_observer : t -> (int -> string -> unit) option -> unit
+
+(** Install (or clear) the commit barrier: called by {!commit} after its
+    (conditional) flush and before the latency histogram records.  A
+    semi-sync replication layer advances the simulated clock here until
+    enough replica acks cover the commit's LSN, so [wal.commit_latency]
+    shows the true cost of the durability mode. *)
+val set_commit_barrier : t -> (op:int -> lsn:int -> unit) option -> unit
+
+(** Newest allocated LSN (0 before the first record). *)
+val last_lsn : t -> int
+
+(** A record's LSN. *)
+val record_lsn : record -> int
+
+(** [truncate_to t ~marks] releases log space below the per-stripe
+    offsets [marks] (a durable checkpoint's cut, e.g. the oldest shadow
+    generation still retained): every mirror's bytes between the current
+    retention floor and the mark are zeroed and the floor advances.
+    Clamped to the recovery start point, so a scan from the last
+    checkpoint is never affected.  Counts physical bytes released
+    (across mirrors) into [wal.log.truncated_bytes] and returns the
+    bytes released by this call. *)
+val truncate_to : t -> marks:int array -> int
+
+(** Per-stripe retention floor (offsets below it are released). *)
+val retention_floor : t -> int array
+
+(** Every readable durable record above the retention floor, including
+    the uncommitted tail; charge-free.  A rejoining old primary compares
+    these by (LSN, CRC) against the new history to find the fork. *)
+val durable_records : t -> record list
 
 (** Total bytes ever sealed / durably flushed. *)
 val log_bytes : t -> int

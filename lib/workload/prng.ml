@@ -14,6 +14,17 @@ let next t =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* Independent substream: one draw from the parent advances it past the
+   split point, then the child state is re-randomised through a second
+   splitmix64 finalizer with distinct multipliers (Vigna's variant) so
+   parent and child sequences share no aligned window. *)
+let split t =
+  let open Int64 in
+  let z = next t in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  { state = logxor z (shift_right_logical z 33) }
+
 (* Uniform int in [0, bound). *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int";

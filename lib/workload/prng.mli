@@ -6,6 +6,12 @@ type t
 val create : int -> t
 val next : t -> int64
 
+(** [split t] advances [t] by one draw and returns a new generator whose
+    stream is statistically independent of the parent's continuation —
+    deterministic substreams for components (network-fault schedules,
+    arrival processes, key draws) that must not share one stream. *)
+val split : t -> t
+
 (** Uniform int in [0, bound); bound > 0. *)
 val int : t -> int -> int
 

@@ -8,6 +8,7 @@ let () =
       ("storage", Test_storage.suite);
       ("wal", Test_wal.suite);
       ("snapshot", Test_snapshot.suite);
+      ("replica", Test_replica.suite);
       ("faults", Test_faults.suite);
       ("tuning", Test_tuning.suite);
       ("workload", Test_workload.suite);
