@@ -198,7 +198,8 @@ let chaos_cmd =
     let open Fpb_experiments in
     let scale = if full then Scale.Full else if tiny then Scale.Tiny else Scale.Quick in
     let t0 = Unix.gettimeofday () in
-    let metrics, (cells, table, shadow_cells, shadow_table, replica_cells, replica_table)
+    let metrics, (cells, table, shadow_cells, shadow_table, replica_cells,
+                  replica_table, partition_cells, partition_table)
         =
       Telemetry.with_collector (fun () ->
           let cells, table =
@@ -206,11 +207,16 @@ let chaos_cmd =
           in
           let shadow_cells, shadow_table = Chaos.shadow_meta_leg ~seed scale in
           let replica_cells, replica_table = Chaos.replica_leg ~seed scale in
-          (cells, table, shadow_cells, shadow_table, replica_cells, replica_table))
+          let partition_cells, partition_table =
+            Chaos.partition_leg ~seed scale
+          in
+          (cells, table, shadow_cells, shadow_table, replica_cells,
+           replica_table, partition_cells, partition_table))
     in
     Table.print Format.std_formatter table;
     Table.print Format.std_formatter shadow_table;
     Table.print Format.std_formatter replica_table;
+    Table.print Format.std_formatter partition_table;
     let failures =
       List.concat_map
         (fun c ->
@@ -238,6 +244,15 @@ let chaos_cmd =
                   c.Chaos.r_label m)
               c.Chaos.r_failures)
           replica_cells
+      @ List.concat_map
+          (fun c ->
+            List.map
+              (fun m ->
+                Printf.sprintf "%s/%s: %s"
+                  (Setup.kind_name c.Chaos.p_kind)
+                  c.Chaos.p_label m)
+              c.Chaos.p_failures)
+          partition_cells
     in
     List.iter (fun m -> Fmt.epr "FAIL %s@." m) failures;
     (match json with
@@ -247,14 +262,16 @@ let chaos_cmd =
           ~describes:
             "Media-fault chaos: transient/latent/corruption disk faults, \
              shadow checkpoint meta faults, replication failover under a \
-             lossy reordering link"
-          ~tables:[ table; shadow_table; replica_table ]
+             lossy reordering link, semi-sync commits through a partition \
+             window"
+          ~tables:[ table; shadow_table; replica_table; partition_table ]
           ~metrics ~wall_s:(Unix.gettimeofday () -. t0) ~failures);
     if failures = [] then begin
       let repaired = List.fold_left (fun a c -> a + c.Chaos.repaired) 0 cells in
       let detected = List.fold_left (fun a c -> a + c.Chaos.detected) 0 cells in
       Fmt.pr "chaos OK: %d cells, %d pages repaired, %d errors detected, 0 oracle failures@."
-        (List.length cells + List.length shadow_cells + List.length replica_cells)
+        (List.length cells + List.length shadow_cells
+        + List.length replica_cells + List.length partition_cells)
         repaired detected;
       `Ok ()
     end
@@ -360,8 +377,26 @@ let ycsb_cmd =
       & info [ "retry-base" ] ~docv:"NS"
           ~doc:"Base retry delay (simulated ns) for fixed/backoff")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Serve reads as N-probe batched level-wise descents \
+             ([search_batch]) through one size-or-timeout batch server; \
+             writes fall back to singleton descents.  Open loop only; 1 \
+             disables")
+  in
+  let batch_wait =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "batch-wait" ] ~docv:"NS"
+          ~doc:
+            "Longest the oldest queued op waits for a full batch before \
+             dispatch (simulated ns, with --batch)")
+  in
   let run mix dist theta clients keys ops tiny rate fixed pool seed deadline
-      policy qcap retry retry_budget retry_base =
+      policy qcap retry retry_budget retry_base batch batch_wait =
     let open Fpb_btree_common in
     let open Fpb_experiments in
     let module W = Fpb_workload in
@@ -391,6 +426,16 @@ let ycsb_cmd =
         match (dist_r, admission_r, retry_r) with
         | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
         | Ok dist, Ok admission, Ok retry ->
+        if batch > 1 && rate = None then
+          `Error
+            (false, "--batch requires --rate: batched service is open-loop")
+        else if batch > 1 && (deadline <> None || admission <> None || retry <> None)
+        then
+          `Error
+            ( false,
+              "--batch does not compose with --deadline/--policy/--retry \
+               (those belong to the per-client open-loop driver)" )
+        else
             let rng = W.Prng.create seed in
             let pairs = W.Keygen.bulk_pairs rng keys in
             let page_size = 4096 in
@@ -445,6 +490,54 @@ let ycsb_cmd =
                   (Fpb_obs.Histogram.percentile h 99.9)
               in
               (match rate with
+              | Some rate when batch > 1 ->
+                  (* Batched discipline: one size-or-timeout server; each
+                     dispatch draws the batch's actions from the mix,
+                     serves all reads as ONE level-wise descent wave and
+                     everything else as singleton descents. *)
+                  let discipline =
+                    if fixed then W.Arrival.Fixed else W.Arrival.Poisson
+                  in
+                  let exec seqs =
+                    let reads = ref [] in
+                    Array.iter
+                      (fun (_ : int) ->
+                        match W.Mix.next gen with
+                        | W.Mix.Read k -> reads := k :: !reads
+                        | act -> W.Mix.execute idx ~commit act)
+                      seqs;
+                    match !reads with
+                    | [] -> ()
+                    | ks ->
+                        ignore
+                          (Index_sig.search_batch idx (Array.of_list ks))
+                  in
+                  let s =
+                    W.Batch.run ~sim:sys.Setup.sim ~n_ops:ops
+                      ~rate_ops_per_s:rate ~discipline ~seed:(seed + 3)
+                      ~batch ~batch_wait_ns:batch_wait exec
+                  in
+                  Fmt.pr
+                    "open loop batched (%s): offered %.1f, achieved %.1f \
+                     ops per simulated second@."
+                    (W.Arrival.discipline_name s.W.Batch.discipline)
+                    s.W.Batch.offered_ops_per_s
+                    s.W.Batch.throughput_ops_per_s;
+                  Fmt.pr
+                    "  %d batches, mean fill %.2f of cap %d (wait cap %d \
+                     ns), backlog peak %d@."
+                    s.W.Batch.batches s.W.Batch.mean_batch
+                    s.W.Batch.batch_cap s.W.Batch.batch_wait_ns
+                    s.W.Batch.max_backlog;
+                  let bv c = Fpb_obs.Counter.value c in
+                  Fmt.pr
+                    "  shared nodes %d, dup probes %d, pipeline stalls %d@."
+                    (bv Batch_stats.shared_nodes)
+                    (bv Batch_stats.dup_probes)
+                    (bv Batch_stats.pipeline_stalls);
+                  report "latency" s.W.Batch.latency;
+                  report "wait" s.W.Batch.wait_ns;
+                  report "service" s.W.Batch.service_ns
               | None ->
                   let s =
                     W.Clients.run ~sim:sys.Setup.sim ~n_clients:clients
@@ -528,12 +621,14 @@ let ycsb_cmd =
          "Run one YCSB-style workload (mix x distribution) against the \
           disk-first fpB+tree through the buffer pool and WAL, closed loop \
           or — with --rate — open loop (Poisson arrivals, latency measured \
-          from arrival, so overload shows up as queueing delay)")
+          from arrival, so overload shows up as queueing delay); --batch N \
+          swaps the open-loop driver for a size-or-timeout batch server \
+          that serves reads as batched level-wise descents")
     Term.(
       ret
         (const run $ mix $ dist $ theta $ clients $ keys $ ops $ tiny $ rate
        $ fixed $ pool $ seed $ deadline $ policy $ qcap $ retry $ retry_budget
-       $ retry_base))
+       $ retry_base $ batch $ batch_wait))
 
 let demo_cmd =
   let run () =

@@ -1,0 +1,37 @@
+(** Process-wide instrumentation for batched level-wise descents
+    ([search_batch]): the [batch.*] counter family shared by every index
+    kind.  Host-side bookkeeping, uncharged.  See [docs/BATCHING.md] for
+    the discipline and [docs/OBSERVABILITY.md] for the counter tables. *)
+
+(** [batch.size]: probes per executed wave (a batch split under
+    {!Fpb_storage.Buffer_pool.Overloaded} records each sub-wave). *)
+val size : Fpb_obs.Histogram.t
+
+(** [batch.shared_nodes]: nodes visited once on behalf of [k >= 2]
+    probes of one wave (one event per such node). *)
+val shared_nodes : Fpb_obs.Counter.t
+
+(** [batch.dup_probes]: page accesses a wave avoided — the sum of
+    [k - 1] over its shared nodes. *)
+val dup_probes : Fpb_obs.Counter.t
+
+(** [batch.pipeline_stalls]: frontier pages not resident when the wave
+    discovered them, i.e. disk reads the cross-probe prefetch pipeline
+    had to cover (a measure of exposure, not residual wait). *)
+val pipeline_stalls : Fpb_obs.Counter.t
+
+(** [note_wave n] records a wave of [n] probes in {!size}. *)
+val note_wave : int -> unit
+
+(** [note_group k] records a node shared by [k] probes; no-op for
+    [k <= 1]. *)
+val note_group : int -> unit
+
+val note_stall : unit -> unit
+
+(** Current counter values as [(name, value)] pairs ({!size} is a
+    histogram and is reported separately via [Telemetry.observe]). *)
+val kv : unit -> (string * int) list
+
+(** Reset all four instruments (between measurement cells). *)
+val reset : unit -> unit

@@ -18,6 +18,26 @@ module type S = sig
   val bulkload : t -> (int * int) array -> fill:float -> unit
 
   val search : t -> int -> int option
+
+  (* Batched lookup: semantically [Array.map (search t) keys] (result
+     slot [i] answers [keys.(i)]; keys may repeat and may be absent),
+     executed as sorted level-wise waves that visit each tree node once
+     per wave however many probes route through it, prefetching the next
+     level's frontier while searching the current one (docs/BATCHING.md).
+
+     Accounting convention: a node shared by k probes of one wave counts
+     ONE page access — one [level_accesses] bump, one [node_access]
+     trace event, one buffer-pool [get] — plus k-1 probe-routings
+     reported under [batch.dup_probes] (with the node itself counted in
+     [batch.shared_nodes]).  [level_accesses] therefore counts physical
+     page accesses under both disciplines and stays comparable between
+     them; divide throughput differences by [batch.dup_probes] to see
+     how much of the win is sharing.  Under buffer-pool frame exhaustion
+     ([Buffer_pool.Overloaded]) the batch splits and retries smaller,
+     down to singleton [search] — only a singleton that still cannot
+     pin a page surfaces [Overloaded], exactly as [search] would. *)
+  val search_batch : t -> int array -> int option array
+
   val insert : t -> int -> int -> [ `Inserted | `Updated ]
 
   (* Lazy deletion: removes the entry if present, never merges nodes. *)
@@ -69,6 +89,7 @@ end
 type instance = Instance : (module S with type t = 'a) * 'a -> instance
 
 let search (Instance ((module M), t)) k = M.search t k
+let search_batch (Instance ((module M), t)) ks = M.search_batch t ks
 let insert (Instance ((module M), t)) k v = M.insert t k v
 let delete (Instance ((module M), t)) k = M.delete t k
 let bulkload (Instance ((module M), t)) pairs ~fill = M.bulkload t pairs ~fill

@@ -173,6 +173,122 @@ module Make (F : PAGE_FORMAT) = struct
     Buffer_pool.unpin t.pool page;
     result
 
+  (* --- Batched search (level-wise waves; see docs/BATCHING.md) ------------ *)
+
+  (* Prefetch the part of a frontier node the search will touch: the
+     header plus the full key array ([F.key_base] covers any in-page
+     micro structure laid out before the keys). *)
+  let prefetch_node_area t r =
+    let len = min (Mem.length r) (F.key_base t.cfg + (Key.size * t.fanout)) in
+    Mem.prefetch t.sim r ~off:0 ~len
+
+  (* One level-wise wave over the sorted probes [order.(lo..hi-1)].
+     Probes arrive sorted by key, so the probes routing through one node
+     are consecutive and the frontier stays key-ordered: dedup is "same
+     child as the previous probe".  Only one level's unique pages are
+     pinned at a time, and [Buffer_pool.get_batch] unwinds its own pins
+     on [Overloaded], so the exception escapes with nothing pinned and
+     the caller can split the batch. *)
+  let wave t keys order lo hi out =
+    let np = hi - lo in
+    Batch_stats.note_wave np;
+    for _ = 1 to np do
+      Sim.busy_op t.sim
+    done;
+    let child_of = Array.make np 0 in
+    (* [pages.(g)] is the g-th unique page of the current level;
+       [starts.(g) .. starts.(g+1)-1] its slice of sorted probes. *)
+    let rec go pages starts depth =
+      let ng = Array.length pages in
+      let regions = Buffer_pool.get_batch t.pool pages in
+      let leaf = Mem.read_u8 t.sim regions.(0) off_is_leaf = 1 in
+      let prev_child = ref (-1) in
+      for g = 0 to ng - 1 do
+        (* Cache pipeline: queue the next frontier node's lines while
+           this node is being searched. *)
+        if g + 1 < ng then prefetch_node_area t regions.(g + 1);
+        let page = pages.(g) and r = regions.(g) in
+        let stall0 = stall_now t in
+        Sim.busy_node t.sim;
+        let n = Mem.read_u16 t.sim r off_n in
+        for j = starts.(g) to starts.(g + 1) - 1 do
+          let key = keys.(order.(j)) in
+          if leaf then begin
+            let i = F.find_slot t.sim t.cfg r ~n ~key `Lower in
+            out.(order.(j)) <-
+              (if i < n && Mem.read_i32 t.sim r (key_off t i) = key then
+                 Some (Mem.read_i32 t.sim r (ptr_off t i))
+               else None)
+          end
+          else begin
+            let i = route t r ~n key in
+            let child = Mem.read_i32 t.sim r (ptr_off t i) in
+            child_of.(j - lo) <- child;
+            (* Disk pipeline: async-read each newly discovered child
+               while the rest of this level is still being routed. *)
+            if child <> !prev_child then begin
+              prev_child := child;
+              if not (Buffer_pool.is_resident t.pool child) then begin
+                Batch_stats.note_stall ();
+                Buffer_pool.prefetch t.pool child
+              end
+            end
+          end
+        done;
+        (* Accounting convention (see Index_sig): one page access per
+           unique node per wave, however many probes shared it. *)
+        note_access t ~page ~depth ~stall0;
+        Batch_stats.note_group (starts.(g + 1) - starts.(g))
+      done;
+      Array.iter (fun p -> Buffer_pool.unpin t.pool p) pages;
+      if not leaf then begin
+        (* Compress consecutive equal children into the next frontier. *)
+        let ng' = ref 0 in
+        for j = 0 to np - 1 do
+          if j = 0 || child_of.(j) <> child_of.(j - 1) then incr ng'
+        done;
+        let next_pages = Array.make !ng' 0 in
+        let next_starts = Array.make (!ng' + 1) 0 in
+        let g = ref 0 in
+        for j = 0 to np - 1 do
+          if j = 0 || child_of.(j) <> child_of.(j - 1) then begin
+            next_pages.(!g) <- child_of.(j);
+            next_starts.(!g) <- lo + j;
+            incr g
+          end
+        done;
+        next_starts.(!ng') <- hi;
+        go next_pages next_starts (depth + 1)
+      end
+    in
+    go [| t.root |] [| lo; hi |] 1
+
+  let search_batch t keys =
+    let m = Array.length keys in
+    let out = Array.make m None in
+    if m > 0 then begin
+      let order = Array.init m (fun i -> i) in
+      Array.sort
+        (fun a b ->
+          let c = compare keys.(a) keys.(b) in
+          if c <> 0 then c else compare a b)
+        order;
+      let rec run lo hi =
+        if hi - lo = 1 then begin
+          Batch_stats.note_wave 1;
+          out.(order.(lo)) <- search t keys.(order.(lo))
+        end
+        else
+          try wave t keys order lo hi out
+          with Buffer_pool.Overloaded _ ->
+            let mid = (lo + hi) / 2 in
+            run lo mid;
+            run mid hi
+      in
+      run 0 m
+    end;
+    out
+
   (* --- Insertion ---------------------------------------------------------- *)
 
   let insert_at t r ~n ~i key ptr =

@@ -308,6 +308,144 @@ let search t key =
   Buffer_pool.unpin t.pool page;
   result
 
+(* --- Batched search (level-wise waves; see docs/BATCHING.md) -------------- *)
+
+(* One level-wise wave over the sorted probes [order.(lo..hi-1)].  The
+   frontier is a key-ordered list of unique (page, line) nodes; probes
+   routing through one node are consecutive, so dedup is "same node as
+   the previous probe".  Nodes of one level may share pages, so the
+   level's underlying pages are deduplicated separately and pinned once
+   each through [get_batch] (coalesced disk reads); while one node is
+   searched the next frontier node's lines are prefetched, and each
+   newly discovered off-page child page is async-read while the rest of
+   the level still routes.  Accounting: one [note_access] per unique
+   node per wave (see [Index_sig.search_batch]). *)
+let batch_wave t keys order lo hi out =
+  let c = t.cfg in
+  let np = hi - lo in
+  Batch_stats.note_wave np;
+  for _ = 1 to np do
+    Sim.busy_op t.sim
+  done;
+  let cpg = Array.make np 0 and cln = Array.make np 0 in
+  let rec go gpg gln starts depth =
+    let ng = Array.length gpg in
+    (* Pin each page underlying this level's nodes exactly once. *)
+    let seen = Hashtbl.create (2 * ng) in
+    let acc = ref [] in
+    Array.iter
+      (fun p ->
+        if not (Hashtbl.mem seen p) then begin
+          Hashtbl.add seen p ();
+          acc := p :: !acc
+        end)
+      gpg;
+    let upages = Array.of_list (List.rev !acc) in
+    let regions = Buffer_pool.get_batch t.pool upages in
+    let region_of = Hashtbl.create (2 * Array.length upages) in
+    Array.iteri (fun i p -> Hashtbl.replace region_of p regions.(i)) upages;
+    let leaf = depth = t.levels in
+    let prev_pg = ref nil and prev_ln = ref (-1) in
+    for g = 0 to ng - 1 do
+      let page = gpg.(g) and line = gln.(g) in
+      let r = Hashtbl.find region_of page in
+      let stall0 = stall_now t in
+      prefetch_node t r line;
+      (* Pipeline: queue the next frontier node's lines while this node
+         is searched, so they arrive before their own prefetch_node. *)
+      if g + 1 < ng then begin
+        let nr = Hashtbl.find region_of gpg.(g + 1) in
+        Mem.prefetch t.sim nr ~off:(node_off gln.(g + 1))
+          ~len:(c.w * line_bytes)
+      end;
+      let n = Mem.read_u16 t.sim r (node_off line + n_count) in
+      for j = starts.(g) to starts.(g + 1) - 1 do
+        let key = keys.(order.(j)) in
+        if leaf then begin
+          let i =
+            Array_search.lower_bound t.sim r ~off:(key_off line 0) ~n ~key
+          in
+          out.(order.(j)) <-
+            (if i < n && Mem.read_i32 t.sim r (key_off line i) = key then
+               Some (Mem.read_i32 t.sim r (tid_off c line i))
+             else None)
+        end
+        else begin
+          let i =
+            Array_search.upper_bound t.sim r ~off:(key_off line 0) ~n ~key
+          in
+          let slot = max 0 (i - 1) in
+          let child_pg = Mem.read_i32 t.sim r (cpg_off c line slot) in
+          let child_ln = Mem.read_u16 t.sim r (cln_off c line slot) in
+          cpg.(j - lo) <- child_pg;
+          cln.(j - lo) <- child_ln;
+          if child_pg <> !prev_pg || child_ln <> !prev_ln then begin
+            prev_pg := child_pg;
+            prev_ln := child_ln;
+            if
+              child_pg <> page
+              && not (Buffer_pool.is_resident t.pool child_pg)
+            then begin
+              Batch_stats.note_stall ();
+              Buffer_pool.prefetch t.pool child_pg
+            end
+          end
+        end
+      done;
+      note_access t ~page ~depth ~stall0;
+      Batch_stats.note_group (starts.(g + 1) - starts.(g))
+    done;
+    Array.iter (fun p -> Buffer_pool.unpin t.pool p) upages;
+    if not leaf then begin
+      (* Compress consecutive equal children into the next frontier. *)
+      let ng' = ref 0 in
+      for j = 0 to np - 1 do
+        if j = 0 || cpg.(j) <> cpg.(j - 1) || cln.(j) <> cln.(j - 1) then
+          incr ng'
+      done;
+      let npg = Array.make !ng' 0 and nln = Array.make !ng' 0 in
+      let nstarts = Array.make (!ng' + 1) 0 in
+      let g = ref 0 in
+      for j = 0 to np - 1 do
+        if j = 0 || cpg.(j) <> cpg.(j - 1) || cln.(j) <> cln.(j - 1) then begin
+          npg.(!g) <- cpg.(j);
+          nln.(!g) <- cln.(j);
+          nstarts.(!g) <- lo + j;
+          incr g
+        end
+      done;
+      nstarts.(!ng') <- hi;
+      go npg nln nstarts (depth + 1)
+    end
+  in
+  go [| t.root.pg |] [| t.root.ln |] [| lo; hi |] 1
+
+let search_batch t keys =
+  let m = Array.length keys in
+  let out = Array.make m None in
+  if m > 0 then begin
+    let order = Array.init m (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare keys.(a) keys.(b) in
+        if c <> 0 then c else compare a b)
+      order;
+    let rec run lo hi =
+      if hi - lo = 1 then begin
+        Batch_stats.note_wave 1;
+        out.(order.(lo)) <- search t keys.(order.(lo))
+      end
+      else
+        try batch_wave t keys order lo hi out
+        with Buffer_pool.Overloaded _ ->
+          let mid = (lo + hi) / 2 in
+          run lo mid;
+          run mid hi
+    in
+    run 0 m
+  end;
+  out
+
 (* --- Leaf page split -------------------------------------------------------- *)
 
 (* Leaf nodes of page [pg] in chain order. *)

@@ -34,6 +34,18 @@ val set_io_prefetch_distance : t -> int -> unit
 
 val bulkload : t -> (int * int) array -> fill:float -> unit
 val search : t -> int -> int option
+
+(** Batched lookup, semantically [Array.map (search t) keys], executed
+    as sorted level-wise waves over the node frontier with cross-probe
+    prefetch pipelining; a level's underlying pages are pinned once each
+    however many nodes they hold.  Accounting convention: a node shared
+    by [k] probes of one wave counts ONE access in [level_accesses]
+    (and one [node_access] trace event) plus [k-1] probe-routings under
+    [batch.dup_probes].  Splits and retries smaller under
+    [Buffer_pool.Overloaded].  See {!Fpb_btree_common.Index_sig.S} and
+    [docs/BATCHING.md]. *)
+val search_batch : t -> int array -> int option array
+
 val insert : t -> int -> int -> [ `Inserted | `Updated ]
 val delete : t -> int -> bool
 

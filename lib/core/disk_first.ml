@@ -355,6 +355,109 @@ let search t key =
   in
   go t.root 1
 
+(* --- Batched search (level-wise waves; see docs/BATCHING.md) -------------- *)
+
+(* One level-wise wave over the sorted probes [order.(lo..hi-1)]: at each
+   page level the probes routing through one page are consecutive, so the
+   frontier is deduplicated by comparing with the previous probe's child
+   and every unique page is pinned once per wave ([get_batch] coalesces
+   the disk reads).  Within a page the in-page tree prefetches its own
+   node path ([ip_find_leaf]); across probes we warm the next frontier
+   page's header line while routing the current one, and async-read each
+   newly discovered child page while the rest of the level still routes.
+   Accounting: one [note_access] per unique page per wave (see
+   [Index_sig.search_batch]). *)
+let batch_wave t keys order lo hi out =
+  let np = hi - lo in
+  Batch_stats.note_wave np;
+  for _ = 1 to np do
+    Sim.busy_op t.sim
+  done;
+  let child_of = Array.make np 0 in
+  let rec go pages starts depth =
+    let ng = Array.length pages in
+    let regions = Buffer_pool.get_batch t.pool pages in
+    let leaf = depth = t.levels in
+    let prev_child = ref nil in
+    for g = 0 to ng - 1 do
+      if g + 1 < ng then
+        Mem.prefetch t.sim regions.(g + 1) ~off:0 ~len:line_bytes;
+      let page = pages.(g) and r = regions.(g) in
+      let stall0 = stall_now t in
+      for j = starts.(g) to starts.(g + 1) - 1 do
+        let key = keys.(order.(j)) in
+        if leaf then begin
+          let line = ip_find_leaf t r key ~visit:(fun _ _ _ -> ()) in
+          let n = read_n t r line in
+          let i = ip_leaf_slot t r line ~n ~key `Lower in
+          out.(order.(j)) <-
+            (if i < n && Mem.read_i32 t.sim r (leaf_key_off t.cfg line i) = key
+             then Some (Mem.read_i32 t.sim r (leaf_ptr_off t.cfg line i))
+             else None)
+        end
+        else begin
+          let child = ip_route t r key in
+          child_of.(j - lo) <- child;
+          if child <> !prev_child then begin
+            prev_child := child;
+            if not (Buffer_pool.is_resident t.pool child) then begin
+              Batch_stats.note_stall ();
+              Buffer_pool.prefetch t.pool child
+            end
+          end
+        end
+      done;
+      note_access t ~page ~depth ~stall0;
+      Batch_stats.note_group (starts.(g + 1) - starts.(g))
+    done;
+    Array.iter (fun p -> Buffer_pool.unpin t.pool p) pages;
+    if not leaf then begin
+      let ng' = ref 0 in
+      for j = 0 to np - 1 do
+        if j = 0 || child_of.(j) <> child_of.(j - 1) then incr ng'
+      done;
+      let next_pages = Array.make !ng' 0 in
+      let next_starts = Array.make (!ng' + 1) 0 in
+      let g = ref 0 in
+      for j = 0 to np - 1 do
+        if j = 0 || child_of.(j) <> child_of.(j - 1) then begin
+          next_pages.(!g) <- child_of.(j);
+          next_starts.(!g) <- lo + j;
+          incr g
+        end
+      done;
+      next_starts.(!ng') <- hi;
+      go next_pages next_starts (depth + 1)
+    end
+  in
+  go [| t.root |] [| lo; hi |] 1
+
+let search_batch t keys =
+  let m = Array.length keys in
+  let out = Array.make m None in
+  if m > 0 then begin
+    let order = Array.init m (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = compare keys.(a) keys.(b) in
+        if c <> 0 then c else compare a b)
+      order;
+    let rec run lo hi =
+      if hi - lo = 1 then begin
+        Batch_stats.note_wave 1;
+        out.(order.(lo)) <- search t keys.(order.(lo))
+      end
+      else
+        try batch_wave t keys order lo hi out
+        with Buffer_pool.Overloaded _ ->
+          let mid = (lo + hi) / 2 in
+          run lo mid;
+          run mid hi
+    in
+    run 0 m
+  end;
+  out
+
 (* --- Entry collection (charged; used by reorganise / page split) ---------- *)
 
 let collect_entries t r =

@@ -52,6 +52,18 @@ val set_bound_scan_end : t -> bool -> unit
 
 val bulkload : t -> (int * int) array -> fill:float -> unit
 val search : t -> int -> int option
+
+(** Batched lookup, semantically [Array.map (search t) keys], executed
+    as sorted level-wise waves with cross-probe prefetch pipelining.
+    Accounting convention: a page shared by [k] probes of one wave
+    counts ONE access in [level_accesses] (and one [node_access] trace
+    event) plus [k-1] probe-routings under [batch.dup_probes], keeping
+    [level_accesses] a count of physical page accesses under both
+    service disciplines.  Splits and retries smaller under
+    [Buffer_pool.Overloaded].  See {!Fpb_btree_common.Index_sig.S} and
+    [docs/BATCHING.md]. *)
+val search_batch : t -> int array -> int option array
+
 val insert : t -> int -> int -> [ `Inserted | `Updated ]
 val delete : t -> int -> bool
 

@@ -897,12 +897,173 @@ let replica_leg ?(seed = 42) scale =
   in
   (cells, table)
 
+(* ------------------- partition windows, no failover ------------------- *)
+
+(* The failover leg cuts the primary; this one cuts the NETWORK and
+   keeps the primary alive.  A semi-sync commit barrier waits for the
+   replica ack, so a scheduled {!Net.profile.partitions} window turns
+   into commit-latency stall: the first commit caught inside the window
+   cannot complete before heal, [net.partition_waits] counts the waits,
+   and — because delivery is in-order and retransmitted — the backlog
+   drains completely on heal: every commit is acked and the replica's
+   durable prefix catches up to the full history.  No acked commit is
+   ever lost; the partition only moves WHEN, never WHAT. *)
+
+type partition_cell = {
+  p_kind : Setup.kind;
+  p_label : string;
+  p_window_ns : int;
+  p_pre_p50_ns : int;  (* commit latency before the window opens *)
+  p_stall_ns : int;  (* latency of the commit caught in the window *)
+  p_post_p50_ns : int;  (* commit latency after heal *)
+  p_waits : int;  (* net.partition_waits *)
+  p_acked : int;  (* commits acked by the end *)
+  p_failures : string list;
+}
+
+let run_partition_cell kind pairs ~window_ns ~ops_per_phase =
+  let sys = Setup.make ~n_disks:2 ~pool_pages:96 ~page_size () in
+  let idx = Run.build sys kind pairs ~fill:0.8 in
+  let wal = Wal.attach ~meta:(Index_sig.meta idx) sys.Setup.pool in
+  let group =
+    Replica.create
+      ~config:
+        { Replica.default_config with Replica.mode = Replica.Semi_sync 1 }
+      ~prng:(Fpb_workload.Prng.create 0x9a27)
+      ~profiles:[ Net.default_profile ]
+      (wal, sys.Setup.pool)
+  in
+  let clock = sys.Setup.sim.Sim.clock in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let opn = ref 0 in
+  let base = fst pairs.(Array.length pairs - 1) in
+  (* One committed insert; returns its commit latency (simulated ns). *)
+  let commit_one () =
+    incr opn;
+    ignore (Index_sig.insert idx (base + !opn) !opn);
+    let t0 = Clock.now clock in
+    Wal.commit wal ~op:!opn ~meta:(Index_sig.meta idx);
+    Clock.now clock - t0
+  in
+  let p50 a =
+    let s = Array.of_list a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let pre = List.init ops_per_phase (fun _ -> commit_one ()) in
+  (* Open the partition NOW: the very next shipped record falls inside
+     the window and its semi-sync barrier must wait out the heal. *)
+  let link = Replica.node_link (Replica.node group 0) in
+  let t_open = Clock.now clock in
+  let t_heal = t_open + window_ns in
+  Net.set_profile link
+    { (Net.profile link) with Net.partitions = [ (t_open, t_heal) ] };
+  let stall_ns = commit_one () in
+  if Clock.now clock < t_heal then
+    fail "commit inside an open partition completed %d ns before heal"
+      (t_heal - Clock.now clock);
+  let waits = Fpb_obs.Counter.value (Net.stats link).Net.partition_waits in
+  if waits = 0 then
+    fail "no net.partition_waits recorded though a commit spanned the window";
+  (* Healed: the backlog must drain and latency return to the floor. *)
+  let post = List.init ops_per_phase (fun _ -> commit_one ()) in
+  let pre_p50 = p50 pre and post_p50 = p50 post in
+  if stall_ns < window_ns / 2 then
+    fail "stalled commit latency %d ns, expected most of the %d ns window"
+      stall_ns window_ns;
+  if post_p50 > stall_ns / 4 then
+    fail "post-heal commit p50 %d ns has not drained below the stall (%d ns)"
+      post_p50 stall_ns;
+  let horizon = Clock.now clock in
+  let acked = Replica.acked_op group ~horizon in
+  if acked <> !opn then
+    fail "acked %d of %d commits after heal — the backlog did not drain"
+      acked !opn;
+  let node = Replica.node group 0 in
+  let synced = Replica.sync_node group ~horizon node in
+  if synced <> !opn then
+    fail "replica converged to op %d after heal, expected %d" synced !opn;
+  (try Index_sig.check idx with Failure msg -> fail "structural check: %s" msg);
+  Telemetry.add_kv (Replica.kv group);
+  Replica.detach group;
+  {
+    p_kind = kind;
+    p_label = Printf.sprintf "semi-sync k=1, %d ms window"
+        (window_ns / 1_000_000);
+    p_window_ns = window_ns;
+    p_pre_p50_ns = pre_p50;
+    p_stall_ns = stall_ns;
+    p_post_p50_ns = post_p50;
+    p_waits = waits;
+    p_acked = acked;
+    p_failures = List.rev !failures;
+  }
+
+let partition_leg ?(seed = 42) scale =
+  let n_bulk, n_ops, _, _ = params scale in
+  let rng = Fpb_workload.Prng.create seed in
+  let pairs = Fpb_workload.Keygen.bulk_pairs rng n_bulk in
+  let ops_per_phase = max 8 (n_ops / 40) in
+  let window_ns = 50_000_000 in
+  let cells =
+    List.map
+      (fun kind -> run_partition_cell kind pairs ~window_ns ~ops_per_phase)
+      Setup.all_kinds
+  in
+  List.iter
+    (fun c ->
+      let slug = Run.slug (Setup.kind_name c.p_kind) in
+      Telemetry.add
+        (Printf.sprintf "chaos.partition.%s.stall_ns" slug)
+        c.p_stall_ns;
+      Telemetry.add
+        (Printf.sprintf "chaos.partition.%s.post_p50_ns" slug)
+        c.p_post_p50_ns;
+      Telemetry.add
+        (Printf.sprintf "chaos.partition.%s.partition_waits" slug)
+        c.p_waits)
+    cells;
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Setup.kind_name c.p_kind;
+          c.p_label;
+          Table.cell_i c.p_pre_p50_ns;
+          Table.cell_i c.p_stall_ns;
+          Table.cell_i c.p_post_p50_ns;
+          Table.cell_i c.p_waits;
+          Table.cell_i c.p_acked;
+          Table.cell_i (List.length c.p_failures);
+        ])
+      cells
+  in
+  let table =
+    Table.make ~id:"chaos-partition"
+      ~title:
+        (Printf.sprintf
+           "Network partition mid-run, primary alive (semi-sync k=1, %d ms \
+            window): the commit caught in the window stalls until heal, \
+            then the backlog drains — every commit acked, replica fully \
+            caught up, commit latency back at the floor; failures must be 0"
+           (window_ns / 1_000_000))
+      ~header:
+        [
+          "index"; "scenario"; "pre p50 ns"; "stall ns"; "post p50 ns";
+          "partition waits"; "acked"; "failures";
+        ]
+      rows
+  in
+  (cells, table)
+
 (* Registry entry: the harness as an experiment, so `fpb exp faults`
    lands detection/repair counters in BENCH_results.json. *)
 let run scale =
   let cells, table = run_all scale in
   let shadow_cells, shadow_table = shadow_meta_leg scale in
   let replica_cells, replica_table = replica_leg scale in
+  let partition_cells, partition_table = partition_leg scale in
   let sweep_cells, sweep = scrub_sweep scale in
   let throttle = throttle_sweep scale in
   let fails =
@@ -913,6 +1074,9 @@ let run scale =
     + List.fold_left
         (fun a c -> a + List.length c.r_failures)
         0 replica_cells
+    + List.fold_left
+        (fun a c -> a + List.length c.p_failures)
+        0 partition_cells
   in
   if fails > 0 then Telemetry.add "chaos.oracle_failures" fails;
-  [ table; shadow_table; replica_table; sweep; throttle ]
+  [ table; shadow_table; replica_table; partition_table; sweep; throttle ]

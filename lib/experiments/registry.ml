@@ -56,6 +56,11 @@ let all : entry list =
         "Extension: overload control — admission, deadlines, retry storms, \
          graceful degradation";
       run = Exp_overload.run };
+    { id = "batch";
+      describes =
+        "Extension: batched level-wise descents — batch size x skew x index, \
+         arrival discipline";
+      run = Exp_batch.run };
     { id = "replica";
       describes =
         "Extension: WAL log-shipping replication — semi-sync commits, \

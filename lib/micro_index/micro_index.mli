@@ -12,8 +12,13 @@
     size and fan-out come from {!Fpb_btree_common.Tuning} (Table 2). *)
 
 (** The full common index interface: [create], [bulkload], [search],
-    [insert], [delete], [range_scan], sizes, telemetry
-    ([level_accesses] / [set_trace]) and uncharged checkers. *)
+    [search_batch] (sorted level-wise waves from
+    {!Fpb_btree_common.Paged_tree}, each page searched through its
+    micro-index once per probe but fetched once per wave; a page shared
+    by [k] probes counts one [level_accesses] access plus [k-1]
+    [batch.dup_probes] — see [docs/BATCHING.md]), [insert], [delete],
+    [range_scan], sizes, telemetry ([level_accesses] / [set_trace]) and
+    uncharged checkers. *)
 include Fpb_btree_common.Index_sig.S
 
 (** Reverse (descending) scan of [start_key, end_key] entries, following

@@ -684,6 +684,44 @@ let unpin t page =
   | Some frame when t.pin.(frame) > 0 -> t.pin.(frame) <- t.pin.(frame) - 1
   | _ -> invalid_arg "Buffer_pool.unpin: page not pinned"
 
+(* Pin a batch of pages together.  The whole batch's missing pages are
+   first issued as asynchronous prefetches, so their disk reads overlap
+   across the prefetcher pool instead of serialising one demand miss at
+   a time; then every page is pinned in order.  If a frame cannot be
+   found partway through ([Overloaded] — or any other error), the pages
+   already pinned by this call are unpinned before the exception
+   escapes, so a refused batch never leaks pins and can be retried
+   smaller: callers degrade by splitting the batch (the PR 8 overload
+   discipline), not by deadlocking on frame exhaustion.
+
+   Pages should be distinct for the coalescing to help, but duplicates
+   are handled correctly (each occurrence takes its own pin). *)
+let get_batch t pages =
+  let n = Array.length pages in
+  if n = 0 then [||]
+  else begin
+    (* Coalesce: async-read everything that would demand-miss.  A hint
+       dropped because the pool is hot just falls back to the demand
+       read below. *)
+    Array.iter
+      (fun p ->
+        if not (Hashtbl.mem (shard_of t p).table p) then prefetch t p)
+      pages;
+    let acc = ref [] in
+    let pinned = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         acc := get t pages.(i) :: !acc;
+         incr pinned
+       done
+     with e ->
+       for j = !pinned - 1 downto 0 do
+         unpin t pages.(j)
+       done;
+       raise e);
+    Array.of_list (List.rev !acc)
+  end
+
 let mark_dirty t page =
   match frame_of_page t page with
   | Some frame ->

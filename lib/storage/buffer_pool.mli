@@ -184,6 +184,22 @@ val get : t -> int -> Fpb_simmem.Mem.region
 
 val unpin : t -> int -> unit
 
+(** Pin a batch of pages together (one {!get} each, in order), returning
+    their regions in the same order.  Before pinning, every page that
+    would demand-miss is issued as an asynchronous {!prefetch}, so the
+    batch's disk reads overlap across the prefetcher pool instead of
+    serialising one miss at a time.  Balance with one [unpin] per array
+    element.
+
+    If a frame cannot be found partway through, the pages already pinned
+    by this call are unpinned before the exception ({!Overloaded} under
+    frame exhaustion) escapes — a refused batch never leaks pins, so the
+    caller can degrade by splitting the batch and retrying smaller (see
+    [docs/BATCHING.md]).  Pages should be distinct for the coalescing to
+    help; duplicates are still pinned (and must be unpinned) once per
+    occurrence. *)
+val get_batch : t -> int array -> Fpb_simmem.Mem.region array
+
 (** Mark a resident page dirty; it is written back on eviction. *)
 val mark_dirty : t -> int -> unit
 

@@ -1,0 +1,59 @@
+(** Open-loop batch server: the second service discipline beside
+    {!Arrival}'s per-client descents.
+
+    Arrivals follow the same open-loop schedule as {!Arrival.run}
+    (Poisson or fixed-rate at [rate_ops_per_s], precomputed from the
+    seed), but feed one server that collects probes and dispatches them
+    as a batch: as soon as [batch] operations are queued, or when the
+    oldest queued operation has waited [batch_wait_ns] — the
+    size-or-timeout group rule.  Each dispatch hands the batch's
+    sequence numbers to the callback, which runs one level-wise descent
+    wave ([search_batch]; writes fall back to singleton execution) and
+    advances the simulated clock by the batch's service time.
+
+    Batching amortises shared upper tree levels and pipelines leaf
+    misses across probes, so service time per op shrinks as batches
+    fill; below saturation an op waits up to [batch_wait_ns] for
+    company — the latency floor [exp batch] sweeps.  See
+    [docs/BATCHING.md]. *)
+
+type stats = {
+  ops : int;  (** operations served (all of [n_ops]) *)
+  batches : int;  (** dispatches *)
+  batch_cap : int;  (** the configured size trigger *)
+  batch_wait_ns : int;  (** the configured timeout trigger *)
+  discipline : Arrival.discipline;
+  offered_ops_per_s : float;
+  makespan_ns : int;  (** first arrival to last completion *)
+  latency : Fpb_obs.Histogram.t;
+      (** per op, arrival → its batch's completion ([batch.latency_ns]) *)
+  wait_ns : Fpb_obs.Histogram.t;
+      (** per op, arrival → its batch's dispatch ([batch.wait_ns]) *)
+  service_ns : Fpb_obs.Histogram.t;
+      (** per batch, dispatch → completion ([batch.service_ns]) *)
+  batch_fill : Fpb_obs.Histogram.t;
+      (** ops per dispatched batch ([batch.fill]) *)
+  throughput_ops_per_s : float;
+  mean_batch : float;  (** [ops / batches] *)
+  max_backlog : int;  (** peak queued (undispatched) ops *)
+}
+
+(** [run ~sim ~n_ops ~rate_ops_per_s ~batch ~batch_wait_ns exec]
+    generates the arrival schedule ([seed] default 4242, fixing it
+    deterministically), dispatches batches under the size-or-timeout
+    rule in conservative virtual-time order, and returns the stats.
+    [exec seqs] receives the batch's ops as global first-arrival
+    indexes, in arrival order, and must advance the simulated clock by
+    the batch's service time.
+    @raise Invalid_argument if [n_ops < 0], [rate_ops_per_s <= 0.],
+    [batch < 1] or [batch_wait_ns < 0]. *)
+val run :
+  sim:Fpb_simmem.Sim.t ->
+  n_ops:int ->
+  rate_ops_per_s:float ->
+  ?discipline:Arrival.discipline ->
+  ?seed:int ->
+  batch:int ->
+  batch_wait_ns:int ->
+  (int array -> unit) ->
+  stats

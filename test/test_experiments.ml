@@ -7,7 +7,7 @@ let expected_ids =
   [ "table1"; "table2"; "fig3b"; "fig10"; "fig11"; "fig12"; "fig13"; "fig14";
     "fig15"; "fig16"; "fig17"; "fig18a"; "fig18bc"; "fig19"; "ablation";
     "ext-varkey"; "ext-skew"; "recovery"; "concurrency"; "ycsb"; "faults";
-    "checkpoint"; "overload"; "replica" ]
+    "checkpoint"; "overload"; "batch"; "replica" ]
 
 let test_registry_complete () =
   List.iter

@@ -43,6 +43,57 @@ let prop_indexes_equivalent =
           | [] -> true)
         ops)
 
+(* --- search_batch ≡ Array.map search, on all four indexes ------------------ *)
+
+(* Probes drawn from twice the key range, so roughly half are absent;
+   the small range makes in-batch duplicates common.  A handful of
+   random inserts first, so the batch also runs against non-bulkloaded
+   shapes (split pages, updated slots). *)
+let prop_search_batch_equiv =
+  Util.qtest ~count:15 "search_batch ≡ Array.map search on all four indexes"
+    QCheck2.Gen.(
+      triple (1 -- 2000)
+        (list_size (0 -- 30) (pair (0 -- 4000) (0 -- 1000)))
+        (list_size (0 -- 100) (0 -- 4000)))
+    (fun (n, inserts, probes) ->
+      let keys = Array.of_list probes in
+      List.for_all
+        (fun kind ->
+          let pool = Util.make_pool ~page_size:4096 ~capacity:16384 () in
+          let idx = Fpb_experiments.Setup.make_index kind pool in
+          Index_sig.bulkload idx
+            (Array.init n (fun i -> (2 * i, i)))
+            ~fill:0.8;
+          List.iter (fun (k, v) -> ignore (Index_sig.insert idx k v)) inserts;
+          let want = Array.map (fun k -> Index_sig.search idx k) keys in
+          Index_sig.search_batch idx keys = want)
+        Fpb_experiments.Setup.all_kinds)
+
+(* A wave fetches each shared node once: however many probes a batch
+   holds, the root is charged exactly one level-0 access. *)
+let test_batch_one_root_access kind () =
+  let pool = Util.make_pool ~page_size:4096 ~capacity:16384 () in
+  let idx = Fpb_experiments.Setup.make_index kind pool in
+  Index_sig.bulkload idx (Array.init 5_000 (fun i -> (2 * i, i))) ~fill:0.8;
+  Index_sig.reset_level_accesses idx;
+  let keys = Array.init 16 (fun i -> 2 * ((i * 311) mod 5_000)) in
+  let got = Index_sig.search_batch idx keys in
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "probe %d" i)
+        (Some (k / 2)) got.(i))
+    keys;
+  Alcotest.(check int)
+    "one root access for the whole batch" 1
+    (Index_sig.level_accesses idx).(0);
+  (* The singleton discipline charges one per probe. *)
+  Index_sig.reset_level_accesses idx;
+  Array.iter (fun k -> ignore (Index_sig.search idx k)) keys;
+  Alcotest.(check int)
+    "16 root accesses for 16 singleton probes" 16
+    (Index_sig.level_accesses idx).(0)
+
 (* --- Correctness under a thrashing buffer pool ----------------------------- *)
 
 let test_tiny_pool kind () =
@@ -70,7 +121,21 @@ let test_tiny_pool kind () =
   ignore
     (Index_sig.range_scan idx ~start_key:min_int ~end_key:max_int (fun _ _ ->
          incr count));
-  Alcotest.(check int) "full scan under thrash" (M.cardinal !m) !count
+  Alcotest.(check int) "full scan under thrash" (M.cardinal !m) !count;
+  (* Batched lookups under the same pressure: a wide wave's frontier can
+     outgrow the pool, forcing the Overloaded split-and-retry path all
+     the way down to singleton descents. *)
+  let keys = Array.make 600 0 in
+  for i = 0 to 599 do
+    keys.(i) <- Fpb_workload.Prng.int rng 60_000
+  done;
+  let got = Index_sig.search_batch idx keys in
+  Array.iteri
+    (fun i k ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "batch search %d" k)
+        (M.find_opt k !m) got.(i))
+    keys
 
 (* --- Jump-pointer array vs list model --------------------------------------- *)
 
@@ -150,15 +215,25 @@ let prop_indexes_work_at_64kb =
           Index_sig.search idx 2000 = Some 1000)
         Fpb_experiments.Setup.all_kinds)
 
+let kinds =
+  [
+    ("disk_opt", Fpb_experiments.Setup.Disk_opt);
+    ("micro", Fpb_experiments.Setup.Micro);
+    ("disk_first", Fpb_experiments.Setup.Disk_first);
+    ("cache_first", Fpb_experiments.Setup.Cache_first);
+  ]
+
 let suite =
-  prop_indexes_equivalent
+  prop_indexes_equivalent :: prop_search_batch_equiv
   :: prop_jump_array_model :: prop_slotted_model :: prop_indexes_work_at_64kb
   :: List.map
        (fun (name, kind) ->
          Alcotest.test_case (name ^ ": tiny pool thrash") `Slow (test_tiny_pool kind))
-       [
-         ("disk_opt", Fpb_experiments.Setup.Disk_opt);
-         ("micro", Fpb_experiments.Setup.Micro);
-         ("disk_first", Fpb_experiments.Setup.Disk_first);
-         ("cache_first", Fpb_experiments.Setup.Cache_first);
-       ]
+       kinds
+  @ List.map
+      (fun (name, kind) ->
+        Alcotest.test_case
+          (name ^ ": one root access per batch")
+          `Quick
+          (test_batch_one_root_access kind))
+      kinds

@@ -200,6 +200,89 @@ let test_open_loop_dispatches_all () =
     seen;
   Alcotest.(check int) "ops counted" 500 stats.Arrival.ops
 
+(* Batch server against the same synthetic oracle: ONE server whose
+   per-dispatch service time is a fixed 1 ms however many ops the batch
+   holds, so capacity is exactly [batch * 1000] ops/s and every queueing
+   figure has a closed form under fixed arrivals. *)
+let batch_oracle ~rate ~batch ~batch_wait_ns ?(n_ops = 2_000) ?on_batch () =
+  let service_ns = 1_000_000 in
+  let sim = Fpb_simmem.Sim.create () in
+  Batch.run ~sim ~n_ops ~rate_ops_per_s:rate ~discipline:Arrival.Fixed ~seed:7
+    ~batch ~batch_wait_ns (fun seqs ->
+      (match on_batch with Some f -> f seqs | None -> ());
+      Fpb_simmem.Clock.advance sim.Fpb_simmem.Sim.clock service_ns)
+
+(* Below saturation, size-triggered: at 500 ops/s (2 ms gaps) a batch of
+   4 fills in exactly 3 gaps, so the head waits exactly 6 ms and every
+   dispatch is full. *)
+let test_batch_size_trigger () =
+  let s =
+    batch_oracle ~rate:500. ~batch:4 ~batch_wait_ns:10_000_000 ()
+  in
+  Alcotest.(check int) "all ops served" 2_000 s.Batch.ops;
+  Alcotest.(check int) "full batches" 500 s.Batch.batches;
+  Alcotest.(check int)
+    "head waits exactly 3 arrival gaps" 6_000_000
+    (Fpb_obs.Histogram.max_value s.Batch.wait_ns);
+  Alcotest.(check int)
+    "freshest op never waits" 0
+    (Fpb_obs.Histogram.min_value s.Batch.wait_ns)
+
+(* Below saturation, timeout-triggered: with the size trigger out of
+   reach the oldest op waits exactly [batch_wait_ns], and the batch
+   holds just the ops that arrived inside the window. *)
+let test_batch_timeout_trigger () =
+  let s =
+    batch_oracle ~rate:500. ~batch:64 ~batch_wait_ns:3_000_000 ()
+  in
+  Alcotest.(check int) "all ops served" 2_000 s.Batch.ops;
+  Alcotest.(check int) "two ops arrive per 3 ms window" 1_000 s.Batch.batches;
+  Alcotest.(check int)
+    "head waits exactly the timeout" 3_000_000
+    (Fpb_obs.Histogram.max_value s.Batch.wait_ns)
+
+(* Around capacity: at 8000 ops/s a batch-8 server (capacity 8000)
+   keeps the backlog bounded and finishes with the arrival schedule,
+   while batch 4 (capacity 4000) queues for the whole run and its
+   makespan is set by service capacity, not the offered rate. *)
+let test_batch_capacity () =
+  let keeps_up = batch_oracle ~rate:8_000. ~batch:8 ~batch_wait_ns:10_000_000 () in
+  if keeps_up.Batch.max_backlog > 32 then
+    Alcotest.failf "backlog %d at capacity, want bounded"
+      keeps_up.Batch.max_backlog;
+  let hot = batch_oracle ~rate:8_000. ~batch:4 ~batch_wait_ns:10_000_000 () in
+  if hot.Batch.max_backlog < 100 then
+    Alcotest.failf "overloaded backlog %d, want growth" hot.Batch.max_backlog;
+  let want = 2_000 / 4 * 1_000_000 in
+  if abs (hot.Batch.makespan_ns - want) > want / 10 then
+    Alcotest.failf "overloaded makespan %d ns, want ~%d ns"
+      hot.Batch.makespan_ns want;
+  if p hot.Batch.latency 99. < 50 * p hot.Batch.service_ns 99. then
+    Alcotest.failf "overloaded p99 %d ns not >> service p99 %d ns"
+      (p hot.Batch.latency 99.)
+      (p hot.Batch.service_ns 99.)
+
+(* Every op is dispatched exactly once, batches in arrival order. *)
+let test_batch_dispatches_all () =
+  let seen = Array.make 500 0 in
+  let last = ref (-1) in
+  let s =
+    batch_oracle ~rate:100_000. ~batch:8 ~batch_wait_ns:1_000_000 ~n_ops:500
+      ~on_batch:(fun seqs ->
+        Array.iter
+          (fun seq ->
+            if seq <= !last then
+              Alcotest.failf "seq %d after %d: not arrival order" seq !last;
+            last := seq;
+            seen.(seq) <- seen.(seq) + 1)
+          seqs)
+      ()
+  in
+  Array.iteri
+    (fun j c -> if c <> 1 then Alcotest.failf "op %d dispatched %d times" j c)
+    seen;
+  Alcotest.(check int) "ops counted" 500 s.Batch.ops
+
 let suite =
   [
     Alcotest.test_case "prng float and exponential" `Quick
@@ -217,4 +300,12 @@ let suite =
       test_open_loop_queueing;
     Alcotest.test_case "open loop dispatches every op once" `Quick
       test_open_loop_dispatches_all;
+    Alcotest.test_case "batch server: size trigger fills batches" `Quick
+      test_batch_size_trigger;
+    Alcotest.test_case "batch server: timeout caps the head wait" `Quick
+      test_batch_timeout_trigger;
+    Alcotest.test_case "batch server: capacity scales with the batch" `Quick
+      test_batch_capacity;
+    Alcotest.test_case "batch server dispatches every op once" `Quick
+      test_batch_dispatches_all;
   ]
